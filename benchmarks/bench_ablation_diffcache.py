@@ -1,0 +1,41 @@
+"""Ablation — the server diff cache (Section 3.3).
+
+"In most cases, a client sends the server a diff, and the server caches
+and forwards it in response to subsequent requests": with the cache, N
+readers after one write cost one diff collection; without it, every
+reader pays a fresh subblock-scan-and-collect.
+
+Measured: serving one update to a stale reader, with the cache at its
+default capacity vs. disabled (capacity 0); extra_info records the
+cache hit counters.
+
+Run: ``pytest benchmarks/bench_ablation_diffcache.py --benchmark-only``
+"""
+
+import pytest
+
+from common import build_workload, make_world
+from conftest import ROUNDS
+
+
+@pytest.mark.parametrize("cache", [True, False], ids=["cached", "uncached"])
+def test_serve_update(benchmark, cache):
+    world = make_world()
+    if not cache:
+        world.server.diff_cache.capacity_bytes = 0
+    workload = build_workload("int_array", world)
+    client = world.client
+    client.wl_acquire(workload.segment)
+    workload.fill()
+    client.wl_release(workload.segment)
+
+    state = world.server.segments[workload.segment.name].state
+    entry_version = state.version - 1
+
+    def run():
+        return world.server._update_for(state, entry_version)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    benchmark.group = "ablation-diffcache"
+    benchmark.extra_info["cache_hits"] = world.server.diff_cache.hits
+    benchmark.extra_info["updates_built"] = world.server.stats.updates_built

@@ -1,0 +1,54 @@
+"""Ablation — isomorphic type descriptors (Section 3.3).
+
+"If a struct contains 10 consecutive integer fields, the compiler
+generates a descriptor containing a 10-element integer array instead":
+coalescing consecutive same-primitive fields turns per-field translation
+into one bulk run.  The ``int_struct`` workload (an array of structs with
+32 consecutive int fields) is the best case: coalesced it is a single
+dense run; uncoalesced it is 32 strided runs.
+
+Measured: whole-block translation (collect + apply) with layout
+coalescing on vs. off.
+
+Run: ``pytest benchmarks/bench_ablation_isomorphic.py --benchmark-only``
+"""
+
+import pytest
+
+from common import DATA_BYTES, build_workload, make_world
+from conftest import ROUNDS
+
+from repro.types.layout import FlatLayout
+from repro.wire import TranslationContext, apply_block, collect_block
+
+
+@pytest.mark.parametrize("coalesce", [True, False],
+                         ids=["isomorphic", "per-field"])
+def test_collect_int_struct(benchmark, coalesce):
+    world = make_world(enable_isomorphic=coalesce)
+    workload = build_workload("int_struct", world)
+    layout = FlatLayout(workload.descriptor, world.client.arch, coalesce)
+    tctx = TranslationContext(world.client.memory, world.client.arch)
+    address = workload.block.address
+
+    benchmark.pedantic(lambda: collect_block(tctx, layout, address),
+                       rounds=ROUNDS, iterations=1)
+    benchmark.group = "ablation-isomorphic-collect"
+    benchmark.extra_info["layout_runs"] = len(layout.runs)
+    benchmark.extra_info["data_bytes"] = DATA_BYTES
+
+
+@pytest.mark.parametrize("coalesce", [True, False],
+                         ids=["isomorphic", "per-field"])
+def test_apply_int_struct(benchmark, coalesce):
+    world = make_world(enable_isomorphic=coalesce)
+    workload = build_workload("int_struct", world)
+    layout = FlatLayout(workload.descriptor, world.client.arch, coalesce)
+    tctx = TranslationContext(world.client.memory, world.client.arch)
+    address = workload.block.address
+    wire = collect_block(tctx, layout, address)
+
+    benchmark.pedantic(lambda: apply_block(tctx, layout, address, wire),
+                       rounds=ROUNDS, iterations=1)
+    benchmark.group = "ablation-isomorphic-apply"
+    benchmark.extra_info["layout_runs"] = len(layout.runs)

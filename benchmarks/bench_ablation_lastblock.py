@@ -1,0 +1,78 @@
+"""Ablation — last-block search prediction (Section 3.3).
+
+Mapping a diff's block serial numbers to local blocks normally takes a
+``blk_number_tree`` search per block.  Because blocks modified together
+tend to be modified together again — and the locality layout placed them
+consecutively — InterWeave predicts the next diffed block to be the next
+block in memory, falling back to the tree only on a miss.
+
+Measured: applying an update that touches many small blocks, with
+prediction on vs. off; extra_info records the hit rate.
+
+Run: ``pytest benchmarks/bench_ablation_lastblock.py --benchmark-only``
+"""
+
+import pytest
+
+from common import abort_session, make_world
+from conftest import ROUNDS
+
+from repro.client.apply import ApplyStats, apply_update
+from repro.types import ArrayDescriptor, INT
+
+BLOCKS = 2000
+
+
+def _make_many_block_update(world):
+    """A segment of many small blocks, all modified in one version."""
+    client = world.client
+    segment = client.open_segment("bench/manyblocks")
+    client.wl_acquire(segment)
+    accessors = [client.malloc(segment, ArrayDescriptor(INT, 8))
+                 for _ in range(BLOCKS)]
+    for index, accessor in enumerate(accessors):
+        accessor.write_values([index] * 8)
+    client.wl_release(segment)
+    # modify every block (first word) in a second version
+    client.wl_acquire(segment)
+    for index, accessor in enumerate(accessors):
+        accessor[0] = index + 1
+    diff, _ = client._collect(segment)
+    abort_session(segment_workaround(segment, world))
+    return segment, diff
+
+
+def segment_workaround(segment, world):
+    """abort_session expects a Workload-shaped object; adapt."""
+
+    class Shim:
+        pass
+
+    shim = Shim()
+    shim.world = world
+    shim.segment = segment
+    return shim
+
+
+@pytest.mark.parametrize("prediction", [True, False],
+                         ids=["predicted", "tree-search"])
+def test_apply_many_blocks(benchmark, prediction):
+    world = make_world(enable_prediction=prediction)
+    segment, diff = _make_many_block_update(world)
+
+    reader = world.new_client("reader", enable_prediction=prediction)
+    segment_r = reader.open_segment(segment.name)
+    reader.rl_acquire(segment_r)
+    reader.rl_release(segment_r)
+    stats = ApplyStats()
+
+    benchmark.pedantic(
+        lambda: apply_update(reader.tctx, segment_r.heap, segment_r.registry,
+                             diff, first_cache=False, stats=stats,
+                             use_prediction=prediction),
+        rounds=ROUNDS, iterations=1)
+    benchmark.group = "ablation-lastblock"
+    total = stats.prediction_hits + stats.prediction_misses
+    benchmark.extra_info["blocks"] = BLOCKS
+    if total:
+        benchmark.extra_info["hit_rate"] = round(stats.prediction_hits / total, 4)

@@ -1,0 +1,85 @@
+"""Ablation — locality data layout (Section 3.3).
+
+"When a segment is cached at a client for the first time, blocks that
+have the same version number — meaning they were modified by another
+client in a single write critical section — are placed in contiguous
+locations, in the hope that they may be accessed or modified together by
+this client as well."
+
+Scenario: a segment of many small blocks, half of which (every other
+serial) were rewritten together in a later version.  A fresh reader caches
+the segment from a *serial-ordered* full transfer — so without the
+locality sort the two version groups interleave in its memory — and then
+applies the next update, which touches exactly the rewritten group.
+
+With the locality layout the group sits contiguously, so the last-block
+predictor's next-block-in-memory guess tracks the diff; without it, every
+prediction lands on a block from the other group and falls back to the
+``blk_number_tree``.  extra_info records the hit rates.
+
+Run: ``pytest benchmarks/bench_ablation_layout.py --benchmark-only``
+"""
+
+import pytest
+
+from common import make_world
+from conftest import ROUNDS
+
+from repro.client.apply import ApplyStats, apply_update
+from repro.types import ArrayDescriptor, INT
+
+BLOCKS = 800  # total small blocks; every other one belongs to the hot group
+
+
+def _build_segment(world):
+    client = world.client
+    segment = client.open_segment("bench/locality")
+    client.wl_acquire(segment)
+    accessors = [client.malloc(segment, ArrayDescriptor(INT, 8))
+                 for _ in range(BLOCKS)]
+    client.wl_release(segment)  # version 1: everything created
+    client.wl_acquire(segment)
+    for accessor in accessors[::2]:
+        accessor[0] = 1  # version 2: the hot group rewritten together
+    client.wl_release(segment)
+    client.wl_acquire(segment)
+    for accessor in accessors[::2]:
+        accessor[0] = 2  # version 3: the same group again (the update
+    client.wl_release(segment)  # the reader will apply)
+    return segment
+
+
+def _serial_ordered_base(state, upto_version):
+    """A full transfer listing blocks in serial-number order (the layout
+    the svr_blk_number_tree would produce), truncated to a past version."""
+    diff = state.build_update(0)
+    diff.block_diffs.sort(key=lambda bd: bd.serial)
+    diff.to_version = upto_version
+    return diff
+
+
+@pytest.mark.parametrize("locality", [True, False],
+                         ids=["locality-layout", "serial-order"])
+def test_apply_hot_group_update(benchmark, locality):
+    world = make_world()
+    segment = _build_segment(world)
+    state = world.server.segments[segment.name].state
+
+    reader = world.new_client("reader")
+    segment_r = reader.open_segment(segment.name)
+    base = _serial_ordered_base(state, upto_version=2)
+    apply_update(reader.tctx, segment_r.heap, segment_r.registry, base,
+                 first_cache=True, locality_layout=locality)
+    segment_r.version = 2
+    segment_r.has_data = True
+
+    update = state.build_update(2)  # touches exactly the hot group
+    stats = ApplyStats()
+    benchmark.pedantic(
+        lambda: apply_update(reader.tctx, segment_r.heap, segment_r.registry,
+                             update, first_cache=False, stats=stats),
+        rounds=ROUNDS, iterations=1)
+    benchmark.group = "ablation-layout"
+    total = stats.prediction_hits + stats.prediction_misses
+    benchmark.extra_info["prediction_hit_rate"] = round(
+        stats.prediction_hits / total, 4) if total else 0.0

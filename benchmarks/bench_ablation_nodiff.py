@@ -1,0 +1,41 @@
+"""Ablation — no-diff mode (Section 3.3 / Section 4.1).
+
+A writer that rewrites the whole segment every critical section pays for
+page protection, faults, twins, word diffing, and run bookkeeping if
+diffing stays on.  The paper's headline: "collect block" is ~39% faster
+than "collect diff" when everything changed, justifying no-diff mode.
+
+Measured: full write critical sections (acquire + rewrite + release) with
+the adaptive controller enabled vs. forcibly disabled.
+
+Run: ``pytest benchmarks/bench_ablation_nodiff.py --benchmark-only``
+"""
+
+import pytest
+
+from common import build_workload, make_world
+from conftest import ROUNDS
+
+
+def _session(world, workload):
+    client = world.client
+    client.wl_acquire(workload.segment)
+    workload.fill()
+    client.wl_release(workload.segment)
+
+
+@pytest.mark.parametrize("nodiff", [True, False], ids=["adaptive", "always-diff"])
+def test_heavy_writer_critical_section(benchmark, nodiff):
+    world = make_world(enable_nodiff=nodiff)
+    workload = build_workload("int_array", world)
+    # warm the adaptive controller past its switch threshold
+    for _ in range(5):
+        _session(world, workload)
+    if nodiff:
+        assert workload.segment.nodiff.in_nodiff_mode
+
+    benchmark.pedantic(lambda: _session(world, workload),
+                       rounds=ROUNDS, iterations=1)
+    benchmark.group = "ablation-nodiff"
+    benchmark.extra_info["twins_created"] = world.client.stats.twins_created
+    benchmark.extra_info["write_faults"] = world.client.memory.stats.write_faults

@@ -1,0 +1,170 @@
+"""Figure 5 — diff management cost vs. modification granularity.
+
+A 1 MB (by default 256 KiB — see common.DATA_BYTES) integer array is
+modified at *change ratio* k: every k-th word is changed, k in
+1, 2, 4, ..., 16384.  Six costs are measured per ratio:
+
+- ``client_collect_diff`` — the whole client pipeline at write release
+  (word diffing + splicing + block mapping + translation); the benchmark
+  also records the ``word_diffing`` and ``translation`` phases separately
+  in extra_info (the paper plots them as their own curves);
+- ``client_apply_diff``   — applying the server's update at a reader;
+- ``server_collect_diff`` — the server building that update from its
+  subblock version arrays;
+- ``server_apply_diff``   — the server ingesting the client's diff.
+
+Paper shapes to check:
+
+- word diffing has a knee at ratio 1024 (one change per 4 KiB page:
+  beyond it the number of modified pages, hence twins and comparisons,
+  falls linearly);
+- server costs and client apply are flat for ratios 1..16 because the
+  server tracks 16-unit subblocks and ships whole subblocks;
+- collect cost drops between ratio 2 and 4 marks the loss of run
+  splicing (gaps of <= 2 words are spliced; at ratio 4 runs separate).
+
+Run: ``pytest benchmarks/bench_fig5_granularity.py --benchmark-only``
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import PrimKind
+
+from common import DATA_BYTES, abort_session, build_workload, make_world
+from conftest import ROUNDS
+
+from repro.client.apply import apply_update
+from repro.wire import decode_segment_diff, encode_segment_diff
+
+RATIOS = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+WORD = 4
+WORDS = DATA_BYTES // WORD
+PAGE_WORDS = 4096 // WORD
+
+
+def _ratios():
+    return [ratio for ratio in RATIOS if ratio <= WORDS // 4]
+
+
+def modify_every_kth_word(workload, ratio: int, salt: int) -> None:
+    """Change every ``ratio``-th word of the array (inside a write session)."""
+    client = workload.world.client
+    address = workload.block.address
+    arch = client.arch
+    if ratio < PAGE_WORDS:
+        # every page is touched anyway: read-modify-write the whole image
+        raw = bytearray(client.memory.load(address, workload.block.size))
+        words = np.frombuffer(raw, dtype=arch.numpy_dtype(PrimKind.INT))
+        updated = words.copy()
+        updated[::ratio] = (updated[::ratio] + salt + 1) % 100000
+        client.memory.store(address, updated.tobytes())
+    else:
+        # sparse pages: store word by word, faulting only the pages hit
+        for index in range(0, WORDS, ratio):
+            client.memory.store(
+                address + index * WORD,
+                arch.encode_prim(PrimKind.INT, (index + salt + 1) % 100000))
+
+
+@pytest.fixture(scope="module")
+def world_and_workload():
+    world = make_world()
+    workload = build_workload("int_array", world)
+    return world, workload
+
+
+@pytest.mark.parametrize("ratio", _ratios())
+def test_client_collect_diff(benchmark, world_and_workload, ratio):
+    world, workload = world_and_workload
+    client = world.client
+    state = {"active": False, "salt": 0}
+
+    def setup():
+        if state["active"]:
+            abort_session(workload)
+        client.wl_acquire(workload.segment)
+        state["salt"] += 1
+        modify_every_kth_word(workload, ratio, state["salt"])
+        state["active"] = True
+        client.stats.collect.reset()
+
+    def run():
+        diff, _ = client._collect(workload.segment)
+        state["diff"] = diff
+
+    benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
+    benchmark.group = f"fig5-ratio-{ratio:05d}"
+    benchmark.extra_info["word_diffing_s"] = round(
+        client.stats.collect.word_diff_seconds / ROUNDS, 6)
+    benchmark.extra_info["translation_s"] = round(
+        client.stats.collect.translate_seconds / ROUNDS, 6)
+    benchmark.extra_info["diff_payload_bytes"] = state["diff"].payload_bytes()
+    if state["active"]:
+        abort_session(workload)
+
+
+@pytest.fixture(scope="module")
+def committed_updates(world_and_workload):
+    """Per ratio: commit one modification and capture the server update."""
+    world, workload = world_and_workload
+    client = world.client
+    updates = {}
+    for index, ratio in enumerate(_ratios()):
+        client.wl_acquire(workload.segment)
+        modify_every_kth_word(workload, ratio, salt=1000 + index)
+        before = workload.segment.version
+        client.wl_release(workload.segment)
+        state = world.server.segments[workload.segment.name].state
+        update = state.build_update(before)
+        updates[ratio] = (before, encode_segment_diff(update))
+    return updates
+
+
+@pytest.mark.parametrize("ratio", _ratios())
+def test_server_collect_diff(benchmark, world_and_workload, committed_updates, ratio):
+    world, workload = world_and_workload
+    state = world.server.segments[workload.segment.name].state
+    from_version, _ = committed_updates[ratio]
+
+    benchmark.pedantic(lambda: state.build_update(from_version),
+                       rounds=ROUNDS, iterations=1)
+    benchmark.group = f"fig5-ratio-{ratio:05d}"
+
+
+@pytest.mark.parametrize("ratio", _ratios())
+def test_client_apply_diff(benchmark, world_and_workload, committed_updates, ratio):
+    world, workload = world_and_workload
+    reader = world.new_client(f"r{ratio}")
+    segment = reader.open_segment(workload.segment.name)
+    reader.rl_acquire(segment)
+    reader.rl_release(segment)
+    _, encoded = committed_updates[ratio]
+    diff = decode_segment_diff(encoded)
+
+    benchmark.pedantic(
+        lambda: apply_update(reader.tctx, segment.heap, segment.registry, diff,
+                             first_cache=False),
+        rounds=ROUNDS, iterations=1)
+    benchmark.group = f"fig5-ratio-{ratio:05d}"
+
+
+@pytest.mark.parametrize("ratio", _ratios())
+def test_server_apply_diff(benchmark, world_and_workload, ratio):
+    world, workload = world_and_workload
+    client = world.client
+    state = world.server.segments[workload.segment.name].state
+    shared = {"salt": 5000, "diff": None}
+
+    def setup():
+        client.wl_acquire(workload.segment)
+        shared["salt"] += 1
+        modify_every_kth_word(workload, ratio, shared["salt"])
+        diff, _ = client._collect(workload.segment)
+        abort_session(workload)
+        diff.from_version = state.version  # renumber as the next write would
+        shared["diff"] = diff
+
+    benchmark.pedantic(lambda: state.apply_client_diff(shared["diff"]),
+                       setup=setup, rounds=ROUNDS, iterations=1)
+    benchmark.group = f"fig5-ratio-{ratio:05d}"

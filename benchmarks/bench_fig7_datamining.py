@@ -1,0 +1,101 @@
+"""Figure 7 — total bandwidth of the datamining application.
+
+The paper's scenario: a database server builds a sequence-lattice summary
+from half a Quest-style database, then applies 1% increments; a mining
+client keeps a cached copy.  Five configurations are compared by total
+bytes transferred to the client:
+
+- ``full_transfer`` — the client re-fetches the entire summary structure
+  whenever a new version appears (no diffs; what an RPC get-the-struct
+  design does);
+- ``diff_only``     — wire-format diffs under full coherence;
+- ``delta2/3/4``    — diffs under Delta(x) coherence: the client updates
+  only every x-th version.
+
+Paper shapes to check: diffs cut total bandwidth by a large factor
+(~80% in the paper), and relaxing Delta reduces it further, roughly in
+proportion to the versions skipped.
+
+Each configuration runs the whole scenario once per benchmark round; the
+bandwidth numbers land in ``extra_info`` (the timing is incidental).
+
+Run: ``pytest benchmarks/bench_fig7_datamining.py --benchmark-only``
+"""
+
+import os
+
+import pytest
+
+from common import make_world
+
+from repro import delta, full
+from repro.apps.datamining import DatabaseServer, MiningClient, QuestConfig, generate
+from repro.wire import encode_segment_diff
+
+#: scenario scale (customers); the paper used 100 000
+CUSTOMERS = int(os.environ.get("REPRO_BENCH_CUSTOMERS", "600"))
+INCREMENTS = int(os.environ.get("REPRO_BENCH_INCREMENTS", "16"))
+
+CONFIGS = ["full_transfer", "diff_only", "delta2", "delta3", "delta4"]
+
+_RESULTS = {}
+
+
+def run_scenario(config: str) -> dict:
+    """Run the whole workload under one configuration; returns bandwidth."""
+    world = make_world()
+    database = generate(QuestConfig(
+        num_customers=CUSTOMERS, num_items=50, num_patterns=30,
+        avg_transactions_per_customer=3.0, seed=11))
+    engine = world.client
+    db_server = DatabaseServer(engine, "bench/lattice", database,
+                               min_support_fraction=0.04, max_length=3)
+    db_server.build_initial(0.5)
+
+    reader = world.new_client("miner", enable_notifications=False)
+    miner = MiningClient(reader, "bench/lattice")
+    if config.startswith("delta"):
+        reader.set_coherence(miner.segment, delta(int(config[-1])))
+    else:
+        reader.set_coherence(miner.segment, full())
+
+    state = world.server.segments["bench/lattice"].state
+    full_transfer_bytes = 0
+    # initial fetch
+    miner.refresh()
+    full_transfer_bytes += len(encode_segment_diff(state.build_update(0)))
+
+    for _ in range(INCREMENTS):
+        db_server.apply_increment(0.01)
+        miner.refresh()
+        full_transfer_bytes += len(encode_segment_diff(state.build_update(0)))
+
+    received = reader._channels["bench"].stats.bytes_received
+    return {
+        "config": config,
+        "bytes": full_transfer_bytes if config == "full_transfer" else received,
+        "diff_bytes_received": received,
+        "full_equivalent": full_transfer_bytes,
+        "versions": state.version,
+        "lattice_nodes": len(db_server.writer.sequences()),
+    }
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_bandwidth(benchmark, config):
+    result = benchmark.pedantic(lambda: run_scenario(config),
+                                rounds=1, iterations=1)
+    benchmark.group = "fig7-datamining-bandwidth"
+    benchmark.extra_info.update(result)
+    _RESULTS[config] = result
+    if config == CONFIGS[-1]:
+        _check_shape()
+
+
+def _check_shape():
+    """Diffs beat full transfer by a wide margin; Delta keeps shrinking it."""
+    series = {config: _RESULTS[config]["bytes"] for config in CONFIGS}
+    assert series["diff_only"] < series["full_transfer"] * 0.5
+    assert series["delta2"] < series["diff_only"]
+    assert series["delta3"] < series["delta2"]
+    assert series["delta4"] < series["delta3"]

@@ -1,0 +1,98 @@
+"""Protocol overhead microbenchmarks (not a paper figure).
+
+The paper's experiments measure translation and bandwidth; deployments
+also care about the fixed cost of the lock protocol itself.  These
+benchmarks measure the per-critical-section overhead with *no data
+modified* — pure protocol — over both transports:
+
+- ``read_validate``  — a read acquire/release that must consult the
+  server (full coherence, polling mode);
+- ``read_local``     — a read acquire/release satisfied entirely from the
+  cache (temporal coherence inside its bound): the cost of InterWeave
+  when it does nothing;
+- ``write_empty``    — a write acquire/release with an empty diff;
+- the same over real TCP sockets, to price the loopback stack.
+
+Run: ``pytest benchmarks/bench_protocol.py --benchmark-only``
+"""
+
+import pytest
+
+from common import make_world
+
+from repro import InterWeaveClient, temporal
+from repro.arch import X86_32
+from repro.transport import TCPChannel, TCPServerTransport
+from repro.types import INT
+
+
+def _setup_segment(client):
+    segment = client.open_segment("bench/protocol")
+    client.wl_acquire(segment)
+    if "v" not in segment.heap.blk_name_tree:
+        client.malloc(segment, INT, name="v").set(0)
+    client.wl_release(segment)
+    return segment
+
+
+@pytest.fixture(scope="module")
+def inproc():
+    world = make_world(enable_notifications=False)
+    segment = _setup_segment(world.client)
+    return world.client, segment
+
+
+@pytest.fixture(scope="module")
+def tcp():
+    from repro.server import InterWeaveServer
+
+    server = InterWeaveServer("bench")
+    transport = TCPServerTransport(server)
+
+    def connector(server_name, client_id):
+        return TCPChannel("127.0.0.1", transport.port, client_id)
+
+    client = InterWeaveClient("tcp-client", X86_32, connector)
+    client.options.enable_notifications = False
+    segment = _setup_segment(client)
+    yield client, segment
+    transport.close()
+
+
+def _read_validate(client, segment):
+    client.rl_acquire(segment)
+    client.rl_release(segment)
+
+
+def _write_empty(client, segment):
+    client.wl_acquire(segment)
+    client.wl_release(segment)
+
+
+@pytest.mark.parametrize("transport", ["inproc", "tcp"])
+def test_read_validate(benchmark, transport, request):
+    client, segment = request.getfixturevalue(transport)
+    benchmark(_read_validate, client, segment)
+    benchmark.group = f"protocol-read-validate"
+    benchmark.extra_info["transport"] = transport
+
+
+@pytest.mark.parametrize("transport", ["inproc", "tcp"])
+def test_read_local(benchmark, transport, request):
+    client, segment = request.getfixturevalue(transport)
+    client.set_coherence(segment, temporal(1e9))
+    _read_validate(client, segment)  # prime the timestamp
+    benchmark(_read_validate, client, segment)
+    benchmark.group = f"protocol-read-local"
+    benchmark.extra_info["transport"] = transport
+    from repro.coherence import full
+
+    client.set_coherence(segment, full())
+
+
+@pytest.mark.parametrize("transport", ["inproc", "tcp"])
+def test_write_empty(benchmark, transport, request):
+    client, segment = request.getfixturevalue(transport)
+    benchmark(_write_empty, client, segment)
+    benchmark.group = f"protocol-write-empty"
+    benchmark.extra_info["transport"] = transport

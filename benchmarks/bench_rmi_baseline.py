@@ -1,0 +1,53 @@
+"""The Java RMI comparison (Section 1 / Section 4.1).
+
+The paper: translating previously-uncached data, InterWeave "achieves
+throughput comparable to that of standard RPC packages, and 20 times
+faster than Java RMI".  RMI's reflective, self-describing, handle-tracked
+serialization has no bulk path, so its cost scales with field count, not
+byte count.
+
+Measured: serializing the int_array and int_double workloads with the
+RMI-style serializer vs. InterWeave block translation (collect_block from
+Figure 4 is the direct comparator).
+
+Run: ``pytest benchmarks/bench_rmi_baseline.py --benchmark-only``
+"""
+
+import pytest
+
+from common import build_workload, make_world
+from conftest import ROUNDS
+
+from repro.rpc.rmi import serialize
+from repro.types import flat_layout
+from repro.wire import TranslationContext, collect_block
+
+WORKLOADS = ["int_array", "int_double"]
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_rmi_serialize(benchmark, name):
+    world = make_world()
+    workload = build_workload(name, world, data_bytes=64 * 1024)
+    memory, arch = world.client.memory, world.client.arch
+
+    result = benchmark.pedantic(
+        lambda: serialize(memory, arch, workload.descriptor,
+                          workload.block.address),
+        rounds=ROUNDS, iterations=1)
+    benchmark.group = f"rmi-vs-interweave-{name}"
+    benchmark.extra_info["stream_bytes"] = len(
+        serialize(memory, arch, workload.descriptor, workload.block.address))
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_interweave_collect_block(benchmark, name):
+    world = make_world()
+    workload = build_workload(name, world, data_bytes=64 * 1024)
+    tctx = TranslationContext(world.client.memory, world.client.arch)
+    layout = flat_layout(workload.descriptor, world.client.arch)
+
+    benchmark.pedantic(
+        lambda: collect_block(tctx, layout, workload.block.address),
+        rounds=ROUNDS, iterations=1)
+    benchmark.group = f"rmi-vs-interweave-{name}"

@@ -1,0 +1,15 @@
+"""Benchmark suite configuration.
+
+Makes the sibling ``common`` module importable and keeps pytest-benchmark
+rounds small: the heavyweight operations (per-unit pointer/string
+translation) take hundreds of milliseconds each, and the figures we
+reproduce care about ratios, not nanosecond stability.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+#: rounds used by the pedantic benchmarks throughout the suite
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Transactional shared state: a toy bank ledger.
+
+The paper's future-work section announces transaction support for
+InterWeave; this repository implements it (see
+``repro/client/transactions.py``).  The example runs a shared ledger of
+accounts: transfers happen inside transactions, and a transfer that would
+overdraw an account *aborts* — every modification it made (including
+partially applied debits and any audit records it allocated) is rolled
+back from the page twins, and the server never sees a new version.
+
+Run it::
+
+    python examples/bank_transactions.py
+"""
+
+from repro import (
+    InProcHub,
+    InterWeaveClient,
+    InterWeaveServer,
+    VirtualClock,
+    arch,
+)
+from repro.idl import compile_idl
+
+BANK_IDL = """
+const NAME_LEN = 16;
+
+struct account {
+    string<NAME_LEN> owner;
+    hyper balance_cents;
+    int transfers_in;
+    int transfers_out;
+};
+
+struct audit_entry {
+    string<NAME_LEN> from_owner;
+    string<NAME_LEN> to_owner;
+    hyper amount_cents;
+    audit_entry *next;
+};
+
+struct ledger {
+    int num_accounts;
+    int num_audits;
+    audit_entry *audit_head;
+};
+"""
+
+compiled = compile_idl(BANK_IDL)
+ACCOUNT, AUDIT, LEDGER = (compiled["account"], compiled["audit_entry"],
+                          compiled["ledger"])
+
+
+class Bank:
+    def __init__(self, client, segment_name):
+        self.client = client
+        self.segment = client.open_segment(segment_name)
+
+    def setup(self, balances):
+        client, segment = self.client, self.segment
+        client.wl_acquire(segment)
+        ledger = client.malloc(segment, LEDGER, name="ledger")
+        ledger.num_accounts = len(balances)
+        ledger.num_audits = 0
+        ledger.audit_head = None
+        for owner, cents in balances.items():
+            account = client.malloc(segment, ACCOUNT, name=f"acct_{owner}")
+            account.owner = owner
+            account.balance_cents = cents
+            account.transfers_in = 0
+            account.transfers_out = 0
+        client.wl_release(segment)
+
+    def transfer(self, source, destination, cents):
+        """Move money inside a transaction; abort on overdraft."""
+        client, segment = self.client, self.segment
+        client.tx_begin(segment)
+        src = client.accessor_for(segment, f"acct_{source}")
+        dst = client.accessor_for(segment, f"acct_{destination}")
+        # debit first — deliberately before the overdraft check, to show
+        # that abort undoes partially applied work
+        src.balance_cents = src.balance_cents - cents
+        src.transfers_out = src.transfers_out + 1
+        dst.balance_cents = dst.balance_cents + cents
+        dst.transfers_in = dst.transfers_in + 1
+        audit = client.malloc(segment, AUDIT)
+        audit.from_owner = source
+        audit.to_owner = destination
+        audit.amount_cents = cents
+        ledger = client.accessor_for(segment, "ledger")
+        audit.next = ledger.audit_head
+        ledger.audit_head = audit
+        ledger.num_audits = ledger.num_audits + 1
+        if src.balance_cents < 0:
+            client.tx_abort(segment)
+            return False
+        client.tx_commit(segment)
+        return True
+
+    def balance(self, owner):
+        client, segment = self.client, self.segment
+        client.rl_acquire(segment)
+        try:
+            return client.accessor_for(segment, f"acct_{owner}").balance_cents
+        finally:
+            client.rl_release(segment)
+
+    def audit_trail(self):
+        client, segment = self.client, self.segment
+        client.rl_acquire(segment)
+        try:
+            entries = []
+            cursor = client.accessor_for(segment, "ledger").audit_head
+            while cursor is not None:
+                entries.append((cursor.from_owner, cursor.to_owner,
+                                cursor.amount_cents))
+                cursor = cursor.next
+            return entries
+        finally:
+            client.rl_release(segment)
+
+
+def main():
+    clock = VirtualClock()
+    hub = InProcHub(clock=clock)
+    hub.register_server("bank", InterWeaveServer("bank", sink=hub, clock=clock))
+
+    teller = InterWeaveClient("teller", arch.X86_32, hub.connect, clock=clock)
+    bank = Bank(teller, "bank/ledger")
+    bank.setup({"alice": 10_000, "bob": 2_500})
+    print("opening balances: alice=$100.00  bob=$25.00")
+
+    moves = [("alice", "bob", 4_000), ("bob", "alice", 1_000),
+             ("bob", "alice", 99_999), ("alice", "bob", 2_500)]
+    for source, destination, cents in moves:
+        ok = bank.transfer(source, destination, cents)
+        verdict = "committed" if ok else "ABORTED (overdraft rolled back)"
+        print(f"  transfer {source:>5s} -> {destination:<5s} "
+              f"${cents / 100:8.2f}: {verdict}")
+
+    total = bank.balance("alice") + bank.balance("bob")
+    print(f"\nclosing balances: alice=${bank.balance('alice') / 100:.2f}  "
+          f"bob=${bank.balance('bob') / 100:.2f}  (total ${total / 100:.2f})")
+    assert total == 12_500, "money must be conserved"
+
+    print("\naudit trail (committed transfers only):")
+    for source, destination, cents in bank.audit_trail():
+        print(f"  {source} -> {destination}: ${cents / 100:.2f}")
+    assert len(bank.audit_trail()) == 3  # the aborted audit entry vanished
+
+    # an auditor on another architecture sees the same committed state
+    auditor = InterWeaveClient("auditor", arch.SPARC_V9, hub.connect, clock=clock)
+    audit_bank = Bank(auditor, "bank/ledger")
+    assert audit_bank.balance("alice") == bank.balance("alice")
+    print("\nauditor (big-endian) agrees with the teller (little-endian)")
+
+
+if __name__ == "__main__":
+    main()

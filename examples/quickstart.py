@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 1 shared linked list.
+
+Two "processes" on different simulated architectures — a little-endian
+32-bit x86 writer and a big-endian 64-bit SPARC reader — share a linked
+list through an InterWeave segment.  The writer inserts keys under a write
+lock; the reader walks the list through swizzled pointers under a read
+lock.  Run it::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    InProcHub,
+    InterWeaveClient,
+    InterWeaveServer,
+    IW_malloc,
+    IW_mip_to_ptr,
+    IW_open_segment,
+    IW_rl_acquire,
+    IW_rl_release,
+    IW_set_process,
+    IW_wl_acquire,
+    IW_wl_release,
+    VirtualClock,
+    arch,
+)
+from repro.idl import compile_idl
+
+IDL = """
+struct node_t {
+    int key;
+    node_t *next;
+};
+"""
+
+
+def list_init(handle, node_t):
+    IW_wl_acquire(handle)  # write lock
+    head = IW_malloc(handle, node_t, name="head")
+    head.key = 0  # unused header node, as in the paper's Figure 1
+    head.next = None
+    IW_wl_release(handle)  # write unlock
+
+
+def list_insert(handle, node_t, key):
+    IW_wl_acquire(handle)  # write lock
+    head = IW_mip_to_ptr("host/list#head")
+    p = IW_malloc(handle, node_t)
+    p.key = key
+    p.next = head.next
+    head.next = p
+    IW_wl_release(handle)  # write unlock
+
+
+def list_search(handle, key):
+    IW_rl_acquire(handle)  # read lock
+    p = IW_mip_to_ptr("host/list#head").next
+    while p is not None:
+        if p.key == key:
+            IW_rl_release(handle)  # read unlock
+            return p
+        p = p.next
+    IW_rl_release(handle)  # read unlock
+    return None
+
+
+def main():
+    # one server, two clients on different architectures, one process
+    clock = VirtualClock()
+    hub = InProcHub(clock=clock)
+    hub.register_server("host", InterWeaveServer("host", sink=hub, clock=clock))
+
+    node_t = compile_idl(IDL)["node_t"]
+
+    writer = InterWeaveClient("writer", arch.X86_32, hub.connect, clock=clock)
+    IW_set_process(writer)
+    handle = IW_open_segment("host/list")
+    list_init(handle, node_t)
+    for key in (5, 3, 8, 13):
+        list_insert(handle, node_t, key)
+    print(f"[writer/{writer.arch.name}] inserted 4 keys, "
+          f"segment at version {handle.version}")
+
+    reader = InterWeaveClient("reader", arch.SPARC_V9, hub.connect, clock=clock)
+    IW_set_process(reader)
+    handle_r = IW_open_segment("host/list")
+    IW_rl_acquire(handle_r)
+    keys = []
+    p = IW_mip_to_ptr("host/list#head").next
+    while p is not None:
+        keys.append(p.key)
+        p = p.next
+    IW_rl_release(handle_r)
+    print(f"[reader/{reader.arch.name}] walked the list: {keys}")
+    assert keys == [13, 8, 3, 5]
+
+    IW_set_process(reader)
+    hit = list_search(handle_r, 8)
+    print(f"[reader] list_search(8) -> {'found' if hit else 'missing'}")
+    stats = reader._channels["host"].stats
+    print(f"[reader] transport: {stats.requests} requests, "
+          f"{stats.bytes_received} bytes received")
+
+
+if __name__ == "__main__":
+    main()

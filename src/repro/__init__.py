@@ -1,0 +1,82 @@
+"""InterWeave reproduction: distributed shared state for heterogeneous
+machine architectures (Tang, Chen, Dwarkadas, Scott — ICDCS 2003).
+
+Quick tour
+----------
+>>> from repro import InterWeaveClient, InterWeaveServer, InProcHub, arch
+>>> from repro.types import INT
+>>> hub = InProcHub()
+>>> hub.register_server("host", InterWeaveServer("host", sink=hub))
+>>> client = InterWeaveClient("c1", arch.X86_32, hub.connect)
+>>> seg = client.open_segment("host/counters")
+>>> client.wl_acquire(seg)
+>>> counter = client.malloc(seg, INT, name="hits")
+>>> counter.set(1)
+>>> client.wl_release(seg)
+
+See ``examples/`` for complete programs and ``DESIGN.md`` for the system
+inventory.
+"""
+
+from repro import arch, coherence, types, util, wire
+from repro.client import ClientOptions, InterWeaveClient, Segment
+from repro.client.api import (
+    IW_free,
+    IW_get_version,
+    IW_set_coherence,
+    IW_tx_abort,
+    IW_tx_begin,
+    IW_tx_commit,
+    IW_malloc,
+    IW_mip_to_ptr,
+    IW_open_segment,
+    IW_ptr_to_mip,
+    IW_rl_acquire,
+    IW_rl_release,
+    IW_set_process,
+    IW_wl_acquire,
+    IW_wl_release,
+)
+from repro.coherence import delta, diff, full, temporal
+from repro.server import InterWeaveServer
+from repro.transport import InProcHub, NetworkModel, TCPChannel, TCPServerTransport
+from repro.util.clock import VirtualClock, WallClock
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClientOptions",
+    "InProcHub",
+    "InterWeaveClient",
+    "InterWeaveServer",
+    "IW_free",
+    "IW_get_version",
+    "IW_set_coherence",
+    "IW_tx_abort",
+    "IW_tx_begin",
+    "IW_tx_commit",
+    "IW_malloc",
+    "IW_mip_to_ptr",
+    "IW_open_segment",
+    "IW_ptr_to_mip",
+    "IW_rl_acquire",
+    "IW_rl_release",
+    "IW_set_process",
+    "IW_wl_acquire",
+    "IW_wl_release",
+    "NetworkModel",
+    "Segment",
+    "TCPChannel",
+    "TCPServerTransport",
+    "VirtualClock",
+    "WallClock",
+    "arch",
+    "coherence",
+    "delta",
+    "diff",
+    "full",
+    "temporal",
+    "types",
+    "util",
+    "wire",
+]

@@ -1,0 +1,1 @@
+"""Applications built on InterWeave (the paper's evaluation workloads)."""

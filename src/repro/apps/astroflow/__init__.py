@@ -1,0 +1,24 @@
+"""Astroflow: on-line simulation + visualization + steering (Section 4.5)."""
+
+from repro.apps.astroflow.simulator import ASTRO_HEADER, ASTRO_IDL, AstroflowSimulator
+from repro.apps.astroflow.steering import (
+    Controls,
+    STEER_PARAMS,
+    STEERING_IDL,
+    SteeredSimulator,
+    SteeringPanel,
+)
+from repro.apps.astroflow.visualizer import AstroflowVisualizer, Frame
+
+__all__ = [
+    "ASTRO_HEADER",
+    "ASTRO_IDL",
+    "AstroflowSimulator",
+    "AstroflowVisualizer",
+    "Controls",
+    "Frame",
+    "STEER_PARAMS",
+    "STEERING_IDL",
+    "SteeredSimulator",
+    "SteeringPanel",
+]

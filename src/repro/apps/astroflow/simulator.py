@@ -1,0 +1,127 @@
+"""The Astroflow simulation engine.
+
+Astroflow is a computational fluid dynamics system used to study the birth
+and death of stars; its Fortran simulation engine ran on an AlphaServer
+cluster and originally dumped frames to files for off-line visualization.
+The paper's group replaced the file with an InterWeave segment, connecting
+the simulator and the Java visualizer directly.
+
+This module is the simulation-engine stand-in: a 2-D explicit
+finite-difference gas model (diffusion plus an expanding injection front —
+a stylized supernova remnant).  Each ``step()`` runs one write critical
+section on the shared segment, updating the density and energy grids and
+the frame header; because the active front only covers part of the grid,
+successive versions differ by genuine partial diffs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.idl import compile_idl
+from repro.types import ArrayDescriptor, DOUBLE
+
+ASTRO_IDL = """
+struct astro_header {
+    int step;
+    double sim_time;
+    int nx;
+    int ny;
+    double dt;
+    double total_mass;
+};
+"""
+
+ASTRO_HEADER = compile_idl(ASTRO_IDL)["astro_header"]
+
+
+class AstroflowSimulator:
+    """Runs the gas model and publishes frames into a shared segment."""
+
+    def __init__(self, client, segment_name: str, nx: int = 64, ny: int = 64,
+                 dt: float = 0.1, diffusion: float = 0.15):
+        if nx < 8 or ny < 8:
+            raise ValueError("grid must be at least 8x8")
+        self.client = client
+        self.segment = client.open_segment(segment_name)
+        self.nx = nx
+        self.ny = ny
+        self.dt = dt
+        self.diffusion = diffusion
+        self.step_count = 0
+        self.density = np.full((ny, nx), 0.05)
+        self.energy = np.zeros((ny, nx))
+        # the initial blast: a dense, hot core at the grid centre
+        cy, cx = ny // 2, nx // 2
+        self.density[cy - 1:cy + 2, cx - 1:cx + 2] = 10.0
+        self.energy[cy, cx] = 100.0
+        self._publish_initial()
+
+    # -- shared segment management ------------------------------------------------
+
+    def _publish_initial(self) -> None:
+        grid_type = ArrayDescriptor(DOUBLE, self.nx * self.ny)
+        self.client.wl_acquire(self.segment)
+        try:
+            header = self.client.malloc(self.segment, ASTRO_HEADER, name="header")
+            header.step = 0
+            header.sim_time = 0.0
+            header.nx = self.nx
+            header.ny = self.ny
+            header.dt = self.dt
+            header.total_mass = float(self.density.sum())
+            density = self.client.malloc(self.segment, grid_type, name="density")
+            density.write_values(self.density.ravel())
+            energy = self.client.malloc(self.segment, grid_type, name="energy")
+            energy.write_values(self.energy.ravel())
+        finally:
+            self.client.wl_release(self.segment)
+
+    # -- physics ---------------------------------------------------------------------
+
+    def _advance(self) -> np.ndarray:
+        """One explicit step; returns the mask of meaningfully changed cells."""
+        before_density = self.density.copy()
+        laplacian = (
+            np.roll(self.density, 1, 0) + np.roll(self.density, -1, 0)
+            + np.roll(self.density, 1, 1) + np.roll(self.density, -1, 1)
+            - 4 * self.density)
+        energy_gradient = (
+            np.roll(self.energy, 1, 0) + np.roll(self.energy, -1, 0)
+            + np.roll(self.energy, 1, 1) + np.roll(self.energy, -1, 1)
+            - 4 * self.energy)
+        self.density = self.density + self.dt * (
+            self.diffusion * laplacian + 0.02 * energy_gradient)
+        self.energy = self.energy + self.dt * (
+            0.5 * (np.roll(self.energy, 1, 0) + np.roll(self.energy, -1, 0)
+                   + np.roll(self.energy, 1, 1) + np.roll(self.energy, -1, 1)
+                   - 4 * self.energy))
+        np.clip(self.density, 1e-6, None, out=self.density)
+        np.clip(self.energy, 0.0, None, out=self.energy)
+        return np.abs(self.density - before_density) > 1e-12
+
+    def step(self) -> int:
+        """Advance one timestep and publish the frame; returns cells changed."""
+        changed = self._advance()
+        self.step_count += 1
+        self.client.wl_acquire(self.segment)
+        try:
+            header = self.client.accessor_for(self.segment, "header")
+            header.step = self.step_count
+            header.sim_time = self.step_count * self.dt
+            header.total_mass = float(self.density.sum())
+            density = self.client.accessor_for(self.segment, "density")
+            energy = self.client.accessor_for(self.segment, "energy")
+            # write only the changed rows: the simulator knows its active
+            # region, and row-granular stores keep fault counts realistic
+            for row in np.flatnonzero(changed.any(axis=1)):
+                start = int(row) * self.nx
+                density.write_values(self.density[row], start=start)
+                energy.write_values(self.energy[row], start=start)
+        finally:
+            self.client.wl_release(self.segment)
+        return int(changed.sum())
+
+    def run(self, steps: int) -> None:
+        for _ in range(steps):
+            self.step()

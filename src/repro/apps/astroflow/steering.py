@@ -1,0 +1,152 @@
+"""Computational steering for Astroflow.
+
+The paper's group connected the simulator and visualizer "to support
+on-line visualization *and steering*": the person at the front end does
+not just watch — they adjust the running simulation.  With shared state
+the mechanism is trivial and needs no new protocol: the control knobs are
+just another block in the segment.  The front end writes them under a
+write lock; the simulator reads them at the top of every step under a
+read lock (its own cached copy, validated by its coherence model).
+
+``steer_params`` holds the knobs this simulator understands:
+
+- ``diffusion``      — the gas diffusion coefficient;
+- ``dt``             — the timestep;
+- ``inject_rate``    — energy added at the injection site each step;
+- ``inject_x/y``     — where the injection sits (the front end can drag
+  the source around the grid);
+- ``paused``         — nonzero freezes the simulation;
+- ``generation``     — bumped on every steering change, so the simulator
+  can cheaply log "controls changed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.idl import compile_idl
+
+STEERING_IDL = """
+struct steer_params {
+    double diffusion;
+    double dt;
+    double inject_rate;
+    int inject_x;
+    int inject_y;
+    int paused;
+    int generation;
+};
+"""
+
+STEER_PARAMS = compile_idl(STEERING_IDL)["steer_params"]
+
+
+@dataclass(frozen=True)
+class Controls:
+    """A plain snapshot of the steering block."""
+
+    diffusion: float
+    dt: float
+    inject_rate: float
+    inject_x: int
+    inject_y: int
+    paused: bool
+    generation: int
+
+
+class SteeringPanel:
+    """The front end's write handle on the simulation controls."""
+
+    def __init__(self, client, segment_name: str):
+        self.client = client
+        self.segment = client.open_segment(segment_name)
+
+    def install_defaults(self, simulator) -> None:
+        """Create the steering block (call once, typically by the engine)."""
+        client, segment = self.client, self.segment
+        client.wl_acquire(segment)
+        try:
+            params = client.malloc(segment, STEER_PARAMS, name="steering")
+            params.diffusion = simulator.diffusion
+            params.dt = simulator.dt
+            params.inject_rate = 0.0
+            params.inject_x = simulator.nx // 2
+            params.inject_y = simulator.ny // 2
+            params.paused = 0
+            params.generation = 0
+        finally:
+            client.wl_release(segment)
+
+    def adjust(self, **changes) -> int:
+        """Write new knob values; returns the new generation number."""
+        legal = {"diffusion", "dt", "inject_rate", "inject_x", "inject_y",
+                 "paused"}
+        unknown = set(changes) - legal
+        if unknown:
+            raise ValueError(f"unknown steering knobs: {sorted(unknown)}")
+        client, segment = self.client, self.segment
+        client.wl_acquire(segment)
+        try:
+            params = client.accessor_for(segment, "steering")
+            for knob, value in changes.items():
+                if knob == "paused":
+                    value = 1 if value else 0
+                setattr(params, knob, value)
+            params.generation = params.generation + 1
+            return params.generation
+        finally:
+            client.wl_release(segment)
+
+    def read(self) -> Controls:
+        client, segment = self.client, self.segment
+        client.rl_acquire(segment)
+        try:
+            return _snapshot(client.accessor_for(segment, "steering"))
+        finally:
+            client.rl_release(segment)
+
+
+def _snapshot(params) -> Controls:
+    return Controls(
+        diffusion=params.diffusion,
+        dt=params.dt,
+        inject_rate=params.inject_rate,
+        inject_x=params.inject_x,
+        inject_y=params.inject_y,
+        paused=bool(params.paused),
+        generation=params.generation,
+    )
+
+
+class SteeredSimulator:
+    """Wraps an :class:`AstroflowSimulator` with steering awareness.
+
+    Call :meth:`step` instead of the simulator's: it consults the shared
+    controls first (one read critical section — local unless the front
+    end changed something), applies them, then advances the model if not
+    paused.
+    """
+
+    def __init__(self, simulator, panel: SteeringPanel):
+        self.simulator = simulator
+        self.panel = panel
+        self.last_generation = -1
+        self.generations_seen = 0
+
+    def step(self) -> bool:
+        """Returns True if the simulation advanced (False while paused)."""
+        controls = self.panel.read()
+        if controls.generation != self.last_generation:
+            self.last_generation = controls.generation
+            self.generations_seen += 1
+            self.simulator.diffusion = controls.diffusion
+            self.simulator.dt = controls.dt
+        if controls.paused:
+            return False
+        if controls.inject_rate > 0:
+            y = controls.inject_y % self.simulator.ny
+            x = controls.inject_x % self.simulator.nx
+            self.simulator.energy[y, x] += controls.inject_rate
+            self.simulator.density[y, x] += controls.inject_rate * 0.05
+        self.simulator.step()
+        return True

@@ -1,0 +1,104 @@
+"""The Astroflow visualization client.
+
+The original visualizer is a Java tool on a desktop machine; with
+InterWeave it maps the simulation segment directly and "can control the
+frequency of updates from the simulator simply by specifying a temporal
+bound on relaxed coherence."  This client does the same: it opens the
+segment read-only under a chosen (typically temporal) coherence policy and
+renders frames — here as summary statistics, a contour count, and an
+ASCII heat map suitable for a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.coherence import CoherencePolicy
+
+
+@dataclass
+class Frame:
+    """One observed frame of the simulation."""
+
+    step: int
+    sim_time: float
+    total_mass: float
+    peak_density: float
+    mean_density: float
+    front_cells: int  # cells above the contour threshold
+
+    def __str__(self):
+        return (f"step {self.step:5d} t={self.sim_time:8.2f} "
+                f"mass={self.total_mass:10.3f} peak={self.peak_density:8.3f} "
+                f"front={self.front_cells}")
+
+
+class AstroflowVisualizer:
+    """Consumes frames from the shared segment."""
+
+    def __init__(self, client, segment_name: str,
+                 policy: Optional[CoherencePolicy] = None,
+                 contour_threshold: float = 0.5):
+        self.client = client
+        self.segment = client.open_segment(segment_name, create=False)
+        if policy is not None:
+            client.set_coherence(self.segment, policy)
+        self.contour_threshold = contour_threshold
+        self.frames: List[Frame] = []
+
+    def _read_grid(self) -> tuple:
+        header = self.client.accessor_for(self.segment, "header")
+        nx, ny = header.nx, header.ny
+        density = np.asarray(
+            self.client.accessor_for(self.segment, "density").read_values()
+        ).reshape(ny, nx)
+        return header, density
+
+    def observe(self) -> Frame:
+        """One read critical section: validate (per the coherence policy),
+        then compute the frame summary from the cached copy."""
+        self.client.rl_acquire(self.segment)
+        try:
+            header, density = self._read_grid()
+            frame = Frame(
+                step=header.step,
+                sim_time=header.sim_time,
+                total_mass=header.total_mass,
+                peak_density=float(density.max()),
+                mean_density=float(density.mean()),
+                front_cells=int((density > self.contour_threshold).sum()),
+            )
+        finally:
+            self.client.rl_release(self.segment)
+        self.frames.append(frame)
+        return frame
+
+    def render_ascii(self, width: int = 32, height: int = 16) -> str:
+        """A terminal heat map of the current cached density field."""
+        self.client.rl_acquire(self.segment)
+        try:
+            _, density = self._read_grid()
+        finally:
+            self.client.rl_release(self.segment)
+        ny, nx = density.shape
+        rows = []
+        ramp = " .:-=+*#%@"
+        floor = float(density.min())
+        span = max(float(density.max()) - floor, 1e-12)
+        for row_index in np.linspace(0, ny - 1, height).astype(int):
+            row = []
+            for col_index in np.linspace(0, nx - 1, width).astype(int):
+                value = (density[row_index, col_index] - floor) / span
+                level = min(len(ramp) - 1, int(value * (len(ramp) - 1) + 0.5))
+                row.append(ramp[level])
+            rows.append("".join(row))
+        return "\n".join(rows)
+
+    def staleness(self, simulator_step: int) -> int:
+        """How many steps behind the last observed frame is."""
+        if not self.frames:
+            return simulator_step
+        return simulator_step - self.frames[-1].step

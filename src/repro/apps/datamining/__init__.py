@@ -1,0 +1,29 @@
+"""Incremental sequence mining (the paper's Section 4.4 application)."""
+
+from repro.apps.datamining.lattice import (
+    LAT_NODE,
+    LAT_ROOT,
+    LATTICE_IDL,
+    LatticeReader,
+    LatticeWriter,
+    count_support,
+    supports,
+)
+from repro.apps.datamining.mining import DatabaseServer, MiningClient
+from repro.apps.datamining.quest import Database, QuestConfig, generate, paper_config
+
+__all__ = [
+    "Database",
+    "DatabaseServer",
+    "LAT_NODE",
+    "LAT_ROOT",
+    "LATTICE_IDL",
+    "LatticeReader",
+    "LatticeWriter",
+    "MiningClient",
+    "QuestConfig",
+    "count_support",
+    "generate",
+    "paper_config",
+    "supports",
+]

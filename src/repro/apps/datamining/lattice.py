@@ -1,0 +1,183 @@
+"""The shared sequence lattice.
+
+The paper's datamining application shares a "summary data structure (a
+lattice of item sequences)" between a database server and mining clients.
+Each node represents a potentially meaningful sequence of purchases and
+carries pointers to the sequences it prefixes — approximately one third of
+the structure's bytes are pointers, which is what makes it a stress test
+for InterWeave's swizzling.
+
+Here the lattice is a trie kept in one InterWeave segment:
+
+- ``lat_root`` (the named block ``"root"``) holds progress counters and a
+  pointer to the first level-1 node;
+- every ``lat_node`` holds the item extending its parent's sequence, the
+  support count of the full sequence ending at it, a ``child`` pointer to
+  its first extension, and a ``sibling`` pointer to the next alternative.
+
+The database server updates supports in place and links in new nodes as
+they become frequent, so successive versions differ by small diffs — the
+behaviour Figure 7 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.idl import compile_idl
+
+#: The lattice's shared types, exactly as a C client would declare them.
+LATTICE_IDL = """
+struct lat_node {
+    int item;
+    int support;
+    lat_node *child;
+    lat_node *sibling;
+};
+
+struct lat_root {
+    int num_nodes;
+    int customers_seen;
+    int min_support;
+    lat_node *first;
+};
+"""
+
+_compiled = compile_idl(LATTICE_IDL)
+LAT_NODE = _compiled["lat_node"]
+LAT_ROOT = _compiled["lat_root"]
+
+Sequence = Tuple[int, ...]
+
+
+def supports(customer, sequence: Sequence) -> bool:
+    """Does a customer's transaction sequence contain ``sequence``?
+
+    Standard sequential containment: the items must appear in order, each
+    in a strictly later transaction than the previous one.
+    """
+    position = 0
+    for item in sequence:
+        while position < len(customer) and item not in customer[position]:
+            position += 1
+        if position == len(customer):
+            return False
+        position += 1
+    return True
+
+
+def count_support(customers, sequence: Sequence) -> int:
+    return sum(1 for customer in customers if supports(customer, sequence))
+
+
+class LatticeWriter:
+    """The database server's handle on the shared lattice.
+
+    Owns the write side: creating the root, inserting nodes, and bumping
+    supports.  All methods must be called inside a write critical section
+    on the segment.
+    """
+
+    def __init__(self, client, segment):
+        self.client = client
+        self.segment = segment
+        self._nodes: Dict[Sequence, object] = {}  # sequence -> node accessor
+
+    # -- structure ------------------------------------------------------------
+
+    def initialize(self, min_support: int) -> None:
+        root = self.client.malloc(self.segment, LAT_ROOT, name="root")
+        root.num_nodes = 0
+        root.customers_seen = 0
+        root.min_support = min_support
+        root.first = None
+
+    @property
+    def root(self):
+        return self.client.accessor_for(self.segment, "root")
+
+    def node(self, sequence: Sequence):
+        return self._nodes.get(sequence)
+
+    def insert(self, sequence: Sequence, support: int):
+        """Link a new frequent sequence into the trie (parent must exist)."""
+        if sequence in self._nodes:
+            raise ValueError(f"sequence {sequence} already in lattice")
+        node = self.client.malloc(self.segment, LAT_NODE)
+        node.item = sequence[-1]
+        node.support = support
+        node.child = None
+        root = self.root
+        if len(sequence) == 1:
+            node.sibling = root.first
+            root.first = node
+        else:
+            parent = self._nodes[sequence[:-1]]
+            node.sibling = parent.child
+            parent.child = node
+        root.num_nodes = root.num_nodes + 1
+        self._nodes[sequence] = node
+        return node
+
+    def bump_support(self, sequence: Sequence, delta: int) -> None:
+        node = self._nodes[sequence]
+        node.support = node.support + delta
+
+    def note_customers(self, count: int) -> None:
+        root = self.root
+        root.customers_seen = root.customers_seen + count
+
+    def sequences(self) -> List[Sequence]:
+        return list(self._nodes.keys())
+
+
+class LatticeReader:
+    """A mining client's read-side view of the shared lattice.
+
+    Walks the trie through swizzled pointers under a read lock; the
+    coherence model on the segment decides how fresh the answers are.
+    """
+
+    def __init__(self, client, segment):
+        self.client = client
+        self.segment = segment
+
+    @property
+    def root(self):
+        return self.client.accessor_for(self.segment, "root")
+
+    def walk(self) -> Iterator[Tuple[Sequence, int]]:
+        """Yield (sequence, support) for every lattice node."""
+
+        def recurse(node, prefix: Sequence):
+            while node is not None:
+                sequence = prefix + (node.item,)
+                yield (sequence, node.support)
+                yield from recurse(node.child, sequence)
+                node = node.sibling
+
+        yield from recurse(self.root.first, ())
+
+    def support_of(self, sequence: Sequence) -> Optional[int]:
+        """Support of one sequence, or None if it is not in the lattice."""
+        node = self.root.first
+        depth = 0
+        while node is not None and depth < len(sequence):
+            if node.item == sequence[depth]:
+                depth += 1
+                if depth == len(sequence):
+                    return node.support
+                node = node.child
+            else:
+                node = node.sibling
+        return None
+
+    def top_sequences(self, k: int, min_length: int = 1) -> List[Tuple[Sequence, int]]:
+        """The k highest-support sequences of at least ``min_length`` items."""
+        found = [(sequence, support) for sequence, support in self.walk()
+                 if len(sequence) >= min_length]
+        found.sort(key=lambda entry: (-entry[1], entry[0]))
+        return found[:k]
+
+    def node_count(self) -> int:
+        return self.root.num_nodes

@@ -1,0 +1,180 @@
+"""Incremental sequence mining over InterWeave.
+
+The paper's setup (Section 4.4): a *database server* reads from an active,
+growing database and maintains the summary lattice; a *mining client*
+answers queries from the lattice.  Both are InterWeave clients.  The
+summary is initially generated from half the database; the server then
+repeatedly folds in an additional 1% — so the structure changes slowly,
+and a client under relaxed coherence can skip most updates.
+
+The mining algorithm is level-wise sequence mining (GSP-flavoured, on
+single-item steps): frequent length-k sequences are extended by frequent
+items, candidates are counted against the processed prefix of the
+database, and survivors enter the lattice.  Increments add each batch's
+supports to existing nodes and promote newly frequent candidates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence as PySequence, Tuple
+
+from repro.apps.datamining.lattice import (
+    LatticeReader,
+    LatticeWriter,
+    Sequence,
+    count_support,
+    supports,
+)
+from repro.apps.datamining.quest import CustomerSequence, Database
+
+
+class DatabaseServer:
+    """The writer: owns the raw database and maintains the shared lattice."""
+
+    def __init__(self, client, segment_name: str, database: Database,
+                 min_support_fraction: float = 0.02, max_length: int = 4):
+        self.client = client
+        self.segment = client.open_segment(segment_name)
+        self.database = database
+        self.min_support_fraction = min_support_fraction
+        self.max_length = max_length
+        self.writer = LatticeWriter(client, self.segment)
+        self.processed: List[CustomerSequence] = []
+        #: candidate sequences not yet frequent: sequence -> support so far
+        self._candidates: Dict[Sequence, int] = {}
+
+    # -- bootstrap -------------------------------------------------------------
+
+    def build_initial(self, fraction: float = 0.5) -> None:
+        """Mine the first ``fraction`` of the database into a fresh lattice."""
+        initial = self.database.slice(0.0, fraction)
+        self.client.wl_acquire(self.segment)
+        try:
+            self.writer.initialize(self._min_support(len(initial)))
+            self._mine_from_scratch(initial)
+            self.writer.note_customers(len(initial))
+        finally:
+            self.client.wl_release(self.segment)
+        self.processed.extend(initial)
+
+    def _min_support(self, customers: int) -> int:
+        return max(2, int(self.min_support_fraction * customers))
+
+    def _mine_from_scratch(self, customers) -> None:
+        threshold = self._min_support(len(customers))
+        # level 1: frequent items
+        item_counts: Counter = Counter()
+        for customer in customers:
+            seen = {item for txn in customer for item in txn}
+            item_counts.update(seen)
+        frontier: List[Sequence] = []
+        for item, count in sorted(item_counts.items()):
+            if count >= threshold:
+                self.writer.insert((item,), count)
+                frontier.append((item,))
+        frequent_items = [sequence[0] for sequence in frontier]
+        # levels 2..max: extend frequent sequences by frequent items
+        for _ in range(1, self.max_length):
+            next_frontier: List[Sequence] = []
+            for prefix in frontier:
+                for item in frequent_items:
+                    candidate = prefix + (item,)
+                    support = count_support(customers, candidate)
+                    if support >= threshold:
+                        self.writer.insert(candidate, support)
+                        next_frontier.append(candidate)
+                    else:
+                        self._candidates[candidate] = support
+            frontier = next_frontier
+            if not frontier:
+                break
+
+    # -- increments -------------------------------------------------------------
+
+    def apply_increment(self, fraction: float = 0.01) -> int:
+        """Fold the next ``fraction`` of the database into the lattice.
+
+        Returns the number of customers processed.  Produces one new
+        segment version (one write critical section).
+        """
+        start = len(self.processed) / len(self.database)
+        batch = self.database.slice(start, min(1.0, start + fraction))
+        if not batch:
+            return 0
+        self.client.wl_acquire(self.segment)
+        try:
+            self._fold_in(batch)
+            self.writer.note_customers(len(batch))
+        finally:
+            self.client.wl_release(self.segment)
+        self.processed.extend(batch)
+        return len(batch)
+
+    def _fold_in(self, batch) -> None:
+        threshold = self._min_support(len(self.processed) + len(batch))
+        # bump existing nodes (in-place diffs)
+        for sequence in self.writer.sequences():
+            delta = count_support(batch, sequence)
+            if delta:
+                self.writer.bump_support(sequence, delta)
+        # advance candidates; promote the newly frequent (new blocks)
+        promoted: List[Sequence] = []
+        for candidate in list(self._candidates):
+            if self.writer.node(candidate[:-1]) is None:
+                continue  # parent itself not frequent yet
+            self._candidates[candidate] += count_support(batch, candidate)
+            if self._candidates[candidate] >= threshold:
+                support = self._candidates.pop(candidate)
+                self.writer.insert(candidate, support)
+                promoted.append(candidate)
+        # newly frequent sequences spawn fresh candidates
+        for sequence in promoted:
+            if len(sequence) < self.max_length:
+                for item in self._frequent_items():
+                    extension = sequence + (item,)
+                    if self.writer.node(extension) is None:
+                        self._candidates.setdefault(
+                            extension,
+                            count_support(self.processed, extension)
+                            + count_support(batch, extension))
+
+    def _frequent_items(self) -> List[int]:
+        return [sequence[0] for sequence in self.writer.sequences()
+                if len(sequence) == 1]
+
+
+class MiningClient:
+    """The reader: answers mining queries from its cached lattice copy."""
+
+    def __init__(self, client, segment_name: str):
+        self.client = client
+        self.segment = client.open_segment(segment_name, create=False)
+        self.reader = LatticeReader(client, self.segment)
+
+    def refresh(self) -> None:
+        """One read critical section (validates per the coherence model)."""
+        self.client.rl_acquire(self.segment)
+        self.client.rl_release(self.segment)
+
+    def query_support(self, sequence: PySequence) -> int:
+        self.client.rl_acquire(self.segment)
+        try:
+            return self.reader.support_of(tuple(sequence)) or 0
+        finally:
+            self.client.rl_release(self.segment)
+
+    def top_sequences(self, k: int = 10,
+                      min_length: int = 2) -> List[Tuple[Sequence, int]]:
+        self.client.rl_acquire(self.segment)
+        try:
+            return self.reader.top_sequences(k, min_length)
+        finally:
+            self.client.rl_release(self.segment)
+
+    def lattice_size(self) -> int:
+        self.client.rl_acquire(self.segment)
+        try:
+            return self.reader.node_count()
+        finally:
+            self.client.rl_release(self.segment)

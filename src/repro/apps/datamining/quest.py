@@ -1,0 +1,149 @@
+"""Quest-style synthetic market-basket data.
+
+The paper's datamining experiment uses a database produced by IBM's Quest
+synthetic data generator [Srikant & Agrawal 1994]: 100,000 customers, 1000
+distinct items, an average of 1.25 transactions per customer, and 5000
+potentially frequent sequence patterns of average length 4, for ~20 MB of
+data.  The generator below reproduces that model:
+
+1. draw a pool of *pattern sequences* — short sequences of itemsets whose
+   items are skewed toward popular items (a truncated geometric rank
+   distribution, mimicking Quest's corruption-free core);
+2. each customer picks a few patterns (geometric), interleaves their
+   itemsets into a personal sequence of transactions, and sprinkles in
+   noise items;
+3. transaction and sequence lengths are Poisson-like around their means.
+
+Everything is driven by ``numpy.random.Generator`` with a caller-supplied
+seed, so databases are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+Transaction = Tuple[int, ...]
+CustomerSequence = Tuple[Transaction, ...]
+
+
+@dataclass(frozen=True)
+class QuestConfig:
+    """Generator parameters (paper defaults, scaled by the caller)."""
+
+    num_customers: int = 100_000
+    num_items: int = 1000
+    avg_transactions_per_customer: float = 1.25
+    num_patterns: int = 5000
+    avg_pattern_length: int = 4
+    avg_items_per_transaction: float = 2.5
+    patterns_per_customer: float = 1.5
+    noise_item_probability: float = 0.1
+    seed: int = 20030519  # ICDCS'03
+
+    def __post_init__(self):
+        if self.num_customers < 1 or self.num_items < 2 or self.num_patterns < 1:
+            raise ValueError("QuestConfig parameters out of range")
+
+
+@dataclass
+class Database:
+    """A generated customer-sequence database."""
+
+    config: QuestConfig
+    customers: List[CustomerSequence] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.customers)
+
+    def slice(self, start_fraction: float, end_fraction: float) -> List[CustomerSequence]:
+        """Customers in [start, end) as fractions of the database — the
+        paper trains on the first half, then feeds 1% increments."""
+        total = len(self.customers)
+        lo = int(start_fraction * total)
+        hi = int(end_fraction * total)
+        return self.customers[lo:hi]
+
+    @property
+    def total_items(self) -> int:
+        return sum(len(txn) for customer in self.customers for txn in customer)
+
+
+def _skewed_items(rng: np.random.Generator, num_items: int, count: int) -> List[int]:
+    """Item ids skewed toward low ranks (popular items), like Quest."""
+    ranks = rng.geometric(p=min(0.999, 8.0 / num_items), size=count)
+    return [int((rank - 1) % num_items) for rank in ranks]
+
+
+def _positive_poisson(rng: np.random.Generator, mean: float) -> int:
+    return max(1, int(rng.poisson(max(0.05, mean - 1)) + 1))
+
+
+def generate_patterns(config: QuestConfig,
+                      rng: np.random.Generator) -> List[CustomerSequence]:
+    """The pool of potentially frequent sequence patterns."""
+    patterns: List[CustomerSequence] = []
+    for _ in range(config.num_patterns):
+        length = _positive_poisson(rng, config.avg_pattern_length)
+        itemsets = []
+        for _ in range(length):
+            size = _positive_poisson(rng, config.avg_items_per_transaction / 2)
+            items = sorted(set(_skewed_items(rng, config.num_items, size)))
+            itemsets.append(tuple(items))
+        patterns.append(tuple(itemsets))
+    return patterns
+
+
+def generate(config: QuestConfig) -> Database:
+    """Generate a full customer-sequence database."""
+    rng = np.random.default_rng(config.seed)
+    patterns = generate_patterns(config, rng)
+    weights = rng.exponential(size=len(patterns))
+    weights /= weights.sum()
+    database = Database(config)
+    for _ in range(config.num_customers):
+        num_transactions = _positive_poisson(
+            rng, config.avg_transactions_per_customer)
+        pattern_count = _positive_poisson(rng, config.patterns_per_customer)
+        chosen = rng.choice(len(patterns), size=pattern_count, p=weights)
+        # interleave the chosen patterns' itemsets across the customer's
+        # transactions, then add noise
+        pool: List[Tuple[int, ...]] = []
+        for index in chosen:
+            pool.extend(patterns[index])
+        rng.shuffle(pool)
+        transactions: List[Transaction] = []
+        per_transaction = max(1, len(pool) // num_transactions)
+        for start in range(0, len(pool), per_transaction):
+            merged = set()
+            for itemset in pool[start:start + per_transaction]:
+                merged.update(itemset)
+            if rng.random() < config.noise_item_probability:
+                merged.update(_skewed_items(rng, config.num_items, 1))
+            if merged:
+                transactions.append(tuple(sorted(merged)))
+            if len(transactions) == num_transactions:
+                break
+        if not transactions:
+            transactions = [tuple(sorted(set(
+                _skewed_items(rng, config.num_items, 2))))]
+        database.customers.append(tuple(transactions))
+    return database
+
+
+def paper_config(scale: float = 1.0, seed: int = 20030519) -> QuestConfig:
+    """The paper's parameters, optionally scaled down for laptop runs.
+
+    ``scale=1.0`` is the full 100k-customer database; the benchmarks use
+    a smaller scale and report it.
+    """
+    return QuestConfig(
+        num_customers=max(1, int(100_000 * scale)),
+        num_items=1000,
+        avg_transactions_per_customer=1.25,
+        num_patterns=max(1, int(5000 * scale)),
+        avg_pattern_length=4,
+        seed=seed,
+    )

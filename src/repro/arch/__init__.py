@@ -1,0 +1,29 @@
+"""Machine architecture models (endianness, sizes, alignment)."""
+
+from repro.arch.architecture import (
+    ALPHA,
+    ARCHITECTURES,
+    MIPS32,
+    SPARC_32,
+    SPARC_V9,
+    WIRE_SIZES,
+    X86_32,
+    X86_64,
+    Architecture,
+    PrimKind,
+    get_architecture,
+)
+
+__all__ = [
+    "ALPHA",
+    "ARCHITECTURES",
+    "MIPS32",
+    "SPARC_32",
+    "SPARC_V9",
+    "WIRE_SIZES",
+    "X86_32",
+    "X86_64",
+    "Architecture",
+    "PrimKind",
+    "get_architecture",
+]

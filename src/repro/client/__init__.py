@@ -1,0 +1,25 @@
+"""The InterWeave client library."""
+
+from repro.client.apply import ApplyStats, apply_update
+from repro.client.client import (
+    ClientOptions,
+    ClientStats,
+    InterWeaveClient,
+    Segment,
+)
+from repro.client.collect import CollectTimers, collect_write_diff
+from repro.client.nodiff import NoDiffController
+from repro.client import api
+
+__all__ = [
+    "ApplyStats",
+    "ClientOptions",
+    "ClientStats",
+    "CollectTimers",
+    "InterWeaveClient",
+    "NoDiffController",
+    "Segment",
+    "api",
+    "apply_update",
+    "collect_write_diff",
+]

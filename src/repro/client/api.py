@@ -1,0 +1,113 @@
+"""The C-flavoured InterWeave API.
+
+The paper presents the client API as free functions (Figure 1)::
+
+    h = IW_open_segment("host/list");
+    head = IW_mip_to_ptr("host/list#head");
+    IW_wl_acquire(h);
+    p = IW_malloc(h, IW_node_t);
+    ...
+    IW_wl_release(h);
+
+This module reproduces that surface for a chosen "current process".  It is
+a thin veneer over :class:`~repro.client.client.InterWeaveClient` — Python
+applications are expected to use the object API directly; the veneer
+exists so the paper's examples transcribe one-to-one.
+
+Because the C API is implicitly scoped to the calling process, the veneer
+must be bound to a client first with :func:`IW_set_process`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.client.client import InterWeaveClient, Segment
+from repro.errors import InterWeaveError
+from repro.memory import Accessor, BlockInfo
+from repro.types import TypeDescriptor
+
+_current: Optional[InterWeaveClient] = None
+
+
+def IW_set_process(client: InterWeaveClient) -> None:
+    """Bind the veneer to a client (the "current process")."""
+    global _current
+    _current = client
+
+
+def _process() -> InterWeaveClient:
+    if _current is None:
+        raise InterWeaveError("call IW_set_process(client) first")
+    return _current
+
+
+def IW_open_segment(name: str, create: bool = True) -> Segment:
+    """Open (or create) a segment; returns an opaque handle."""
+    return _process().open_segment(name, create)
+
+
+def IW_malloc(handle: Segment, descriptor: TypeDescriptor,
+              name: Optional[str] = None) -> Accessor:
+    """Allocate a typed block inside a write critical section."""
+    return _process().malloc(handle, descriptor, name=name)
+
+
+def IW_free(handle: Segment, target: Union[Accessor, BlockInfo, int]) -> None:
+    """Free a block inside a write critical section."""
+    _process().free(handle, target)
+
+
+def IW_rl_acquire(handle: Segment) -> None:
+    """Acquire a read lock (validates the cached copy)."""
+    _process().rl_acquire(handle)
+
+
+def IW_rl_release(handle: Segment) -> None:
+    """Release a read lock."""
+    _process().rl_release(handle)
+
+
+def IW_wl_acquire(handle: Segment) -> None:
+    """Acquire the exclusive write lock."""
+    _process().wl_acquire(handle)
+
+
+def IW_wl_release(handle: Segment) -> None:
+    """Release the write lock, shipping the collected diff."""
+    _process().wl_release(handle)
+
+
+def IW_mip_to_ptr(mip: str) -> Accessor:
+    """Convert a machine-independent pointer to a local typed accessor."""
+    return _process().mip_to_ptr(mip)
+
+
+def IW_ptr_to_mip(target: Union[Accessor, int]) -> str:
+    """Convert a local pointer (accessor or address) to a MIP string."""
+    return _process().ptr_to_mip(target)
+
+
+def IW_set_coherence(handle: Segment, policy) -> None:
+    """Set the segment's relaxed coherence model (dynamic, per the paper)."""
+    _process().set_coherence(handle, policy)
+
+
+def IW_get_version(handle: Segment) -> int:
+    """The version of the cached copy (0 before any data arrives)."""
+    return handle.version
+
+
+def IW_tx_begin(handle: Segment) -> None:
+    """Open a transactional (abortable) write critical section."""
+    _process().tx_begin(handle)
+
+
+def IW_tx_commit(handle: Segment) -> None:
+    """Commit the transaction (ships the diff, like IW_wl_release)."""
+    _process().tx_commit(handle)
+
+
+def IW_tx_abort(handle: Segment) -> None:
+    """Abort the transaction: roll back every modification."""
+    _process().tx_abort(handle)

@@ -1,0 +1,645 @@
+"""The InterWeave client library.
+
+A client process links this library to map cached copies of segments into
+its (simulated) address space and access them with ordinary reads and
+writes.  The library owns:
+
+- the process's simulated memory, heap, and SIGSEGV-equivalent fault
+  handler (twin creation for modification tracking);
+- the cached-segment table with per-segment metadata (Figure 2);
+- the reader/writer lock protocol against each segment's server,
+  including coherence-model validation and the adaptive
+  polling/notification protocol;
+- diff collection at write-release and diff application at acquire;
+- pointer swizzling between local addresses and MIPs, across segments.
+
+Reader locks are local once the cached copy is "recent enough" for the
+segment's coherence model; writer locks are arbitrated by the server,
+which serializes writers and hands the new version number back at release.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Union
+
+from repro.arch import Architecture
+from repro.client.apply import ApplyStats, apply_update
+from repro.client.collect import CollectTimers, collect_write_diff
+from repro.client.nodiff import NoDiffController
+from repro.coherence import AdaptivePoller, CoherencePolicy, full
+from repro.errors import (
+    BlockError,
+    LockError,
+    MIPError,
+    SegmentError,
+    ServerError,
+)
+from repro.memory import (
+    Accessor,
+    AccessorContext,
+    AddressSpace,
+    BlockInfo,
+    Heap,
+    SegmentHeap,
+    make_accessor,
+)
+from repro.transport.base import Channel
+from repro.types import TypeDescriptor, TypeRegistry, descriptor_at, flat_layout
+from repro.util.clock import Clock, VirtualClock, WallClock
+from repro.wire import TranslationContext, format_mip, parse_mip
+from repro.wire.messages import (
+    LOCK_READ,
+    LOCK_WRITE,
+    DeleteSegmentReply,
+    DeleteSegmentRequest,
+    ErrorReply,
+    FetchReply,
+    FetchRequest,
+    LockAcquireReply,
+    LockAcquireRequest,
+    LockReleaseReply,
+    LockReleaseRequest,
+    Message,
+    NotifyInvalidate,
+    OpenSegmentReply,
+    OpenSegmentRequest,
+    SubscribeReply,
+    SubscribeRequest,
+    decode_message,
+    encode_message,
+)
+
+
+@dataclass
+class ClientOptions:
+    """Feature switches; the ablation benchmarks flip these individually."""
+
+    enable_nodiff: bool = True
+    enable_splicing: bool = True
+    enable_isomorphic: bool = True  # coalesced translation layouts
+    enable_prediction: bool = True  # last-block searches
+    enable_locality_layout: bool = True
+    enable_notifications: bool = True
+    #: send a mostly-modified block whole instead of as many runs; None
+    #: disables (the paper's per-block no-diff adaptation)
+    block_full_threshold: float = 0.75
+    lock_retry_interval: float = 0.001
+    lock_max_retries: int = 100000
+
+
+@dataclass
+class ClientStats:
+    """Aggregated instrumentation across all segments."""
+
+    collect: CollectTimers = field(default_factory=CollectTimers)
+    apply: ApplyStats = field(default_factory=ApplyStats)
+    updates_applied: int = 0
+    diffs_sent: int = 0
+    validations_skipped: int = 0
+    validations_sent: int = 0
+    lock_denials_seen: int = 0
+    twins_created: int = 0
+
+
+class Segment:
+    """Client-side state for one cached segment (a segment-table entry)."""
+
+    def __init__(self, name: str, heap: SegmentHeap, channel: Channel,
+                 can_push: bool):
+        self.name = name
+        self.heap = heap
+        self.registry = TypeRegistry()
+        self.channel = channel  # the cached connection to the server
+        self.version = 0
+        self.has_data = False
+        self.policy: CoherencePolicy = full()
+        self.poller = AdaptivePoller(can_push)
+        self.nodiff = NoDiffController()
+        self.lock_mode: Optional[int] = None
+        self.session_diffed = True
+        self.created: List[BlockInfo] = []
+        self.freed: List[int] = []
+        self.transaction = None  # TransactionState when a tx is open
+        #: type serials the server has already seen (via us or via updates)
+        self.server_known_types: Set[int] = set()
+
+    def __repr__(self):
+        return f"Segment({self.name!r} v{self.version})"
+
+
+def _locked(method):
+    """Serialize one public API call against the client's metadata.
+
+    The client is designed for one application thread per client object
+    (as the paper's per-process library is); this lock makes individual
+    calls atomic so auxiliary threads (notification handlers, monitors)
+    cannot observe torn metadata.  It is *not* held across critical
+    sections — lock/unlock pairing remains the application's job.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._api_lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
+class InterWeaveClient:
+    """One client process: its memory, cached segments, and server links.
+
+    ``connector(server_name, client_id)`` opens a channel to the named
+    server; an :class:`~repro.transport.InProcHub`\'s ``connect`` method is
+    the usual value.  The server for a segment is the first path component
+    of the segment's URL (``"host/name"`` is served by ``"host"``).
+    """
+
+    def __init__(self, client_id: str, arch: Architecture,
+                 connector: Callable[[str, str], Channel],
+                 clock: Optional[Clock] = None,
+                 options: Optional[ClientOptions] = None):
+        self.client_id = client_id
+        self.arch = arch
+        self.connector = connector
+        self.clock = clock or WallClock()
+        self.options = options or ClientOptions()
+        self.stats = ClientStats()
+        self._api_lock = threading.RLock()
+        self.memory = AddressSpace()
+        self.memory.fault_handler = self._on_write_fault
+        self.heap_root = Heap(self.memory)
+        self.segments: Dict[str, Segment] = {}
+        self._channels: Dict[str, Channel] = {}
+        self.accessor_context = AccessorContext(self.memory, arch)
+        self.tctx = TranslationContext(
+            self.memory, arch,
+            pointer_to_mip=self._pointer_to_mip,
+            mip_to_pointer=self._mip_to_pointer)
+
+    # ------------------------------------------------------------------
+    # segment management
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def server_of(segment_name: str) -> str:
+        server, _, rest = segment_name.partition("/")
+        if not server or not rest:
+            raise SegmentError(
+                f"segment URL {segment_name!r} must look like 'server/path'")
+        return server
+
+    def _channel_for(self, segment_name: str) -> Channel:
+        server = self.server_of(segment_name)
+        channel = self._channels.get(server)
+        if channel is None:
+            channel = self.connector(server, self.client_id)
+            if channel.can_push:
+                channel.set_notification_handler(self._on_notification)
+            self._channels[server] = channel
+        return channel
+
+    @_locked
+    def open_segment(self, name: str, create: bool = True) -> Segment:
+        """Open (or create) a segment; returns the opaque handle.
+
+        The copy is reserved but contains no data until the first lock.
+        """
+        segment = self.segments.get(name)
+        if segment is not None:
+            return segment
+        channel = self._channel_for(name)
+        reply = self._rpc(channel, OpenSegmentRequest(name, create, self.client_id))
+        if not isinstance(reply, OpenSegmentReply):
+            raise ServerError(f"unexpected reply {type(reply).__name__}")
+        heap = SegmentHeap(name, self.heap_root, self.arch)
+        segment = Segment(name, heap, channel, channel.can_push)
+        self.segments[name] = segment
+        return segment
+
+    @_locked
+    def close_segment(self, segment: Segment) -> None:
+        """Discard the cached copy: unmap its memory and forget its state.
+
+        The server copy is untouched; reopening the segment starts a fresh
+        cache.  The segment must not be locked, and no accessor into it may
+        be used afterwards (as with any unmapping).
+        """
+        if segment.lock_mode is not None:
+            raise LockError(f"segment {segment.name!r} is locked")
+        if self.segments.get(segment.name) is not segment:
+            raise SegmentError(f"segment {segment.name!r} is not open here")
+        for subsegment in segment.heap.subsegments:
+            self.heap_root._unregister(subsegment)
+            self.memory.unmap_region(subsegment.base, subsegment.num_pages)
+        del self.segments[segment.name]
+
+    @_locked
+    def delete_segment(self, name: str) -> bool:
+        """Destroy the segment at its server (administrative operation).
+
+        Returns True if the server held the segment.  The local cache, if
+        any, is closed first.  Other clients' caches become orphaned: their
+        next validation fails with a server error.
+        """
+        segment = self.segments.get(name)
+        if segment is not None:
+            self.close_segment(segment)
+        channel = self._channel_for(name)
+        reply = self._rpc(channel, DeleteSegmentRequest(name, self.client_id))
+        if not isinstance(reply, DeleteSegmentReply):
+            raise ServerError(f"unexpected reply {type(reply).__name__}")
+        return reply.deleted
+
+    @_locked
+    def close(self) -> None:
+        """Release every cached segment and close every channel."""
+        for segment in list(self.segments.values()):
+            if segment.lock_mode is not None:
+                raise LockError(
+                    f"segment {segment.name!r} is still locked; release it first")
+        for segment in list(self.segments.values()):
+            self.close_segment(segment)
+        for channel in self._channels.values():
+            channel.close()
+        self._channels.clear()
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    @_locked
+    def malloc(self, segment: Segment, descriptor: TypeDescriptor,
+               name: Optional[str] = None) -> Accessor:
+        """Allocate a typed block in the segment (requires the write lock)."""
+        self._require_write(segment, "IW_malloc")
+        type_serial = segment.registry.register(descriptor)
+        block = segment.heap.allocate(descriptor, type_serial, name=name)
+        size = descriptor.local_size(self.arch)
+        if size:
+            self.memory.store(block.address, bytes(size))
+        segment.created.append(block)
+        return make_accessor(self.accessor_context, descriptor, block.address)
+
+    @_locked
+    def free(self, segment: Segment, target: Union[Accessor, BlockInfo, int]) -> None:
+        """Free a block (requires the write lock)."""
+        self._require_write(segment, "IW_free")
+        if isinstance(target, Accessor):
+            block = segment.heap.block_spanning(target.address)
+            if block is None or block.address != target.address:
+                raise BlockError("accessor does not reference a block start")
+        elif isinstance(target, BlockInfo):
+            block = target
+        else:
+            block = segment.heap.block_by_serial(target)
+        if block in segment.created:
+            segment.heap.free(block)
+            segment.created.remove(block)  # never reached the server
+        elif segment.transaction is not None:
+            # inside a transaction: hide the block, free only at commit
+            from repro.client import transactions
+
+            transactions.defer_free(self, segment, block)
+        else:
+            segment.heap.free(block)
+            segment.freed.append(block.serial)
+
+    def accessor_for(self, segment: Segment,
+                     block: Union[BlockInfo, int, str]) -> Accessor:
+        """An accessor for an existing block, by info, serial, or name."""
+        if isinstance(block, int):
+            block = segment.heap.block_by_serial(block)
+        elif isinstance(block, str):
+            block = segment.heap.block_by_name(block)
+        return make_accessor(self.accessor_context, block.descriptor, block.address)
+
+    # ------------------------------------------------------------------
+    # coherence configuration
+    # ------------------------------------------------------------------
+
+    def set_coherence(self, segment: Segment, policy: CoherencePolicy) -> None:
+        """Change the segment's coherence model (dynamic, per the paper)."""
+        segment.policy = policy
+
+    # ------------------------------------------------------------------
+    # reader/writer locks
+    # ------------------------------------------------------------------
+
+    @_locked
+    def rl_acquire(self, segment: Segment) -> None:
+        """Acquire a read lock: validate the cached copy, update if stale."""
+        if segment.lock_mode is not None:
+            raise LockError(f"segment {segment.name!r} is already locked")
+        self._validate(segment)
+        segment.lock_mode = LOCK_READ
+
+    @_locked
+    def rl_release(self, segment: Segment) -> None:
+        if segment.lock_mode != LOCK_READ:
+            raise LockError(f"segment {segment.name!r} holds no read lock")
+        segment.lock_mode = None
+
+    @_locked
+    def wl_acquire(self, segment: Segment) -> None:
+        """Acquire the (server-arbitrated, exclusive) write lock."""
+        if segment.lock_mode is not None:
+            raise LockError(f"segment {segment.name!r} is already locked")
+        request = LockAcquireRequest(
+            segment.name, LOCK_WRITE, self.client_id, segment.version,
+            segment.policy.kind, segment.policy.param, self.clock.now())
+        retries = 0
+        while True:
+            reply = self._rpc(segment.channel, request)
+            if not isinstance(reply, LockAcquireReply):
+                raise ServerError(f"unexpected reply {type(reply).__name__}")
+            if reply.granted:
+                break
+            self.stats.lock_denials_seen += 1
+            retries += 1
+            if retries > self.options.lock_max_retries:
+                raise LockError(f"write lock on {segment.name!r} unavailable")
+            self._backoff()
+        if reply.diff is not None:
+            self._apply(segment, reply.diff)
+        segment.poller.on_validated(reply.version, reply.diff is not None,
+                                    self.clock.now())
+        self._begin_write_session(segment)
+        segment.lock_mode = LOCK_WRITE
+
+    @_locked
+    def wl_release(self, segment: Segment) -> None:
+        """Release the write lock, shipping the collected diff."""
+        if segment.lock_mode != LOCK_WRITE:
+            raise LockError(f"segment {segment.name!r} holds no write lock")
+        diff, modified_units = self._collect(segment)
+        self._end_write_session(segment)
+        payload = diff if (diff.block_diffs or diff.new_types) else None
+        reply = self._rpc(segment.channel, LockReleaseRequest(
+            segment.name, LOCK_WRITE, self.client_id, payload))
+        if not isinstance(reply, LockReleaseReply):
+            raise ServerError(f"unexpected reply {type(reply).__name__}")
+        if payload is not None:
+            self.stats.diffs_sent += 1
+            segment.version = reply.version
+            segment.has_data = True
+            segment.server_known_types.update(serial for serial, _ in diff.new_types)
+            self._stamp_written_blocks(segment, diff, reply.version)
+        total_units = self._total_units(segment)
+        fraction = modified_units / total_units if total_units else 0.0
+        segment.nodiff.on_release(fraction, segment.session_diffed)
+        segment.poller.on_local_write(reply.version, self.clock.now())
+        segment.created = []
+        segment.freed = []
+        segment.lock_mode = None
+
+    # ------------------------------------------------------------------
+    # transactions (the paper's future-work extension)
+    # ------------------------------------------------------------------
+
+    @_locked
+    def tx_begin(self, segment: Segment) -> None:
+        """Open a transactional write critical section (abortable)."""
+        from repro.client import transactions
+
+        transactions.begin(self, segment)
+
+    @_locked
+    def tx_commit(self, segment: Segment) -> None:
+        """Commit: ship the diff exactly like a normal write release."""
+        from repro.client import transactions
+
+        if segment.transaction is None:
+            raise LockError(f"segment {segment.name!r} has no open transaction")
+        transactions.commit(self, segment)
+
+    @_locked
+    def tx_abort(self, segment: Segment) -> None:
+        """Abort: roll the cached copy back and release the lock."""
+        from repro.client import transactions
+
+        transactions.abort(self, segment)
+
+    # ------------------------------------------------------------------
+    # pointer swizzling (public bootstrap API)
+    # ------------------------------------------------------------------
+
+    @_locked
+    def ptr_to_mip(self, target: Union[Accessor, int]) -> str:
+        """Create a MIP naming the data an accessor (or address) refers to."""
+        address = target.address if isinstance(target, Accessor) else target
+        return self._pointer_to_mip(address)
+
+    @_locked
+    def mip_to_ptr(self, text: str) -> Accessor:
+        """Resolve a MIP to a typed accessor, caching the segment if needed."""
+        mip = parse_mip(text)
+        segment = self._ensure_cached(mip.segment)
+        block = self._block_of(segment, mip.block)
+        descriptor = descriptor_at(block.descriptor, mip.offset)
+        if mip.offset == 0:
+            address = block.address
+        else:
+            layout = flat_layout(block.descriptor, self.arch,
+                                 self.options.enable_isomorphic)
+            _, _, local = layout.prim_to_local(mip.offset)
+            address = block.address + local
+        return make_accessor(self.accessor_context, descriptor, address)
+
+    # ------------------------------------------------------------------
+    # internals: validation and updates
+    # ------------------------------------------------------------------
+
+    def _validate(self, segment: Segment) -> None:
+        from repro.wire.messages import COHERENCE_TEMPORAL
+
+        temporal_bound = (segment.policy.param
+                          if segment.policy.kind == COHERENCE_TEMPORAL else None)
+        if not segment.poller.must_contact_server(
+                temporal_bound=temporal_bound, now=self.clock.now()):
+            self.stats.validations_skipped += 1
+            return
+        request = LockAcquireRequest(
+            segment.name, LOCK_READ, self.client_id, segment.version,
+            segment.policy.kind, segment.policy.param, self.clock.now())
+        reply = self._rpc(segment.channel, request)
+        if not isinstance(reply, LockAcquireReply):
+            raise ServerError(f"unexpected reply {type(reply).__name__}")
+        self.stats.validations_sent += 1
+        if reply.diff is not None:
+            self._apply(segment, reply.diff)
+        segment.poller.on_validated(reply.version, reply.diff is not None,
+                                    self.clock.now())
+        if self.options.enable_notifications and segment.poller.wants_subscription():
+            sub = self._rpc(segment.channel, SubscribeRequest(
+                segment.name, self.client_id, True))
+            if isinstance(sub, SubscribeReply) and sub.enabled:
+                segment.poller.on_subscribed()
+        elif segment.poller.wants_unsubscription():
+            # writes are outpacing reads: pushes cost more than they save
+            self._rpc(segment.channel, SubscribeRequest(
+                segment.name, self.client_id, False))
+            segment.poller.on_unsubscribed()
+
+    def _apply(self, segment: Segment, diff) -> None:
+        apply_update(self.tctx, segment.heap, segment.registry, diff,
+                     first_cache=not segment.has_data,
+                     stats=self.stats.apply,
+                     use_prediction=self.options.enable_prediction,
+                     locality_layout=self.options.enable_locality_layout,
+                     coalesce_layouts=self.options.enable_isomorphic)
+        segment.server_known_types.update(serial for serial, _ in diff.new_types)
+        segment.version = diff.to_version
+        segment.has_data = True
+        self.stats.updates_applied += 1
+
+    def _collect(self, segment: Segment):
+        unknown = [serial for serial, _ in segment.registry.items()
+                   if serial not in segment.server_known_types]
+        return collect_write_diff(
+            self.tctx, segment.heap, segment.version,
+            segment.created, segment.freed, unknown,
+            use_diffing=segment.session_diffed,
+            splice=self.options.enable_splicing,
+            coalesce_layouts=self.options.enable_isomorphic,
+            timers=self.stats.collect,
+            registry=segment.registry,
+            block_full_threshold=self.options.block_full_threshold)
+
+    def _stamp_written_blocks(self, segment: Segment, diff, version: int) -> None:
+        for block_diff in diff.block_diffs:
+            if block_diff.freed:
+                continue
+            try:
+                segment.heap.block_by_serial(block_diff.serial).version = version
+            except BlockError:
+                pass
+
+    # ------------------------------------------------------------------
+    # internals: write sessions and fault handling
+    # ------------------------------------------------------------------
+
+    def _begin_write_session(self, segment: Segment) -> None:
+        segment.created = []
+        segment.freed = []
+        segment.nodiff.enabled = self.options.enable_nodiff
+        segment.session_diffed = segment.nodiff.use_diffing_next()
+        if segment.session_diffed:
+            for subsegment in segment.heap.subsegments:
+                subsegment.pagemap.clear()
+                self.memory.protect_range(subsegment.base, subsegment.size)
+
+    def _end_write_session(self, segment: Segment) -> None:
+        for subsegment in segment.heap.subsegments:
+            subsegment.pagemap.clear()
+            self.memory.unprotect_range(subsegment.base, subsegment.size)
+
+    def _on_write_fault(self, space: AddressSpace, page_number: int) -> bool:
+        """The library's SIGSEGV handler: twin the page, re-enable writes."""
+        address = page_number * space.page_size
+        subsegment = self.heap_root.find_subsegment(address)
+        if subsegment is None:
+            return False
+        segment = self.segments.get(subsegment.segment_heap.name)
+        if segment is None or segment.lock_mode != LOCK_WRITE:
+            return False  # writing shared data without a write lock
+        page_index = subsegment.page_index(address)
+        if page_index not in subsegment.pagemap:
+            subsegment.pagemap[page_index] = space.snapshot_page(page_number)
+            self.stats.twins_created += 1
+        space.unprotect_page(page_number)
+        return True
+
+    # ------------------------------------------------------------------
+    # internals: swizzling hooks (used during translation)
+    # ------------------------------------------------------------------
+
+    def _pointer_to_mip(self, address: int) -> str:
+        subsegment = self.heap_root.find_subsegment(address)
+        if subsegment is None:
+            raise MIPError(f"address {address:#x} is not in any shared segment")
+        heap = subsegment.segment_heap
+        block = heap.block_spanning(address)
+        if block is None:
+            raise MIPError(f"address {address:#x} does not fall in a block")
+        layout = flat_layout(block.descriptor, self.arch,
+                             self.options.enable_isomorphic)
+        unit = layout.local_to_prim(address - block.address)
+        if unit is None:
+            raise MIPError(f"address {address:#x} points into alignment padding")
+        return format_mip(heap.name, block.serial, unit[0])
+
+    def _mip_to_pointer(self, text: str) -> int:
+        mip = parse_mip(text)
+        segment = self._ensure_cached(mip.segment)
+        block = self._block_of(segment, mip.block)
+        if mip.offset == 0:
+            return block.address
+        layout = flat_layout(block.descriptor, self.arch,
+                             self.options.enable_isomorphic)
+        _, _, local = layout.prim_to_local(mip.offset)
+        return block.address + local
+
+    def _ensure_cached(self, segment_name: str) -> Segment:
+        segment = self.segments.get(segment_name)
+        if segment is None:
+            segment = self.open_segment(segment_name, create=False)
+        if not segment.has_data and not segment.heap.blk_number_tree:
+            reply = self._rpc(segment.channel, FetchRequest(
+                segment.name, self.client_id, 0, meta_only=True))
+            if not isinstance(reply, FetchReply):
+                raise ServerError(f"unexpected reply {type(reply).__name__}")
+            if reply.diff is not None:
+                # structure only: reserves space, leaves version at 0 so the
+                # first lock still pulls real data
+                apply_update(self.tctx, segment.heap, segment.registry,
+                             reply.diff, first_cache=True,
+                             stats=self.stats.apply,
+                             use_prediction=self.options.enable_prediction,
+                             locality_layout=self.options.enable_locality_layout,
+                             coalesce_layouts=self.options.enable_isomorphic)
+                segment.server_known_types.update(
+                    serial for serial, _ in reply.diff.new_types)
+        return segment
+
+    @staticmethod
+    def _block_of(segment: Segment, block_ref: Union[int, str]) -> BlockInfo:
+        if isinstance(block_ref, int):
+            return segment.heap.block_by_serial(block_ref)
+        return segment.heap.block_by_name(block_ref)
+
+    # ------------------------------------------------------------------
+    # internals: transport
+    # ------------------------------------------------------------------
+
+    def _rpc(self, channel: Channel, request: Message) -> Message:
+        reply = decode_message(channel.request(encode_message(request)))
+        if isinstance(reply, ErrorReply):
+            raise ServerError(reply.message)
+        return reply
+
+    def _on_notification(self, data: bytes) -> None:
+        # runs on whatever thread the transport delivers pushes on; the
+        # poller update below is the only state it touches
+        message = decode_message(data)
+        if isinstance(message, NotifyInvalidate):
+            segment = self.segments.get(message.segment)
+            if segment is not None:
+                segment.poller.on_notify(message.version)
+
+    def _backoff(self) -> None:
+        if isinstance(self.clock, VirtualClock):
+            self.clock.advance(self.options.lock_retry_interval)
+        else:
+            time.sleep(self.options.lock_retry_interval)
+
+    def _require_write(self, segment: Segment, operation: str) -> None:
+        if segment.lock_mode != LOCK_WRITE:
+            raise LockError(f"{operation} requires the write lock on {segment.name!r}")
+
+    @staticmethod
+    def _total_units(segment: Segment) -> int:
+        return sum(block.descriptor.prim_count for block in segment.heap.blocks())

@@ -1,0 +1,77 @@
+"""No-diff mode.
+
+As in TreadMarks' single-writer adaptation, a client that repeatedly
+modifies most of a segment gains nothing from twins and word diffing — it
+pays ``mprotect`` calls, page faults, twin copies, and a word-by-word
+comparison only to discover that everything changed.  In *no-diff mode*
+the library skips page protection entirely and transmits the whole segment
+at every write-lock release; translating a whole block is also faster than
+translating a diff of it.
+
+The controller below decides the mode per segment:
+
+- in diffing mode, after :data:`SWITCH_AFTER` consecutive write critical
+  sections that each modified more than :data:`FRACTION_THRESHOLD` of the
+  segment, switch to no-diff mode;
+- in no-diff mode, every :data:`RESAMPLE_EVERY`-th critical section runs
+  with diffing enabled as a probe; if the probe modifies less than the
+  threshold, the segment returns to diffing mode (capturing changes in
+  application behaviour, as the paper requires).
+"""
+
+from __future__ import annotations
+
+#: fraction of the segment's primitive units above which diffing is a waste
+FRACTION_THRESHOLD = 0.5
+
+#: consecutive heavy-write critical sections before entering no-diff mode
+SWITCH_AFTER = 3
+
+#: in no-diff mode, probe with diffing every this many critical sections
+RESAMPLE_EVERY = 8
+
+
+class NoDiffController:
+    """Per-segment diff/no-diff adaptation state machine."""
+
+    __slots__ = ("enabled", "in_nodiff_mode", "_heavy_streak", "_nodiff_sections",
+                 "mode_switches")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.in_nodiff_mode = False
+        self._heavy_streak = 0
+        self._nodiff_sections = 0
+        self.mode_switches = 0
+
+    def use_diffing_next(self) -> bool:
+        """Should the upcoming write critical section protect pages and diff?"""
+        if not self.enabled or not self.in_nodiff_mode:
+            return True
+        # periodic probe: run one diffed section to re-measure behaviour
+        return (self._nodiff_sections + 1) % RESAMPLE_EVERY == 0
+
+    def on_release(self, modified_fraction: float, was_diffed: bool) -> None:
+        """Feed back what the finished critical section actually modified.
+
+        ``modified_fraction`` is meaningful only when the section was
+        diffed; no-diff sections ship everything and carry no signal.
+        """
+        if not self.enabled:
+            return
+        if self.in_nodiff_mode:
+            self._nodiff_sections += 1
+            if was_diffed and modified_fraction < FRACTION_THRESHOLD:
+                self.in_nodiff_mode = False
+                self.mode_switches += 1
+                self._heavy_streak = 0
+                self._nodiff_sections = 0
+            return
+        if modified_fraction > FRACTION_THRESHOLD:
+            self._heavy_streak += 1
+            if self._heavy_streak >= SWITCH_AFTER:
+                self.in_nodiff_mode = True
+                self.mode_switches += 1
+                self._nodiff_sections = 0
+        else:
+            self._heavy_streak = 0

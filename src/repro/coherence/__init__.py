@@ -1,0 +1,23 @@
+"""Relaxed coherence models and the adaptive polling/notification protocol."""
+
+from repro.coherence.models import (
+    CoherencePolicy,
+    delta,
+    diff,
+    full,
+    temporal,
+    version_stale,
+)
+from repro.coherence.polling import SUBSCRIBE_AFTER, UNSUBSCRIBE_AFTER, AdaptivePoller
+
+__all__ = [
+    "AdaptivePoller",
+    "CoherencePolicy",
+    "SUBSCRIBE_AFTER",
+    "UNSUBSCRIBE_AFTER",
+    "delta",
+    "diff",
+    "full",
+    "temporal",
+    "version_stale",
+]

@@ -1,0 +1,95 @@
+"""Relaxed coherence models.
+
+InterWeave segments move through internally consistent versions; a client's
+cached copy need only be "recent enough" for the coherence model the
+process selected, which is what lets the middleware skip updates (and often
+skip server communication altogether).  The models from Section 3.2:
+
+- **Full** coherence: the cached copy must be the current version.
+- **Delta(x)** coherence: no more than ``x`` versions out of date — with
+  ``x = 2`` the client takes every second version, etc.
+- **Temporal(x)** coherence: no more than ``x`` time units out of date.
+- **Diff(x)** coherence: no more than ``x`` percent of the segment's
+  primitive data elements out of date; the server tracks a conservative
+  per-client counter of bytes modified since the client's last update (it
+  assumes all updates touch independent data).
+
+``x`` can be changed dynamically by the process at any time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CoherenceError
+from repro.wire.messages import (
+    COHERENCE_DELTA,
+    COHERENCE_DIFF,
+    COHERENCE_FULL,
+    COHERENCE_TEMPORAL,
+)
+
+
+@dataclass(frozen=True)
+class CoherencePolicy:
+    """A coherence model plus its parameter, as carried in lock requests."""
+
+    kind: int
+    param: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in (COHERENCE_FULL, COHERENCE_DELTA,
+                             COHERENCE_TEMPORAL, COHERENCE_DIFF):
+            raise CoherenceError(f"unknown coherence kind {self.kind}")
+        if self.kind == COHERENCE_DELTA and self.param < 1:
+            raise CoherenceError("Delta coherence needs x >= 1 versions")
+        if self.kind == COHERENCE_TEMPORAL and self.param < 0:
+            raise CoherenceError("Temporal coherence needs x >= 0 time units")
+        if self.kind == COHERENCE_DIFF and not 0 <= self.param <= 100:
+            raise CoherenceError("Diff coherence needs 0 <= x <= 100 percent")
+
+    @property
+    def name(self) -> str:
+        return {COHERENCE_FULL: "full", COHERENCE_DELTA: "delta",
+                COHERENCE_TEMPORAL: "temporal", COHERENCE_DIFF: "diff"}[self.kind]
+
+    def __str__(self):
+        return self.name if self.kind == COHERENCE_FULL else f"{self.name}({self.param:g})"
+
+
+def full() -> CoherencePolicy:
+    """Always use the current version."""
+    return CoherencePolicy(COHERENCE_FULL)
+
+
+def delta(versions: int) -> CoherencePolicy:
+    """At most ``versions`` versions out of date."""
+    return CoherencePolicy(COHERENCE_DELTA, float(versions))
+
+
+def temporal(seconds: float) -> CoherencePolicy:
+    """At most ``seconds`` time units out of date."""
+    return CoherencePolicy(COHERENCE_TEMPORAL, float(seconds))
+
+
+def diff(percent: float) -> CoherencePolicy:
+    """At most ``percent`` % of primitive data elements out of date."""
+    return CoherencePolicy(COHERENCE_DIFF, float(percent))
+
+
+def version_stale(policy: CoherencePolicy, client_version: int,
+                  current_version: int) -> bool:
+    """The version-arithmetic part of "recent enough", shared by client and
+    server.  Temporal and Diff coherence need extra state (a clock, the
+    server's per-client byte counter) handled by their owners; for those
+    this function only reports the trivial cases.
+    """
+    if client_version == 0:
+        return True  # nothing cached at all
+    if client_version >= current_version:
+        return False  # already current
+    if policy.kind == COHERENCE_FULL:
+        return True
+    if policy.kind == COHERENCE_DELTA:
+        return current_version - client_version >= policy.param
+    return False  # temporal/diff: decided elsewhere

@@ -1,0 +1,107 @@
+"""The client half of the adaptive polling/notification protocol.
+
+A client that re-validates its cached segment on every read-lock acquire
+pays a round trip even when nothing changed.  InterWeave's adaptive
+protocol lets the client stop polling once the server agrees to *notify*
+it when its coherence bound is violated: between notifications, read locks
+are purely local.
+
+This module holds the per-segment adaptation state machine:
+
+- start in POLLING mode;
+- after :data:`SUBSCRIBE_AFTER` consecutive polls that found the cache
+  still valid (wasted round trips), request a subscription — reads are
+  clearly outpacing writes;
+- in NOTIFYING mode, a read acquire touches the network only after an
+  invalidation arrived;
+- if the transport cannot push (``can_push`` false), stay in POLLING mode
+  forever.
+
+Temporal coherence additionally short-circuits *before* any of this: if
+the copy was validated within the last ``x`` time units it is recent
+enough by definition, no protocol needed.
+"""
+
+from __future__ import annotations
+
+#: consecutive redundant polls before switching to notification mode
+SUBSCRIBE_AFTER = 3
+
+#: consecutive notified invalidations before dropping the subscription:
+#: when writes outpace reads, every read pays a validation *and* the
+#: server pays a push, so polling alone is cheaper
+UNSUBSCRIBE_AFTER = 4
+
+
+class AdaptivePoller:
+    """Per-(client, segment) polling/notification state."""
+
+    __slots__ = ("can_push", "subscribed", "invalidated", "_redundant_polls",
+                 "_notified_streak", "last_validate_time",
+                 "last_known_server_version")
+
+    def __init__(self, can_push: bool):
+        self.can_push = can_push
+        self.subscribed = False
+        self.invalidated = True  # nothing cached yet: must talk to the server
+        self._redundant_polls = 0
+        self._notified_streak = 0
+        self.last_validate_time = float("-inf")
+        self.last_known_server_version = 0
+
+    # -- decisions --------------------------------------------------------------
+
+    def must_contact_server(self, *, temporal_bound: float = None,
+                            now: float = None) -> bool:
+        """Does this read acquire need a server round trip?"""
+        if temporal_bound is not None and now is not None:
+            if now - self.last_validate_time <= temporal_bound:
+                return False  # recent enough by the temporal bound alone
+        if self.subscribed:
+            return self.invalidated
+        return True  # polling mode always asks
+
+    def wants_subscription(self) -> bool:
+        """Should the next request piggyback a subscribe?"""
+        return (self.can_push and not self.subscribed
+                and self._redundant_polls >= SUBSCRIBE_AFTER)
+
+    def wants_unsubscription(self) -> bool:
+        """Has the write rate made the subscription a net loss?"""
+        return (self.subscribed
+                and self._notified_streak >= UNSUBSCRIBE_AFTER)
+
+    # -- events -------------------------------------------------------------------
+
+    def on_validated(self, server_version: int, had_update: bool, now: float) -> None:
+        """A server round trip completed; the cache is now valid."""
+        self.last_validate_time = now
+        self.last_known_server_version = max(self.last_known_server_version, server_version)
+        self.invalidated = False
+        if had_update:
+            self._redundant_polls = 0
+        else:
+            self._redundant_polls += 1
+            self._notified_streak = 0  # a quiet interval: pushes pay off again
+
+    def on_subscribed(self) -> None:
+        self.subscribed = True
+        self._redundant_polls = 0
+        self._notified_streak = 0
+
+    def on_unsubscribed(self) -> None:
+        self.subscribed = False
+        self._redundant_polls = 0
+        self._notified_streak = 0
+
+    def on_notify(self, server_version: int) -> None:
+        """The server pushed an invalidation: the coherence bound is broken."""
+        self.invalidated = True
+        self._notified_streak += 1
+        self.last_known_server_version = max(self.last_known_server_version, server_version)
+
+    def on_local_write(self, new_version: int, now: float) -> None:
+        """Our own write release: we hold the newest version by construction."""
+        self.last_validate_time = now
+        self.last_known_server_version = max(self.last_known_server_version, new_version)
+        self.invalidated = False

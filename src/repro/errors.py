@@ -1,0 +1,66 @@
+"""Exception hierarchy for the InterWeave reproduction.
+
+All library errors derive from :class:`InterWeaveError` so applications can
+catch middleware failures with a single handler while letting programming
+errors (``TypeError`` etc.) propagate.
+"""
+
+
+class InterWeaveError(Exception):
+    """Base class for all InterWeave errors."""
+
+
+class SegmentError(InterWeaveError):
+    """A segment could not be opened, created, or found."""
+
+
+class BlockError(InterWeaveError):
+    """A block could not be allocated, freed, or located."""
+
+
+class TypeDescriptorError(InterWeaveError):
+    """A type descriptor is malformed or used inconsistently."""
+
+
+class IDLError(InterWeaveError):
+    """An IDL source file failed to lex, parse, or type-check."""
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class MIPError(InterWeaveError):
+    """A machine-independent pointer is malformed or unresolvable."""
+
+
+class ProtectionError(InterWeaveError):
+    """A store hit memory that is not writable even after fault handling."""
+
+
+class LockError(InterWeaveError):
+    """A lock was used incorrectly (e.g. writing without a write lock)."""
+
+
+class WireFormatError(InterWeaveError):
+    """A wire-format message or diff failed to decode."""
+
+
+class TransportError(InterWeaveError):
+    """The transport layer failed to deliver a message."""
+
+
+class ServerError(InterWeaveError):
+    """The server rejected a request."""
+
+
+class CoherenceError(InterWeaveError):
+    """A coherence model was configured or used incorrectly."""
+
+
+class CheckpointError(InterWeaveError):
+    """A segment checkpoint could not be written or recovered."""

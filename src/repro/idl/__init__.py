@@ -1,0 +1,31 @@
+"""The InterWeave IDL: lexer, parser, compiler, and C code generation."""
+
+from repro.idl.ast import (
+    ConstDef,
+    Declarator,
+    FieldDecl,
+    Program,
+    StructDef,
+    TypedefDef,
+    TypeRef,
+)
+from repro.idl.codegen import generate_c_header
+from repro.idl.compiler import CompiledIDL, compile_idl
+from repro.idl.lexer import Token, tokenize
+from repro.idl.parser import parse
+
+__all__ = [
+    "CompiledIDL",
+    "ConstDef",
+    "Declarator",
+    "FieldDecl",
+    "Program",
+    "StructDef",
+    "Token",
+    "TypeRef",
+    "TypedefDef",
+    "compile_idl",
+    "generate_c_header",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,77 @@
+"""IDL abstract syntax.
+
+The parser produces these nodes; the compiler lowers them to type
+descriptors.  Type references are by name and resolved during compilation,
+which is what makes recursive declarations (``node *next;``) work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A reference to a type by name, or a builtin primitive."""
+
+    name: str  # "int", "double", ... or a struct/typedef name
+    string_capacity: Optional[Union[int, str]] = None  # for string<N>
+
+
+@dataclass(frozen=True)
+class Declarator:
+    """One declared name with pointer and array decorations.
+
+    ``int **x[3][4];`` has pointer_depth 2 and array_dims [3, 4]; as in C,
+    arrays bind tighter than pointers here (the declarator form the IDL
+    accepts is simple enough that full C precedence is unnecessary).
+    """
+
+    name: str
+    pointer_depth: int = 0
+    array_dims: tuple = ()  # ints or const names, outermost first
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    type_ref: TypeRef
+    declarators: tuple  # of Declarator
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class StructDef:
+    name: str
+    fields: tuple  # of FieldDecl
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class TypedefDef:
+    name: str
+    type_ref: TypeRef
+    declarator: Declarator
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ConstDef:
+    name: str
+    value: int
+    line: int = 0
+
+
+@dataclass
+class Program:
+    definitions: List[Union[StructDef, TypedefDef, ConstDef]] = field(
+        default_factory=list)
+
+    def structs(self):
+        return [d for d in self.definitions if isinstance(d, StructDef)]
+
+    def typedefs(self):
+        return [d for d in self.definitions if isinstance(d, TypedefDef)]
+
+    def consts(self):
+        return [d for d in self.definitions if isinstance(d, ConstDef)]

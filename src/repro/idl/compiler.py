@@ -1,0 +1,164 @@
+"""IDL compiler: declarations -> type descriptors.
+
+The InterWeave IDL compiler translates declarations into the type
+descriptors the library registers and uses for translation.  Resolution is
+two-phase so recursive types work: structs are built with pointer
+placeholders first, then every placeholder target is patched.  A struct
+that contains itself *by value* (not through a pointer) has infinite size
+and is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+from repro.errors import IDLError
+from repro.idl.ast import Declarator, Program, StructDef, TypedefDef, TypeRef
+from repro.idl.parser import parse
+from repro.types import (
+    PRIMITIVES,
+    ArrayDescriptor,
+    Field,
+    PointerDescriptor,
+    RecordDescriptor,
+    StringDescriptor,
+    TypeDescriptor,
+    validate_closed,
+)
+
+
+@dataclass
+class CompiledIDL:
+    """The output of compilation: named types and constants."""
+
+    types: Dict[str, TypeDescriptor] = field(default_factory=dict)
+    constants: Dict[str, int] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> TypeDescriptor:
+        try:
+            return self.types[name]
+        except KeyError:
+            raise IDLError(f"no type named {name!r}") from None
+
+
+class _Compiler:
+    def __init__(self, program: Program):
+        self.program = program
+        self.constants: Dict[str, int] = {}
+        self.named: Dict[str, Union[StructDef, TypedefDef]] = {}
+        self.resolved: Dict[str, TypeDescriptor] = {}
+        self.in_progress: set = set()
+        self.pointer_fixups: List[PointerDescriptor] = []
+
+    def compile(self) -> CompiledIDL:
+        for const in self.program.consts():
+            if const.name in self.constants:
+                raise IDLError(f"duplicate const {const.name!r}", const.line)
+            self.constants[const.name] = const.value
+        for definition in self.program.structs() + self.program.typedefs():
+            if definition.name in self.named or definition.name in PRIMITIVES:
+                raise IDLError(f"duplicate type name {definition.name!r}",
+                               definition.line)
+            self.named[definition.name] = definition
+        for name in self.named:
+            self.resolve_named(name)
+        for pointer in self.pointer_fixups:
+            pointer.target = self.resolve_target(pointer.target_name)
+        result = CompiledIDL(dict(self.resolved), dict(self.constants))
+        for descriptor in result.types.values():
+            validate_closed(descriptor)
+        return result
+
+    # -- resolution -----------------------------------------------------------------
+
+    def resolve_named(self, name: str) -> TypeDescriptor:
+        if name in self.resolved:
+            return self.resolved[name]
+        if name in self.in_progress:
+            raise IDLError(
+                f"type {name!r} contains itself by value (use a pointer)")
+        definition = self.named.get(name)
+        if definition is None:
+            raise IDLError(f"undefined type {name!r}")
+        self.in_progress.add(name)
+        try:
+            if isinstance(definition, StructDef):
+                descriptor = self.build_struct(definition)
+            else:
+                descriptor = self.build_typedef(definition)
+        finally:
+            self.in_progress.discard(name)
+        self.resolved[name] = descriptor
+        return descriptor
+
+    def resolve_target(self, name: str) -> TypeDescriptor:
+        """Resolve a pointer target after all structs exist."""
+        if name in PRIMITIVES:
+            return PRIMITIVES[name]
+        if name.startswith("string<"):
+            return StringDescriptor(int(name[7:-1]))
+        if name.startswith("*"):
+            inner = PointerDescriptor(self.resolve_target(name[1:]), name[1:])
+            return inner
+        return self.resolve_named(name)
+
+    def build_struct(self, definition: StructDef) -> RecordDescriptor:
+        fields: List[Field] = []
+        for field_decl in definition.fields:
+            for declarator in field_decl.declarators:
+                descriptor = self.apply_declarator(field_decl.type_ref, declarator,
+                                                   field_decl.line)
+                fields.append(Field(declarator.name, descriptor))
+        if not fields:
+            raise IDLError(f"struct {definition.name!r} has no fields",
+                           definition.line)
+        return RecordDescriptor(definition.name, fields)
+
+    def build_typedef(self, definition: TypedefDef) -> TypeDescriptor:
+        return self.apply_declarator(definition.type_ref, definition.declarator,
+                                     definition.line)
+
+    def apply_declarator(self, type_ref: TypeRef, declarator: Declarator,
+                         line: int) -> TypeDescriptor:
+        if declarator.pointer_depth:
+            # a pointer breaks the size dependency: use a placeholder and
+            # patch the target once every named type exists
+            target_name = self.target_name(type_ref)
+            descriptor: TypeDescriptor = None
+            for _ in range(declarator.pointer_depth):
+                descriptor = PointerDescriptor(None, target_name)
+                self.pointer_fixups.append(descriptor)
+                target_name = "*" + target_name
+        else:
+            descriptor = self.base_type(type_ref, line)
+        for dim in reversed(declarator.array_dims):
+            descriptor = ArrayDescriptor(descriptor, self.dimension(dim, line))
+        return descriptor
+
+    def base_type(self, type_ref: TypeRef, line: int) -> TypeDescriptor:
+        if type_ref.name == "string":
+            return StringDescriptor(self.dimension(type_ref.string_capacity, line))
+        if type_ref.name in PRIMITIVES:
+            return PRIMITIVES[type_ref.name]
+        return self.resolve_named(type_ref.name)
+
+    def target_name(self, type_ref: TypeRef) -> str:
+        if type_ref.name == "string":
+            # resolve const capacities now so the placeholder name is concrete
+            return f"string<{self.dimension(type_ref.string_capacity, 0)}>"
+        return type_ref.name
+
+    def dimension(self, dim: Union[int, str], line: int) -> int:
+        if isinstance(dim, str):
+            if dim not in self.constants:
+                raise IDLError(f"undefined constant {dim!r}", line)
+            dim = self.constants[dim]
+        if dim < 1:
+            raise IDLError(f"size must be >= 1, got {dim}", line)
+        return dim
+
+
+def compile_idl(source: str) -> CompiledIDL:
+    """Compile IDL source text into named type descriptors."""
+    return _Compiler(parse(source)).compile()

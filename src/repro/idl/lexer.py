@@ -1,0 +1,104 @@
+"""IDL lexer.
+
+The InterWeave IDL is a small XDR/C-flavoured declaration language::
+
+    const MAX_NAME = 32;
+
+    struct node {
+        int key;
+        string<MAX_NAME> label;
+        node *next;
+    };
+
+    typedef double matrix[16][16];
+
+The lexer produces a flat token stream with line/column positions for
+error reporting; comments (``//`` and ``/* */``) are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import IDLError
+
+KEYWORDS = {
+    "struct", "typedef", "const", "string",
+    "char", "short", "int", "hyper", "float", "double",
+}
+
+PUNCTUATION = {"{", "}", ";", "*", "[", "]", "<", ">", ",", "="}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "keyword" | "ident" | "number" | "punct" | "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"Token({self.kind} {self.text!r} @{self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize IDL source; raises :class:`IDLError` on bad characters."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    index, length = 0, len(source)
+
+    def advance(count: int):
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        ch = source[index]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            advance((end if end >= 0 else length) - index)
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                raise IDLError("unterminated comment", line, column)
+            advance(end + 2 - index)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            start_line, start_column = line, column
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                advance(1)
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, start_line, start_column))
+            continue
+        if ch.isdigit():
+            start = index
+            start_line, start_column = line, column
+            while index < length and source[index].isalnum():
+                advance(1)
+            text = source[start:index]
+            try:
+                int(text, 0)
+            except ValueError:
+                raise IDLError(f"bad number {text!r}", start_line, start_column) from None
+            tokens.append(Token("number", text, start_line, start_column))
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("punct", ch, line, column))
+            advance(1)
+            continue
+        raise IDLError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,151 @@
+"""IDL recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.errors import IDLError
+from repro.idl.ast import (
+    ConstDef,
+    Declarator,
+    FieldDecl,
+    Program,
+    StructDef,
+    TypedefDef,
+    TypeRef,
+)
+from repro.idl.lexer import Token, tokenize
+
+_PRIMS = {"char", "short", "int", "hyper", "float", "double"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, text: str = None) -> Token:
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise IDLError(f"expected {wanted!r}, found {token.text or 'end of file'!r}",
+                           token.line, token.column)
+        return self.advance()
+
+    def accept(self, kind: str, text: str = None) -> bool:
+        token = self.current
+        if token.kind == kind and (text is None or token.text == text):
+            self.advance()
+            return True
+        return False
+
+    # -- grammar --------------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self.current.kind != "eof":
+            token = self.current
+            if token.kind == "keyword" and token.text == "struct":
+                program.definitions.append(self.parse_struct())
+            elif token.kind == "keyword" and token.text == "typedef":
+                program.definitions.append(self.parse_typedef())
+            elif token.kind == "keyword" and token.text == "const":
+                program.definitions.append(self.parse_const())
+            else:
+                raise IDLError(
+                    f"expected 'struct', 'typedef', or 'const', found {token.text!r}",
+                    token.line, token.column)
+        return program
+
+    def parse_struct(self) -> StructDef:
+        start = self.expect("keyword", "struct")
+        name = self.expect("ident").text
+        self.expect("punct", "{")
+        fields = []
+        while not self.accept("punct", "}"):
+            fields.append(self.parse_field())
+        self.expect("punct", ";")
+        return StructDef(name, tuple(fields), start.line)
+
+    def parse_field(self) -> FieldDecl:
+        start = self.current
+        type_ref = self.parse_type_ref()
+        declarators = [self.parse_declarator()]
+        while self.accept("punct", ","):
+            declarators.append(self.parse_declarator())
+        self.expect("punct", ";")
+        return FieldDecl(type_ref, tuple(declarators), start.line)
+
+    def parse_type_ref(self) -> TypeRef:
+        token = self.current
+        if token.kind == "keyword" and token.text == "string":
+            self.advance()
+            self.expect("punct", "<")
+            capacity = self.parse_dimension()
+            self.expect("punct", ">")
+            return TypeRef("string", capacity)
+        if token.kind == "keyword" and token.text in _PRIMS:
+            self.advance()
+            return TypeRef(token.text)
+        if token.kind == "keyword" and token.text == "struct":
+            self.advance()  # optional 'struct' tag before a struct name
+            return TypeRef(self.expect("ident").text)
+        if token.kind == "ident":
+            self.advance()
+            return TypeRef(token.text)
+        raise IDLError(f"expected a type, found {token.text or 'end of file'!r}",
+                       token.line, token.column)
+
+    def parse_declarator(self) -> Declarator:
+        pointer_depth = 0
+        while self.accept("punct", "*"):
+            pointer_depth += 1
+        name_token = self.expect("ident")
+        dims = []
+        while self.accept("punct", "["):
+            dims.append(self.parse_dimension())
+            self.expect("punct", "]")
+        return Declarator(name_token.text, pointer_depth, tuple(dims))
+
+    def parse_dimension(self) -> Union[int, str]:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return int(token.text, 0)
+        if token.kind == "ident":
+            self.advance()
+            return token.text  # a const name, resolved by the compiler
+        raise IDLError(f"expected a size, found {token.text!r}",
+                       token.line, token.column)
+
+    def parse_typedef(self) -> TypedefDef:
+        start = self.expect("keyword", "typedef")
+        type_ref = self.parse_type_ref()
+        declarator = self.parse_declarator()
+        self.expect("punct", ";")
+        return TypedefDef(declarator.name, type_ref, declarator, start.line)
+
+    def parse_const(self) -> ConstDef:
+        start = self.expect("keyword", "const")
+        name = self.expect("ident").text
+        self.expect("punct", "=")
+        value_token = self.expect("number")
+        self.expect("punct", ";")
+        return ConstDef(name, int(value_token.text, 0), start.line)
+
+
+def parse(source: str) -> Program:
+    """Parse IDL source into a :class:`Program`."""
+    return _Parser(tokenize(source)).parse_program()

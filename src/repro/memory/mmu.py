@@ -1,0 +1,192 @@
+"""Simulated virtual memory with page protection and write faults.
+
+InterWeave's client-side modification tracking rests on virtual memory
+hardware: on a write-lock acquire the library write-protects the pages of
+the segment; the first store to each page raises SIGSEGV, and the signal
+handler makes a pristine copy (*twin*) of the page, records it in the
+subsegment's pagemap, and re-enables write access.
+
+Python cannot take real page faults, so this module is the stand-in: an
+:class:`AddressSpace` of fixed-size pages with per-page protection bits.
+Every store issued by the typed accessor layer goes through
+:meth:`AddressSpace.store`; a store that touches a write-protected page
+invokes the registered fault handler — the same contract as the paper's
+SIGSEGV handler (create twin, unprotect, retry) — before the bytes land.
+
+Addresses are plain integers.  Regions are mapped at page granularity by a
+bump allocator, so every page belongs to at most one mapping (the paper's
+invariant that "any given page contains data from only one segment" is
+enforced one level up, by the heap, which maps a fresh region per
+subsegment).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import ProtectionError
+
+#: Default page size (bytes).  4 KiB, as on the paper's platforms.
+PAGE_SIZE = 4096
+
+#: Base address of the first mapping; nonzero so address 0 stays NULL.
+_BASE_ADDRESS = 0x1000_0000
+
+
+class Page:
+    """One page of simulated memory."""
+
+    __slots__ = ("data", "writable")
+
+    def __init__(self, size: int):
+        self.data = bytearray(size)
+        self.writable = True
+
+    def as_words(self, word_size: int) -> np.ndarray:
+        """View the page as an array of unsigned words (for word diffing)."""
+        dtype = np.uint32 if word_size == 4 else np.uint64
+        return np.frombuffer(self.data, dtype=dtype)
+
+
+class FaultStats:
+    """Counters exposed for experiments: faults taken, pages protected."""
+
+    __slots__ = ("write_faults", "protect_calls", "unprotect_calls")
+
+    def __init__(self):
+        self.write_faults = 0
+        self.protect_calls = 0
+        self.unprotect_calls = 0
+
+    def reset(self):
+        self.write_faults = 0
+        self.protect_calls = 0
+        self.unprotect_calls = 0
+
+
+class AddressSpace:
+    """A client process's simulated address space.
+
+    ``fault_handler(address_space, page_number)`` is installed by the
+    InterWeave client library at startup (mirroring its SIGSEGV handler).
+    It must either make the page writable (returning True) or return False,
+    in which case the store raises :class:`ProtectionError`.
+    """
+
+    def __init__(self, page_size: int = PAGE_SIZE):
+        if page_size < 32 or page_size & (page_size - 1):
+            raise ValueError(f"page size must be a power of two >= 32, got {page_size}")
+        self.page_size = page_size
+        self._pages: Dict[int, Page] = {}
+        self._next_page = _BASE_ADDRESS // page_size
+        self.fault_handler: Optional[Callable[["AddressSpace", int], bool]] = None
+        self.stats = FaultStats()
+
+    # -- mapping ---------------------------------------------------------------
+
+    def map_region(self, num_pages: int) -> int:
+        """Map ``num_pages`` fresh zeroed pages; returns the base address."""
+        if num_pages < 1:
+            raise ValueError("must map at least one page")
+        first = self._next_page
+        self._next_page += num_pages
+        for page_number in range(first, first + num_pages):
+            self._pages[page_number] = Page(self.page_size)
+        return first * self.page_size
+
+    def unmap_region(self, base: int, num_pages: int) -> None:
+        """Remove a mapping (used when a cached segment is discarded)."""
+        first = base // self.page_size
+        for page_number in range(first, first + num_pages):
+            self._pages.pop(page_number, None)
+
+    def is_mapped(self, address: int) -> bool:
+        return address // self.page_size in self._pages
+
+    def page(self, page_number: int) -> Page:
+        try:
+            return self._pages[page_number]
+        except KeyError:
+            raise ProtectionError(f"page {page_number:#x} is not mapped") from None
+
+    def page_number(self, address: int) -> int:
+        return address // self.page_size
+
+    # -- protection --------------------------------------------------------------
+
+    def protect_range(self, base: int, length: int) -> None:
+        """Write-protect all pages overlapping [base, base+length)."""
+        for page_number in self._page_span(base, length):
+            self.page(page_number).writable = False
+        self.stats.protect_calls += 1
+
+    def unprotect_range(self, base: int, length: int) -> None:
+        for page_number in self._page_span(base, length):
+            self.page(page_number).writable = True
+        self.stats.unprotect_calls += 1
+
+    def unprotect_page(self, page_number: int) -> None:
+        self.page(page_number).writable = True
+        self.stats.unprotect_calls += 1
+
+    def _page_span(self, base: int, length: int):
+        if length <= 0:
+            return range(0)
+        return range(base // self.page_size, (base + length - 1) // self.page_size + 1)
+
+    # -- loads and stores ----------------------------------------------------------
+
+    def load(self, address: int, size: int) -> bytes:
+        """Read ``size`` bytes (may span pages)."""
+        out = bytearray(size)
+        cursor = 0
+        while cursor < size:
+            page_number, offset = divmod(address + cursor, self.page_size)
+            page = self.page(page_number)
+            chunk = min(size - cursor, self.page_size - offset)
+            out[cursor:cursor + chunk] = page.data[offset:offset + chunk]
+            cursor += chunk
+        return bytes(out)
+
+    def store(self, address: int, data) -> None:
+        """Write bytes (may span pages), taking write faults as needed.
+
+        This is the single choke point all application stores go through —
+        the simulated equivalent of the CPU's store path.
+        """
+        size = len(data)
+        view = memoryview(data)
+        cursor = 0
+        while cursor < size:
+            page_number, offset = divmod(address + cursor, self.page_size)
+            page = self.page(page_number)
+            if not page.writable:
+                self._fault(page_number)
+                page = self.page(page_number)  # handler may have replaced it
+                if not page.writable:
+                    raise ProtectionError(
+                        f"store to write-protected page {page_number:#x} "
+                        f"(address {address + cursor:#x}) not resolved by fault handler")
+            chunk = min(size - cursor, self.page_size - offset)
+            page.data[offset:offset + chunk] = view[cursor:cursor + chunk]
+            cursor += chunk
+
+    def _fault(self, page_number: int) -> None:
+        self.stats.write_faults += 1
+        if self.fault_handler is None:
+            raise ProtectionError(
+                f"write fault on page {page_number:#x} with no fault handler installed")
+        if not self.fault_handler(self, page_number):
+            raise ProtectionError(f"fault handler refused write to page {page_number:#x}")
+
+    # -- page-level helpers for the diffing machinery -------------------------------
+
+    def page_bytes(self, page_number: int) -> bytearray:
+        """Direct (mutable) access to a page's backing bytes."""
+        return self.page(page_number).data
+
+    def snapshot_page(self, page_number: int) -> bytes:
+        """A pristine copy of a page — twin creation."""
+        return bytes(self.page(page_number).data)

@@ -1,0 +1,16 @@
+"""The RPC/XDR baseline system (the paper's rpcgen comparator)."""
+
+from repro.rpc.service import Procedure, RPCClient, RPCError, RPCServer
+from repro.rpc.xdr import XDRError, XDRTranslator, marshal, unmarshal, xdr_size_of_fixed
+
+__all__ = [
+    "Procedure",
+    "RPCClient",
+    "RPCError",
+    "RPCServer",
+    "XDRError",
+    "XDRTranslator",
+    "marshal",
+    "unmarshal",
+    "xdr_size_of_fixed",
+]

@@ -1,0 +1,126 @@
+"""A minimal RPC system over the shared transports.
+
+InterWeave positions itself as a *complement* to RPC: many distributed
+applications keep using remote invocation and add InterWeave for the state
+that should be cached rather than re-shipped.  To make that comparison
+concrete — and to have a complete baseline system, not just a marshaler —
+this module provides a small rpcgen-style request/response facility:
+procedures are declared with typed argument and result descriptors,
+parameters are marshaled with XDR (deep-copy semantics and all), and
+calls travel over the same channels InterWeave uses, so byte counts are
+directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.arch import Architecture
+from repro.errors import InterWeaveError
+from repro.memory import AddressSpace, Heap, SegmentHeap
+from repro.rpc.xdr import XDRTranslator
+from repro.transport.base import Channel, Dispatcher
+from repro.types import TypeDescriptor
+from repro.wire.codec import Reader, Writer
+
+
+class RPCError(InterWeaveError):
+    """A remote procedure call failed."""
+
+
+@dataclass
+class Procedure:
+    """One registered procedure: its name, parameter and result types."""
+
+    name: str
+    arg_type: TypeDescriptor
+    result_type: TypeDescriptor
+
+
+class RPCServer(Dispatcher):
+    """Serves registered procedures; handler I/O lives in server memory."""
+
+    def __init__(self, arch: Architecture):
+        self.arch = arch
+        self.memory = AddressSpace()
+        self.heap = SegmentHeap("rpc-server", Heap(self.memory), arch)
+        self._procedures: Dict[str, Procedure] = {}
+        self._handlers: Dict[str, Callable[[int, int], None]] = {}
+        self.calls_served = 0
+
+    def register(self, procedure: Procedure,
+                 handler: Callable[[int, int], None]) -> None:
+        """Register ``handler(arg_address, result_address)``.
+
+        The handler reads the unmarshaled argument at ``arg_address`` and
+        writes its result at ``result_address`` (both in server-local
+        format), exactly like an rpcgen service routine.
+        """
+        if procedure.name in self._procedures:
+            raise RPCError(f"procedure {procedure.name!r} already registered")
+        self._procedures[procedure.name] = procedure
+        self._handlers[procedure.name] = handler
+
+    def dispatch(self, client_id: str, data: bytes) -> bytes:
+        reader = Reader(data)
+        try:
+            name = reader.text()
+            payload = reader.blob()
+            procedure = self._procedures.get(name)
+            if procedure is None:
+                raise RPCError(f"no procedure named {name!r}")
+            arg_block = self.heap.allocate(procedure.arg_type, 0)
+            result_block = self.heap.allocate(procedure.result_type, 0)
+            try:
+                XDRTranslator(procedure.arg_type, self.arch).unmarshal(
+                    self.memory, arg_block.address, payload,
+                    allocator=self._allocate_target)
+                self.memory.store(result_block.address, bytes(result_block.size))
+                self._handlers[name](arg_block.address, result_block.address)
+                result = XDRTranslator(procedure.result_type, self.arch).marshal(
+                    self.memory, result_block.address)
+            finally:
+                self.heap.free(arg_block)
+                self.heap.free(result_block)
+            self.calls_served += 1
+            reply = Writer().boolean(True).blob(result)
+            return reply.getvalue()
+        except InterWeaveError as exc:
+            return Writer().boolean(False).text(str(exc)).getvalue()
+
+    def _allocate_target(self, descriptor: TypeDescriptor) -> int:
+        block = self.heap.allocate(descriptor, 0)
+        self.memory.store(block.address, bytes(block.size))
+        return block.address
+
+
+class RPCClient:
+    """Calls remote procedures; arguments live in the caller's memory."""
+
+    def __init__(self, arch: Architecture, channel: Channel,
+                 memory: Optional[AddressSpace] = None,
+                 heap: Optional[SegmentHeap] = None):
+        self.arch = arch
+        self.channel = channel
+        self.memory = memory or AddressSpace()
+        self.heap = heap or SegmentHeap("rpc-client", Heap(self.memory), arch)
+
+    def call(self, procedure: Procedure, arg_address: int,
+             result_address: int) -> None:
+        """Invoke ``procedure``: marshal the argument at ``arg_address``,
+        ship it, and unmarshal the result into ``result_address``."""
+        payload = XDRTranslator(procedure.arg_type, self.arch).marshal(
+            self.memory, arg_address)
+        request = Writer().text(procedure.name).blob(payload).getvalue()
+        reply = Reader(self.channel.request(request))
+        if not reply.boolean():
+            raise RPCError(reply.text())
+        XDRTranslator(procedure.result_type, self.arch).unmarshal(
+            self.memory, result_address, reply.blob(),
+            allocator=self._allocate_target)
+
+    def _allocate_target(self, descriptor: TypeDescriptor) -> int:
+        block = self.heap.allocate(descriptor, 0)
+        self.memory.store(block.address, bytes(block.size))
+        return block.address

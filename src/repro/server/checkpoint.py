@@ -1,0 +1,166 @@
+"""Segment checkpointing.
+
+As partial protection against server failure, InterWeave periodically
+checkpoints segments and their metadata to persistent storage.  A
+checkpoint is a self-contained file: type descriptors, every block's wire
+image, per-subblock version numbers, and the logs a restored server needs
+to keep serving stale clients correctly (free tombstones, type history,
+version timestamps).
+
+MIP slot assignments are not persisted: pointer data is checkpointed as
+MIP text inside the wire images and the out-of-line store is rebuilt by
+interning on restore.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.server.segment_state import SERVER_ARCH, ServerBlock, ServerSegment
+from repro.types import flat_layout
+from repro.wire import apply_range
+from repro.wire.codec import Reader, Writer
+
+_MAGIC = b"IWCK"
+_FORMAT_VERSION = 2
+
+
+def encode_checkpoint(segment: ServerSegment) -> bytes:
+    out = Writer()
+    out.raw(_MAGIC)
+    out.u32(_FORMAT_VERSION)
+    out.text(segment.name)
+    out.u32(segment.version)
+    out.u32(segment.compact_floor)
+
+    types = list(segment.registry.items())
+    out.u32(len(types))
+    for serial, _descriptor in types:
+        out.u32(serial)
+        out.blob(segment.registry.encoded(serial))
+
+    out.u32(len(segment.freed_log))
+    for version, serial in segment.freed_log:
+        out.u32(version)
+        out.u32(serial)
+
+    out.u32(len(segment.type_log))
+    for version, serial in segment.type_log:
+        out.u32(version)
+        out.u32(serial)
+
+    out.u32(len(segment.version_times))
+    for version, timestamp in sorted(segment.version_times.items()):
+        out.u32(version)
+        out.f64(timestamp)
+
+    blocks = sorted(segment.blocks.values(), key=lambda block: block.serial)
+    out.u32(len(blocks))
+    for block in blocks:
+        out.u32(block.serial)
+        name = block.info.name
+        out.boolean(name is not None)
+        if name is not None:
+            out.text(name)
+        out.u32(block.info.type_serial)
+        out.u32(block.version)
+        out.u32(block.created_version)
+        out.blob(block.subblock_versions.astype(">u4").tobytes())
+        out.blob(segment.read_block_wire(block.serial))
+    return out.getvalue()
+
+
+def decode_checkpoint(data: bytes) -> ServerSegment:
+    from repro.errors import WireFormatError
+
+    try:
+        return _decode_checkpoint(data)
+    except WireFormatError as exc:
+        raise CheckpointError(f"corrupt checkpoint: {exc}") from exc
+
+
+def _decode_checkpoint(data: bytes) -> ServerSegment:
+    reader = Reader(data)
+    if reader.raw(4) != _MAGIC:
+        raise CheckpointError("not an InterWeave checkpoint")
+    if reader.u32() != _FORMAT_VERSION:
+        raise CheckpointError("unsupported checkpoint format version")
+    segment = ServerSegment(reader.text())
+    segment.version = reader.u32()
+    segment.compact_floor = reader.u32()
+
+    for _ in range(reader.u32()):
+        serial = reader.u32()
+        segment.registry.register_with_serial(serial, reader.blob())
+
+    segment.freed_log = [(reader.u32(), reader.u32()) for _ in range(reader.u32())]
+    segment.type_log = [(reader.u32(), reader.u32()) for _ in range(reader.u32())]
+    segment.version_times = {reader.u32(): reader.f64() for _ in range(reader.u32())}
+
+    staged = []
+    for _ in range(reader.u32()):
+        serial = reader.u32()
+        name = reader.text() if reader.boolean() else None
+        type_serial = reader.u32()
+        version = reader.u32()
+        created_version = reader.u32()
+        subblock_versions = np.frombuffer(reader.blob(), dtype=">u4").astype(np.uint32)
+        wire = reader.blob()
+        staged.append((serial, name, type_serial, version, created_version,
+                       subblock_versions, wire))
+    if not reader.at_end():
+        raise CheckpointError("trailing bytes after checkpoint")
+
+    # Materialize blocks, then rebuild the version list in version order.
+    for serial, name, type_serial, version, created_version, sub_versions, wire in staged:
+        descriptor = segment.registry.lookup(type_serial)
+        info = segment.heap.allocate(descriptor, type_serial, name=name,
+                                     serial=serial, version=version)
+        block = ServerBlock(info, descriptor.prim_count, created_version)
+        block.version = version
+        block.subblock_versions[:] = sub_versions
+        layout = flat_layout(descriptor, SERVER_ARCH)
+        consumed = apply_range(segment._tctx, layout, info.address,
+                               0, descriptor.prim_count, wire)
+        if consumed != len(wire):
+            raise CheckpointError(f"block {serial}: wire image length mismatch")
+        segment.blocks[serial] = block
+
+    for version in sorted(v for v in segment.version_times if v > 0):
+        segment.version_list.append_marker(version)
+    for block in sorted(segment.blocks.values(), key=lambda b: b.version):
+        segment.version_list.touch(block.serial, block)
+    return segment
+
+
+def write_checkpoint(segment: ServerSegment, directory: str) -> str:
+    """Atomically write a checkpoint file; returns its path."""
+    os.makedirs(directory, exist_ok=True)
+    safe_name = segment.name.replace("/", "_").replace(":", "_")
+    path = os.path.join(directory, f"{safe_name}.iwck")
+    data = encode_checkpoint(segment)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(temp_path, path)
+    except OSError as exc:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise CheckpointError(f"cannot write checkpoint: {exc}") from exc
+    return path
+
+
+def read_checkpoint(path: str) -> ServerSegment:
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint: {exc}") from exc
+    return decode_checkpoint(data)

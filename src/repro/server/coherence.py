@@ -1,0 +1,112 @@
+"""Server-side coherence bookkeeping.
+
+For Delta coherence a comparison of version numbers suffices, but Diff
+coherence requires the server to track, per client, how much of the
+segment has been modified since the last update it sent that client.  To
+keep that cheap the server is conservative: it assumes all updates touch
+independent data and simply accumulates each write's size (in primitive
+data units) into a single counter; when the counter exceeds x% of the
+segment's total size, the client's copy is no longer recent enough.
+
+The same per-client view records subscriptions for the notification half
+of the adaptive polling/notification protocol: after every new version the
+server evaluates each subscriber's policy and pushes an invalidation to
+those whose bound broke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.coherence import CoherencePolicy, full, version_stale
+from repro.wire.messages import COHERENCE_DIFF, COHERENCE_TEMPORAL
+
+
+@dataclass
+class ClientView:
+    """What the server knows about one client's cache of one segment."""
+
+    client_id: str
+    version: int = 0  # version of the client's cached copy
+    policy: CoherencePolicy = field(default_factory=full)
+    #: primitive units modified since the client's last update (Diff coherence)
+    modified_units: int = 0
+    subscribed: bool = False
+    notified: bool = False  # invalidation pushed since last validation
+
+
+class SegmentCoherence:
+    """Per-segment map of client views + the staleness decision."""
+
+    def __init__(self):
+        self.views: Dict[str, ClientView] = {}
+
+    def view(self, client_id: str) -> ClientView:
+        view = self.views.get(client_id)
+        if view is None:
+            view = ClientView(client_id)
+            self.views[client_id] = view
+        return view
+
+    # -- events ------------------------------------------------------------------
+
+    def on_new_version(self, modified_units: int) -> None:
+        """A write committed: advance every client's conservative counter."""
+        for view in self.views.values():
+            view.modified_units += modified_units
+
+    def on_client_updated(self, client_id: str, version: int,
+                          policy: CoherencePolicy) -> None:
+        """The client validated (and possibly updated) its copy."""
+        view = self.view(client_id)
+        view.version = version
+        view.policy = policy
+        view.modified_units = 0
+        view.notified = False
+
+    def subscribe(self, client_id: str, enable: bool) -> None:
+        view = self.view(client_id)
+        view.subscribed = enable
+        view.notified = False
+
+    def drop_client(self, client_id: str) -> None:
+        self.views.pop(client_id, None)
+
+    # -- the decision ----------------------------------------------------------------
+
+    def is_stale(self, view: ClientView, current_version: int,
+                 total_units: int, now: float,
+                 superseded_time: Optional[float]) -> bool:
+        """Is this client's cached copy no longer "recent enough"?
+
+        ``superseded_time`` is when the client's version stopped being
+        current (creation time of version+1), or None if still current.
+        """
+        if view.version >= current_version:
+            return False
+        if view.version == 0:
+            return True  # nothing cached: every policy needs a first copy
+        policy = view.policy
+        if policy.kind == COHERENCE_DIFF:
+            if total_units == 0:
+                return True
+            return view.modified_units * 100.0 > policy.param * total_units
+        if policy.kind == COHERENCE_TEMPORAL:
+            if superseded_time is None:
+                return False
+            return now - superseded_time > policy.param
+        return version_stale(policy, view.version, current_version)
+
+    def stale_subscribers(self, current_version: int, total_units: int,
+                          now: float, superseded_time_of) -> list:
+        """Subscribed clients whose bound just broke and who have not been
+        notified yet.  ``superseded_time_of(version)`` resolves times."""
+        broken = []
+        for view in self.views.values():
+            if not view.subscribed or view.notified:
+                continue
+            if self.is_stale(view, current_version, total_units, now,
+                             superseded_time_of(view.version)):
+                broken.append(view)
+        return broken

@@ -1,0 +1,94 @@
+"""Composing cached diffs into multi-version updates.
+
+The server "maintains a cache of diffs that it has received recently from
+clients ... these cached diffs can often be used to respond to future
+requests, avoiding redundant collection overhead."  The exact-match case
+(forwarding one writer's diff to one reader) is trivial; this module
+handles the relaxed-coherence case: a client that skipped x versions needs
+an update covering a *range* of versions, and a chain of cached
+single-step diffs can be composed into one — preserving the precision of
+the original client diffs, where rebuilding from subblock versions would
+round every change up to whole subblocks.
+
+Composition rules, per block serial (applied oldest diff first):
+
+- runs accumulate in order (appliers process runs sequentially, so a later
+  overlapping run correctly overwrites an earlier one);
+- an older run is dropped when a newer diff contains a run that fully
+  covers its range (the common repeated-counter-update case — this is
+  what shrinks Delta(x) updates below x stacked diffs);
+- a ``freed`` tombstone cancels all older state for the serial; a
+  re-creation (``is_new``) after a free replaces the tombstone;
+- newly created blocks keep their creation record, with later runs merged
+  after the creation's full-content run;
+- ``new_types`` are the union (deduplicated by serial).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ServerError
+from repro.wire import BlockDiff, DiffRun, SegmentDiff
+
+
+def _covers(newer: DiffRun, older: DiffRun) -> bool:
+    return (newer.prim_start <= older.prim_start
+            and newer.prim_start + newer.prim_count
+            >= older.prim_start + older.prim_count)
+
+
+def _merge_block(accumulated: Optional[BlockDiff], incoming: BlockDiff) -> BlockDiff:
+    if incoming.freed:
+        return BlockDiff(serial=incoming.serial, freed=True,
+                         version=incoming.version)
+    if accumulated is not None and accumulated.freed:
+        # a serial freed and then re-created cannot be expressed as one
+        # BlockDiff; the caller falls back to rebuilding from subblocks
+        raise ServerError(f"serial {incoming.serial} re-created within range")
+    if accumulated is None or incoming.is_new:
+        # first sight, or re-creation after a free: take the newer record
+        return BlockDiff(serial=incoming.serial, runs=list(incoming.runs),
+                         is_new=incoming.is_new, type_serial=incoming.type_serial,
+                         name=incoming.name, version=incoming.version)
+    surviving = [run for run in accumulated.runs
+                 if not any(_covers(newer, run) for newer in incoming.runs)]
+    return BlockDiff(
+        serial=accumulated.serial,
+        runs=surviving + list(incoming.runs),
+        is_new=accumulated.is_new,
+        type_serial=accumulated.type_serial,
+        name=accumulated.name,
+        version=max(accumulated.version, incoming.version),
+    )
+
+
+def compose_diffs(parts: List[SegmentDiff]) -> SegmentDiff:
+    """Compose a chain of diffs (oldest first) into one equivalent diff."""
+    if not parts:
+        raise ServerError("cannot compose an empty diff chain")
+    for earlier, later in zip(parts, parts[1:]):
+        if earlier.to_version != later.from_version:
+            raise ServerError(
+                f"diff chain broken: ...->{earlier.to_version} then "
+                f"{later.from_version}->...")
+        if earlier.segment != later.segment:
+            raise ServerError("diff chain mixes segments")
+    merged_blocks: Dict[int, BlockDiff] = {}
+    order: List[int] = []  # first-seen order keeps creations before uses
+    types: Dict[int, bytes] = {}
+    for part in parts:
+        for serial, encoded in part.new_types:
+            types.setdefault(serial, encoded)
+        for block_diff in part.block_diffs:
+            if block_diff.serial not in merged_blocks:
+                order.append(block_diff.serial)
+            merged_blocks[block_diff.serial] = _merge_block(
+                merged_blocks.get(block_diff.serial), block_diff)
+    return SegmentDiff(
+        segment=parts[0].segment,
+        from_version=parts[0].from_version,
+        to_version=parts[-1].to_version,
+        block_diffs=[merged_blocks[serial] for serial in order],
+        new_types=sorted(types.items()),
+    )

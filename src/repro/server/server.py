@@ -1,0 +1,329 @@
+"""The InterWeave server.
+
+A server manages an arbitrary number of segments, maintains the
+authoritative copy of each in wire format, arbitrates write locks,
+constructs update diffs honoring each client's coherence model, caches
+diffs for reuse, pushes invalidation notifications to subscribed clients,
+and periodically checkpoints segments to persistent storage.
+
+The server is a :class:`~repro.transport.Dispatcher`: it consumes encoded
+request messages and produces encoded replies, so the same object serves
+in-process hubs and TCP transports unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.coherence import CoherencePolicy
+from repro.errors import InterWeaveError, ServerError
+from repro.server.coherence import SegmentCoherence
+from repro.server.diff_cache import DiffCache
+from repro.server.segment_state import ServerSegment
+from repro.transport.base import Dispatcher, NotificationSink, NullSink
+from repro.util.clock import Clock, WallClock
+from repro.wire import SegmentDiff, encode_segment_diff
+from repro.wire.messages import (
+    LOCK_READ,
+    LOCK_WRITE,
+    DeleteSegmentReply,
+    DeleteSegmentRequest,
+    ErrorReply,
+    FetchReply,
+    FetchRequest,
+    LockAcquireReply,
+    LockAcquireRequest,
+    LockReleaseReply,
+    LockReleaseRequest,
+    Message,
+    NotifyInvalidate,
+    OpenSegmentReply,
+    OpenSegmentRequest,
+    SubscribeReply,
+    SubscribeRequest,
+    decode_message,
+    encode_message,
+)
+
+
+@dataclass
+class ServerStats:
+    """Counters exposed for the experiments."""
+
+    diffs_applied: int = 0
+    updates_built: int = 0
+    updates_served_from_cache: int = 0
+    notifications_pushed: int = 0
+    lock_denials: int = 0
+
+
+@dataclass
+class _SegmentEntry:
+    state: ServerSegment
+    coherence: SegmentCoherence = field(default_factory=SegmentCoherence)
+    writer: Optional[str] = None
+
+
+class InterWeaveServer(Dispatcher):
+    """Serves a set of segments to InterWeave clients."""
+
+    def __init__(self, name: str = "server",
+                 sink: Optional[NotificationSink] = None,
+                 clock: Optional[Clock] = None,
+                 diff_cache_bytes: int = 16 * 1024 * 1024,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_every: int = 0):
+        self.name = name
+        self.sink = sink or NullSink()
+        self.clock = clock or WallClock()
+        self.segments: Dict[str, _SegmentEntry] = {}
+        self.diff_cache = DiffCache(diff_cache_bytes)
+        self.stats = ServerStats()
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        #: metadata compaction cadence (versions) and history depth
+        self.compact_every = 256
+        self.compact_keep_back = 128
+        self._lock = threading.RLock()
+
+    # -- dispatcher entry point ---------------------------------------------------
+
+    def dispatch(self, client_id: str, data: bytes) -> bytes:
+        try:
+            request = decode_message(data)
+            with self._lock:
+                reply = self._handle(client_id, request)
+        except InterWeaveError as exc:
+            reply = ErrorReply(str(exc))
+        return encode_message(reply)
+
+    def _handle(self, client_id: str, request) -> Message:
+        if isinstance(request, OpenSegmentRequest):
+            return self._open_segment(request)
+        if isinstance(request, LockAcquireRequest):
+            return self._acquire(client_id, request)
+        if isinstance(request, LockReleaseRequest):
+            return self._release(client_id, request)
+        if isinstance(request, FetchRequest):
+            return self._fetch(client_id, request)
+        if isinstance(request, SubscribeRequest):
+            return self._subscribe(client_id, request)
+        if isinstance(request, DeleteSegmentRequest):
+            return self._delete_segment(client_id, request)
+        raise ServerError(f"server cannot handle {type(request).__name__}")
+
+    # -- segment management -----------------------------------------------------------
+
+    def _entry(self, segment_name: str, create: bool = False) -> _SegmentEntry:
+        entry = self.segments.get(segment_name)
+        if entry is None:
+            if not create:
+                raise ServerError(f"no segment named {segment_name!r}")
+            entry = _SegmentEntry(ServerSegment(segment_name))
+            self.segments[segment_name] = entry
+        return entry
+
+    def add_segment(self, state: ServerSegment) -> None:
+        """Install a pre-built segment (e.g. restored from a checkpoint)."""
+        if state.name in self.segments:
+            raise ServerError(f"segment {state.name!r} already exists")
+        self.segments[state.name] = _SegmentEntry(state)
+        self.diff_cache.invalidate_segment(state.name)
+
+    def _delete_segment(self, client_id: str,
+                        request: DeleteSegmentRequest) -> Message:
+        entry = self.segments.get(request.segment)
+        if entry is None:
+            return DeleteSegmentReply(deleted=False)
+        if entry.writer is not None and entry.writer != client_id:
+            raise ServerError(
+                f"segment {request.segment!r} is write-locked by another client")
+        del self.segments[request.segment]
+        self.diff_cache.invalidate_segment(request.segment)
+        return DeleteSegmentReply(deleted=True)
+
+    def _open_segment(self, request: OpenSegmentRequest) -> Message:
+        existed = request.segment in self.segments
+        if not existed and not request.create:
+            raise ServerError(f"no segment named {request.segment!r}")
+        entry = self._entry(request.segment, create=True)
+        return OpenSegmentReply(existed=existed, version=entry.state.version)
+
+    # -- locking --------------------------------------------------------------------
+
+    def _acquire(self, client_id: str, request: LockAcquireRequest) -> Message:
+        # locks never create segments: opening is explicit, and a deleted
+        # segment must not resurrect from an orphaned cache's validation
+        entry = self._entry(request.segment)
+        state = entry.state
+        policy = CoherencePolicy(request.coherence_kind, request.coherence_param)
+        if request.mode == LOCK_WRITE:
+            if entry.writer is not None and entry.writer != client_id:
+                self.stats.lock_denials += 1
+                return LockAcquireReply(granted=False, version=state.version)
+            entry.writer = client_id
+            # a writer must build on the current version, regardless of its
+            # coherence model for reads
+            diff = self._update_for(state, request.client_version)
+        else:
+            diff = None
+            if self._is_stale(entry, client_id, request, policy):
+                diff = self._update_for(state, request.client_version)
+        if diff is not None:
+            entry.coherence.on_client_updated(client_id, state.version, policy)
+        else:
+            self._sync_view(entry, client_id, request, policy)
+        return LockAcquireReply(granted=True, version=state.version, diff=diff)
+
+    def _sync_view(self, entry: _SegmentEntry, client_id: str,
+                   request: LockAcquireRequest, policy: CoherencePolicy) -> None:
+        """Record the client's policy/version without resetting its Diff
+        coherence counter (no update was sent)."""
+        view = entry.coherence.view(client_id)
+        view.policy = policy
+        view.version = request.client_version
+        view.notified = False
+
+    def _is_stale(self, entry: _SegmentEntry, client_id: str,
+                  request: LockAcquireRequest, policy: CoherencePolicy) -> bool:
+        state = entry.state
+        view = entry.coherence.view(client_id)
+        if view.version != request.client_version:
+            # the server's counter does not describe this cache (client
+            # restarted, or first contact): be conservative
+            return request.client_version < state.version
+        view.policy = policy
+        now = self.clock.now()
+        superseded = state.version_times.get(request.client_version + 1)
+        return entry.coherence.is_stale(view, state.version, state.total_prim_units,
+                                        now, superseded)
+
+    def _release(self, client_id: str, request: LockReleaseRequest) -> Message:
+        entry = self._entry(request.segment)
+        state = entry.state
+        if request.mode == LOCK_READ:
+            return LockReleaseReply(version=state.version)
+        if entry.writer != client_id:
+            raise ServerError(
+                f"client {client_id!r} released a write lock it does not hold")
+        entry.writer = None
+        if request.diff is None or (not request.diff.block_diffs
+                                    and not request.diff.new_types):
+            return LockReleaseReply(version=state.version)
+        diff = request.diff
+        modified_units = sum(bd.covered_units() for bd in diff.block_diffs)
+        new_version = state.apply_client_diff(diff, now=self.clock.now())
+        self.stats.diffs_applied += 1
+        entry.coherence.on_new_version(modified_units)
+        entry.coherence.on_client_updated(client_id, new_version,
+                                          entry.coherence.view(client_id).policy)
+        # cache the received diff for forwarding to other clients
+        for block_diff in diff.block_diffs:
+            block_diff.version = new_version
+        diff.to_version = new_version
+        self.diff_cache.put(state.name, diff.from_version, new_version,
+                            encode_segment_diff(diff))
+        self._notify_stale_subscribers(entry)
+        self._maybe_checkpoint(state)
+        if new_version % self.compact_every == 0:
+            state.compact(keep_back=self.compact_keep_back)
+        return LockReleaseReply(version=new_version)
+
+    # -- fetch / subscribe ---------------------------------------------------------------
+
+    def _fetch(self, client_id: str, request: FetchRequest) -> Message:
+        entry = self._entry(request.segment)
+        state = entry.state
+        if request.meta_only:
+            return FetchReply(version=state.version, diff=state.build_skeleton())
+        diff = self._update_for(state, request.client_version)
+        if diff is not None:
+            view = entry.coherence.view(client_id)
+            entry.coherence.on_client_updated(client_id, state.version, view.policy)
+        return FetchReply(version=state.version, diff=diff)
+
+    def _subscribe(self, client_id: str, request: SubscribeRequest) -> Message:
+        entry = self._entry(request.segment)
+        entry.coherence.subscribe(client_id, request.enable)
+        return SubscribeReply(enabled=request.enable)
+
+    def _notify_stale_subscribers(self, entry: _SegmentEntry) -> None:
+        state = entry.state
+        stale = entry.coherence.stale_subscribers(
+            state.version, state.total_prim_units, self.clock.now(),
+            lambda version: state.version_times.get(version + 1))
+        for view in stale:
+            message = encode_message(NotifyInvalidate(state.name, state.version))
+            if self.sink.push(view.client_id, message):
+                view.notified = True
+                self.stats.notifications_pushed += 1
+
+    # -- update construction -----------------------------------------------------------
+
+    def _update_for(self, state: ServerSegment,
+                    client_version: int) -> Optional[SegmentDiff]:
+        if client_version >= state.version:
+            return None
+        cached = self.diff_cache.get(state.name, client_version, state.version)
+        if cached is not None:
+            from repro.wire import decode_segment_diff
+
+            self.stats.updates_served_from_cache += 1
+            return decode_segment_diff(cached)
+        diff = self._compose_from_cache(state, client_version)
+        if diff is None:
+            diff = state.build_update(client_version)
+            if diff is None:
+                return None
+            self.stats.updates_built += 1
+        self.diff_cache.put(state.name, client_version, state.version,
+                            encode_segment_diff(diff))
+        return diff
+
+    def _compose_from_cache(self, state: ServerSegment,
+                            client_version: int) -> Optional[SegmentDiff]:
+        """Stitch cached diffs into a multi-version update, if a complete
+        chain exists — this keeps relaxed-coherence updates as precise as
+        the writers' original diffs."""
+        from repro.server.compose import compose_diffs
+        from repro.wire import decode_segment_diff
+
+        if state.version - client_version > 64:
+            return None  # probing a long chain costs more than rebuilding
+        parts = []
+        at = client_version
+        while at < state.version:
+            step = None
+            for to in range(state.version, at, -1):
+                encoded = self.diff_cache.get(state.name, at, to)
+                if encoded is not None:
+                    step = decode_segment_diff(encoded)
+                    break
+            if step is None:
+                return None  # chain broken: rebuild from subblock versions
+            parts.append(step)
+            at = step.to_version
+        try:
+            diff = compose_diffs(parts)
+        except ServerError:
+            return None
+        self.stats.updates_served_from_cache += 1
+        return diff
+
+    # -- checkpointing --------------------------------------------------------------------
+
+    def _maybe_checkpoint(self, state: ServerSegment) -> None:
+        if (self.checkpoint_dir and self.checkpoint_every
+                and state.version % self.checkpoint_every == 0):
+            self.checkpoint_segment(state.name)
+
+    def checkpoint_segment(self, segment_name: str) -> str:
+        """Checkpoint one segment now; returns the file path."""
+        if not self.checkpoint_dir:
+            raise ServerError("server has no checkpoint directory configured")
+        from repro.server.checkpoint import write_checkpoint
+
+        entry = self._entry(segment_name)
+        return write_checkpoint(entry.state, self.checkpoint_dir)

@@ -1,0 +1,125 @@
+"""The server's block version list.
+
+The blocks of a segment are kept on a linked list sorted by version number
+(``blk_version_list``).  The list is separated by *markers* into sublists,
+one per segment version; markers are also organized into a balanced tree
+sorted by version (``marker_version_tree``).
+
+Upon receiving a diff the server appends a new marker and moves every
+modified (or newly created) block to the end of the list.  To build an
+update for a client at version ``v`` it finds the first marker newer than
+``v`` in the tree and walks the list from there: every block after that
+marker has subblocks the client needs — no scan of unmodified blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.util import AVLTree
+
+
+class _Node:
+    __slots__ = ("prev", "next", "payload", "marker_version")
+
+    def __init__(self, payload=None, marker_version: Optional[int] = None):
+        self.prev: Optional[_Node] = None
+        self.next: Optional[_Node] = None
+        self.payload = payload  # a server block, or None for markers/sentinels
+        self.marker_version = marker_version
+
+    @property
+    def is_marker(self) -> bool:
+        return self.marker_version is not None
+
+
+class VersionList:
+    """Doubly linked blk_version_list + marker_version_tree."""
+
+    def __init__(self):
+        self._head = _Node()
+        self._tail = _Node()
+        self._head.next = self._tail
+        self._tail.prev = self._head
+        self.marker_version_tree = AVLTree()
+        self._nodes = {}  # block serial -> node
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def _append(self, node: _Node) -> None:
+        last = self._tail.prev
+        last.next = node
+        node.prev = last
+        node.next = self._tail
+        self._tail.prev = node
+
+    def _unlink(self, node: _Node) -> None:
+        node.prev.next = node.next
+        node.next.prev = node.prev
+        node.prev = node.next = None
+
+    # -- mutation ---------------------------------------------------------------
+
+    def append_marker(self, version: int) -> None:
+        """Start the sublist for ``version`` (must be increasing)."""
+        newest = self.marker_version_tree.max()
+        if newest is not None and version <= newest[0]:
+            raise ValueError(f"marker versions must increase ({version} <= {newest[0]})")
+        node = _Node(marker_version=version)
+        self._append(node)
+        self.marker_version_tree[version] = node
+
+    def touch(self, serial: int, block) -> None:
+        """Record that ``block`` was modified in the newest version: move it
+        (or insert it) at the tail, after the newest marker."""
+        node = self._nodes.get(serial)
+        if node is None:
+            node = _Node(payload=block)
+            self._nodes[serial] = node
+        else:
+            self._unlink(node)
+        self._append(node)
+
+    def remove(self, serial: int) -> None:
+        node = self._nodes.pop(serial, None)
+        if node is not None:
+            self._unlink(node)
+
+    # -- queries ---------------------------------------------------------------
+
+    def blocks_after(self, version: int) -> Iterator:
+        """Blocks modified in any version newer than ``version``, oldest
+        modification first (the paper's update-construction traversal)."""
+        hit = self.marker_version_tree.successor(version)
+        if hit is None:
+            return
+        node = hit[1].next
+        while node is not self._tail:
+            if not node.is_marker:
+                yield node.payload
+            node = node.next
+
+    def all_blocks(self) -> Iterator:
+        """All blocks, in version order."""
+        node = self._head.next
+        while node is not self._tail:
+            if not node.is_marker:
+                yield node.payload
+            node = node.next
+
+    def prune_markers(self, keep_newest: int = 1024) -> int:
+        """Drop markers older than the ``keep_newest``-th newest one whose
+        sublists are empty (every block has been touched more recently).
+        Returns the number pruned.  Bounds metadata growth on long-lived
+        segments."""
+        versions = list(self.marker_version_tree.keys())
+        pruned = 0
+        for version in versions[:-keep_newest] if keep_newest else versions:
+            node = self.marker_version_tree[version]
+            if node.next is not self._tail and not node.next.is_marker:
+                continue  # sublist non-empty; keep the marker
+            self._unlink(node)
+            del self.marker_version_tree[version]
+            pruned += 1
+        return pruned

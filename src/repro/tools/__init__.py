@@ -1,0 +1,1 @@
+"""Command-line tools: server daemon, checkpoint inspector, IDL compiler."""

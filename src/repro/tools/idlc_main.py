@@ -1,0 +1,91 @@
+"""The InterWeave IDL compiler, as a command-line tool.
+
+Usage::
+
+    python -m repro.tools.idlc_main TYPES.idl [-o HEADER.h] [--layout ARCH]
+
+Compiles an IDL file and emits the C language binding (a header whose
+declarations follow the IDL structure, as the paper requires).  With
+``--layout ARCH`` it instead prints each type's computed layout on that
+architecture — field offsets, sizes, padding, and the flattened
+translation runs the library would use (including the effect of the
+isomorphic-descriptor optimization).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.arch import ARCHITECTURES, get_architecture
+from repro.idl import compile_idl, generate_c_header
+from repro.types import RecordDescriptor, flat_layout
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-idlc",
+        description="Compile InterWeave IDL to a C binding or layout report.")
+    parser.add_argument("source", help="IDL source file")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write the C header here (default: stdout)")
+    parser.add_argument("--guard", default=None, help="header include guard")
+    parser.add_argument("--layout", metavar="ARCH", default=None,
+                        choices=sorted(ARCHITECTURES),
+                        help="print per-type layouts for one architecture")
+    return parser
+
+
+def layout_report(compiled, arch_name: str, out=None) -> None:
+    out = out or sys.stdout
+    arch = get_architecture(arch_name)
+    print(f"layouts on {arch.name} "
+          f"({arch.endian}-endian, {arch.pointer_size * 8}-bit pointers):",
+          file=out)
+    for name, descriptor in compiled.types.items():
+        print(f"\n{name}: {descriptor.local_size(arch)} bytes, "
+              f"align {descriptor.local_align(arch)}, "
+              f"{descriptor.prim_count} primitive units", file=out)
+        if isinstance(descriptor, RecordDescriptor):
+            for field, offset, prim in descriptor.iter_field_layout(arch):
+                print(f"  +{offset:<4d} (unit {prim:<3d}) {field.name}: "
+                      f"{field.descriptor!r}", file=out)
+        layout = flat_layout(descriptor, arch)
+        print(f"  translation program: {len(layout.runs)} run(s)", file=out)
+        for run in layout.runs:
+            print(f"    {run!r}", file=out)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"repro-idlc: cannot read {args.source}: {exc}", file=sys.stderr)
+        return 2
+    from repro.errors import IDLError
+
+    try:
+        compiled = compile_idl(source)
+    except IDLError as exc:
+        print(f"repro-idlc: {args.source}: {exc}", file=sys.stderr)
+        return 1
+    if args.layout:
+        layout_report(compiled, args.layout)
+        return 0
+    guard = args.guard
+    if guard is None:
+        stem = args.source.rsplit("/", 1)[-1].split(".")[0]
+        guard = f"IW_{stem.upper()}_H"
+    header = generate_c_header(compiled, guard=guard)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(header)
+    else:
+        sys.stdout.write(header)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Stand-alone InterWeave server over TCP.
+
+Usage::
+
+    python -m repro.tools.server_main [--host H] [--port P]
+        [--checkpoint-dir DIR] [--checkpoint-every N] [--restore]
+
+Runs an :class:`~repro.server.InterWeaveServer` behind a
+:class:`~repro.transport.TCPServerTransport`.  With ``--restore``, every
+``*.iwck`` checkpoint in the checkpoint directory is loaded before
+serving, so a crashed server resumes with its persistent segments.
+Clients connect with :class:`~repro.transport.TCPChannel`; push
+notifications are unavailable over TCP, so clients poll (the adaptive
+protocol handles this automatically).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import signal
+import sys
+import threading
+
+from repro.server import InterWeaveServer, read_checkpoint
+from repro.transport import TCPServerTransport
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-server",
+        description="Serve InterWeave segments over TCP.")
+    parser.add_argument("--name", default="server",
+                        help="server name (clients address segments as name/path)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = pick a free one)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="directory for periodic segment checkpoints")
+    parser.add_argument("--checkpoint-every", type=int, default=16,
+                        help="checkpoint a segment every N versions")
+    parser.add_argument("--restore", action="store_true",
+                        help="load existing checkpoints before serving")
+    parser.add_argument("--diff-cache-mb", type=int, default=16,
+                        help="diff cache capacity in MiB")
+    return parser
+
+
+def serve(args, ready_event: "threading.Event" = None,
+          stop_event: "threading.Event" = None) -> int:
+    """Run the server until ``stop_event`` (or SIGINT).  Returns 0."""
+    server = InterWeaveServer(
+        args.name,
+        diff_cache_bytes=args.diff_cache_mb * 1024 * 1024,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every if args.checkpoint_dir else 0)
+    restored = 0
+    if args.restore and args.checkpoint_dir:
+        for path in sorted(glob.glob(os.path.join(args.checkpoint_dir, "*.iwck"))):
+            server.add_segment(read_checkpoint(path))
+            restored += 1
+    transport = TCPServerTransport(server, host=args.host, port=args.port)
+    print(f"[repro-server] {args.name!r} listening on "
+          f"{transport.host}:{transport.port} "
+          f"({restored} segment(s) restored)", flush=True)
+    if ready_event is not None:
+        ready_event.ready_port = transport.port  # type: ignore[attr-defined]
+        ready_event.set()
+    stop = stop_event or threading.Event()
+    try:
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+    except ValueError:
+        pass  # not the main thread (tests)
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        transport.close()
+        if args.checkpoint_dir:
+            for name in list(server.segments):
+                if server.segments[name].state.version > 0:
+                    server.checkpoint_segment(name)
+            print("[repro-server] final checkpoints written", flush=True)
+    return 0
+
+
+def main(argv=None) -> int:
+    return serve(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

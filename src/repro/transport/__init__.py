@@ -1,0 +1,25 @@
+"""Transports: byte-accounting in-process channels and real TCP sockets."""
+
+from repro.transport.base import (
+    Channel,
+    Dispatcher,
+    NetworkModel,
+    NotificationSink,
+    NullSink,
+    TransportStats,
+)
+from repro.transport.inproc import InProcChannel, InProcHub
+from repro.transport.tcp import TCPChannel, TCPServerTransport
+
+__all__ = [
+    "Channel",
+    "Dispatcher",
+    "InProcChannel",
+    "InProcHub",
+    "NetworkModel",
+    "NotificationSink",
+    "NullSink",
+    "TCPChannel",
+    "TCPServerTransport",
+    "TransportStats",
+]

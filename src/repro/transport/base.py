@@ -1,0 +1,110 @@
+"""Transport abstractions.
+
+A :class:`Channel` carries one client's requests to one server and returns
+replies; bytes in, bytes out.  Whatever the concrete transport (in-process
+or TCP), **every message crosses a real serialization boundary**, so the
+byte counts recorded in :class:`TransportStats` are genuine wire sizes —
+the numbers Figure 7 of the paper is about.
+
+Server-initiated traffic (the notification half of the adaptive
+polling/notification protocol) flows through a :class:`NotificationSink`;
+transports that cannot push (plain request/reply TCP here) simply report
+``can_push = False`` and clients fall back to polling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+
+class TransportStats:
+    """Byte and message accounting for one channel (or one server)."""
+
+    __slots__ = ("bytes_sent", "bytes_received", "requests", "notifications")
+
+    def __init__(self):
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.requests = 0
+        self.notifications = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+    def reset(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.requests = 0
+        self.notifications = 0
+
+    def __repr__(self):
+        return (f"TransportStats(sent={self.bytes_sent}, received={self.bytes_received}, "
+                f"requests={self.requests})")
+
+
+class Channel:
+    """A request/reply pipe from one client to one server."""
+
+    #: whether the server can push notifications back over this transport
+    can_push = False
+
+    def __init__(self):
+        self.stats = TransportStats()
+
+    def request(self, data: bytes) -> bytes:
+        raise NotImplementedError
+
+    def set_notification_handler(self, handler: Callable[[bytes], None]) -> None:
+        """Install the callback for pushed messages (push transports only)."""
+        raise NotImplementedError(f"{type(self).__name__} cannot push")
+
+    def close(self) -> None:
+        pass
+
+
+class NotificationSink:
+    """Server-side interface for pushing a message to a connected client."""
+
+    def push(self, client_id: str, data: bytes) -> bool:
+        """Deliver ``data`` to ``client_id``; False if unreachable."""
+        raise NotImplementedError
+
+
+class NullSink(NotificationSink):
+    """A sink for deployments with no push path: drops everything."""
+
+    def push(self, client_id: str, data: bytes) -> bool:
+        return False
+
+
+class Dispatcher:
+    """Server-side interface: handle one encoded request, return the reply."""
+
+    def dispatch(self, client_id: str, data: bytes) -> bytes:
+        raise NotImplementedError
+
+
+class NetworkModel:
+    """An optional latency/bandwidth cost model for simulated WAN links.
+
+    ``transfer_time(nbytes)`` returns seconds of simulated time a message
+    of that size occupies the link; channels with a virtual clock advance
+    it by that much, letting experiments reason about slow Internet links
+    without real sleeps.
+    """
+
+    def __init__(self, latency: float = 0.0, bandwidth: Optional[float] = None):
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError("bandwidth must be positive (bytes/second)")
+        self.latency = latency
+        self.bandwidth = bandwidth
+
+    def transfer_time(self, nbytes: int) -> float:
+        cost = self.latency
+        if self.bandwidth is not None:
+            cost += nbytes / self.bandwidth
+        return cost

@@ -1,0 +1,141 @@
+"""TCP transport: length-prefixed frames over real sockets.
+
+The wire protocol is trivially framed: every message (request or reply) is
+a 4-byte big-endian length followed by that many payload bytes.  A request
+frame is prefixed with the client id (so the server can attribute lock
+state); replies carry the payload alone.
+
+The server runs one thread per connection, which is plenty for the scale
+of this reproduction and keeps the code obvious.  Push notifications are
+not supported over this transport (``can_push = False``); clients fall
+back to polling, exactly the degraded mode the paper's adaptive protocol
+anticipates.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Optional
+
+from repro.errors import TransportError
+from repro.transport.base import Channel, Dispatcher
+
+_LEN = struct.Struct(">I")
+_MAX_FRAME = 1 << 30
+
+
+def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> Optional[bytes]:
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > _MAX_FRAME:
+        raise TransportError(f"frame of {length} bytes exceeds limit")
+    return _recv_exact(sock, length)
+
+
+class TCPChannel(Channel):
+    """A client connection to a TCP server."""
+
+    can_push = False
+
+    def __init__(self, host: str, port: int, client_id: str, timeout: float = 10.0):
+        super().__init__()
+        self._client_id = client_id.encode("utf-8")
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+
+    def request(self, data: bytes) -> bytes:
+        if not isinstance(data, (bytes, bytearray)):
+            raise TransportError("channels carry bytes only; serialize the message first")
+        frame = _LEN.pack(len(self._client_id)) + self._client_id + bytes(data)
+        with self._lock:
+            self.stats.requests += 1
+            self.stats.bytes_sent += len(frame)
+            try:
+                _send_frame(self._sock, frame)
+                reply = _recv_frame(self._sock)
+            except OSError as exc:
+                raise TransportError(f"TCP request failed: {exc}") from exc
+        if reply is None:
+            raise TransportError("server closed the connection")
+        self.stats.bytes_received += len(reply)
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class TCPServerTransport:
+    """Accepts connections and feeds requests to a :class:`Dispatcher`."""
+
+    def __init__(self, dispatcher: Dispatcher, host: str = "127.0.0.1", port: int = 0):
+        self._dispatcher = dispatcher
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.host, self.port = self._listener.getsockname()
+        self._running = True
+        self._threads = []
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            thread = threading.Thread(target=self._serve, args=(conn,), daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            while self._running:
+                frame = _recv_frame(conn)
+                if frame is None:
+                    return
+                (id_length,) = _LEN.unpack_from(frame, 0)
+                client_id = frame[_LEN.size:_LEN.size + id_length].decode("utf-8")
+                payload = frame[_LEN.size + id_length:]
+                reply = self._dispatcher.dispatch(client_id, payload)
+                _send_frame(conn, reply)
+        except (OSError, TransportError):
+            return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass

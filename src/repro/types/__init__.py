@@ -1,0 +1,50 @@
+"""Type descriptors, flattened layouts, and wire-format type encoding."""
+
+from repro.types.descriptor import (
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    HYPER,
+    INT,
+    PRIMITIVES,
+    SHORT,
+    ArrayDescriptor,
+    Field,
+    PointerDescriptor,
+    PrimitiveDescriptor,
+    RecordDescriptor,
+    StringDescriptor,
+    TypeDescriptor,
+    descriptor_at,
+    validate_closed,
+)
+from repro.types.layout import FlatLayout, LayoutRun, VAR_LEN_HEADER, flat_layout, iter_units
+from repro.types.registry import TypeRegistry
+from repro.types.wire_descriptor import decode_descriptor, encode_descriptor
+
+__all__ = [
+    "CHAR",
+    "DOUBLE",
+    "FLOAT",
+    "HYPER",
+    "INT",
+    "PRIMITIVES",
+    "SHORT",
+    "ArrayDescriptor",
+    "Field",
+    "FlatLayout",
+    "LayoutRun",
+    "PointerDescriptor",
+    "PrimitiveDescriptor",
+    "RecordDescriptor",
+    "StringDescriptor",
+    "TypeDescriptor",
+    "TypeRegistry",
+    "VAR_LEN_HEADER",
+    "decode_descriptor",
+    "descriptor_at",
+    "encode_descriptor",
+    "flat_layout",
+    "iter_units",
+    "validate_closed",
+]

@@ -1,0 +1,93 @@
+"""Per-segment type descriptor registries.
+
+Like blocks, type descriptors have segment-specific serial numbers that the
+client and server use to refer to types in wire-format messages.  A
+:class:`TypeRegistry` hands out those serials and interns descriptors by
+structural identity, so the same IDL type registered twice (or decoded from
+the wire twice) resolves to one serial.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import TypeDescriptorError
+from repro.types.descriptor import TypeDescriptor, validate_closed
+from repro.types.wire_descriptor import decode_descriptor, encode_descriptor
+
+
+class TypeRegistry:
+    """Maps type descriptors <-> segment-local serial numbers."""
+
+    def __init__(self):
+        self._by_serial: Dict[int, TypeDescriptor] = {}
+        self._by_key: Dict[tuple, int] = {}
+        self._encoded: Dict[int, bytes] = {}
+        self._next_serial = 1
+
+    def __len__(self) -> int:
+        return len(self._by_serial)
+
+    def register(self, descriptor: TypeDescriptor) -> int:
+        """Intern ``descriptor`` and return its serial (idempotent)."""
+        validate_closed(descriptor)
+        key = descriptor.type_key()
+        serial = self._by_key.get(key)
+        if serial is not None:
+            return serial
+        serial = self._next_serial
+        self._next_serial += 1
+        self._by_serial[serial] = descriptor
+        self._by_key[key] = serial
+        self._encoded[serial] = encode_descriptor(descriptor)
+        return serial
+
+    def register_with_serial(self, serial: int, encoded: bytes) -> TypeDescriptor:
+        """Install a descriptor received from the wire under a fixed serial.
+
+        Used by the server (and by clients receiving segments containing
+        types they have not registered locally) to adopt a peer's serial
+        assignment.
+        """
+        existing = self._by_serial.get(serial)
+        if existing is not None:
+            if self._encoded[serial] != encoded:
+                raise TypeDescriptorError(f"type serial {serial} already bound to a different type")
+            return existing
+        descriptor = decode_descriptor(encoded)
+        key = descriptor.type_key()
+        if key in self._by_key and self._by_key[key] != serial:
+            raise TypeDescriptorError(
+                f"type already registered under serial {self._by_key[key]}, got {serial}")
+        self._by_serial[serial] = descriptor
+        self._by_key[key] = serial
+        self._encoded[serial] = encoded
+        self._next_serial = max(self._next_serial, serial + 1)
+        return descriptor
+
+    def lookup(self, serial: int) -> TypeDescriptor:
+        try:
+            return self._by_serial[serial]
+        except KeyError:
+            raise TypeDescriptorError(f"unknown type serial {serial}") from None
+
+    def serial_of(self, descriptor: TypeDescriptor) -> int:
+        try:
+            return self._by_key[descriptor.type_key()]
+        except KeyError:
+            raise TypeDescriptorError(f"descriptor {descriptor!r} not registered") from None
+
+    def encoded(self, serial: int) -> bytes:
+        try:
+            return self._encoded[serial]
+        except KeyError:
+            raise TypeDescriptorError(f"unknown type serial {serial}") from None
+
+    def contains_serial(self, serial: int) -> bool:
+        return serial in self._by_serial
+
+    def items(self) -> Iterator[Tuple[int, TypeDescriptor]]:
+        return iter(sorted(self._by_serial.items()))
+
+    def get_serial(self, descriptor: TypeDescriptor) -> Optional[int]:
+        return self._by_key.get(descriptor.type_key())

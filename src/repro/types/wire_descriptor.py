@@ -1,0 +1,204 @@
+"""Machine-independent encoding of type descriptors.
+
+The InterWeave server is oblivious to client languages and architectures:
+it "must obtain its type descriptors from clients, and convert them to a
+form that describes the layout of blocks in machine-independent wire
+format".  This module is that form — a compact, canonical byte encoding of
+a descriptor graph that any client can produce and the server (or another
+client) can reconstruct.
+
+The encoding is a flat table of descriptor nodes.  Records and pointer
+targets refer to other nodes by table index, so arbitrary recursive type
+graphs round-trip.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List
+
+from repro.errors import WireFormatError
+from repro.types.descriptor import (
+    ArrayDescriptor,
+    Field,
+    PointerDescriptor,
+    PrimitiveDescriptor,
+    RecordDescriptor,
+    StringDescriptor,
+    TypeDescriptor,
+)
+from repro.arch import PrimKind
+
+_TAG_PRIMITIVE = 1
+_TAG_STRING = 2
+_TAG_POINTER = 3
+_TAG_ARRAY = 4
+_TAG_RECORD = 5
+
+_PRIM_CODES = {
+    PrimKind.CHAR: 1,
+    PrimKind.SHORT: 2,
+    PrimKind.INT: 3,
+    PrimKind.HYPER: 4,
+    PrimKind.FLOAT: 5,
+    PrimKind.DOUBLE: 6,
+}
+_PRIM_BY_CODE = {code: kind for kind, code in _PRIM_CODES.items()}
+
+
+def _pack_name(name: str) -> bytes:
+    data = name.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise WireFormatError(f"name too long: {len(data)} bytes")
+    return struct.pack(">H", len(data)) + data
+
+
+def _unpack_name(buffer: bytes, offset: int):
+    (length,) = struct.unpack_from(">H", buffer, offset)
+    offset += 2
+    return buffer[offset:offset + length].decode("utf-8"), offset + length
+
+
+def encode_descriptor(descriptor: TypeDescriptor) -> bytes:
+    """Serialize a descriptor graph to canonical wire bytes."""
+    nodes: List[TypeDescriptor] = []
+    index: Dict[int, int] = {}
+
+    def visit(node: TypeDescriptor) -> int:
+        node_id = id(node)
+        if node_id in index:
+            return index[node_id]
+        slot = len(nodes)
+        index[node_id] = slot
+        nodes.append(node)
+        if isinstance(node, ArrayDescriptor):
+            visit(node.element)
+        elif isinstance(node, RecordDescriptor):
+            for field in node.fields:
+                visit(field.descriptor)
+        elif isinstance(node, PointerDescriptor):
+            if node.target is None:
+                raise WireFormatError(
+                    f"cannot encode pointer with unresolved target {node.target_name!r}")
+            visit(node.target)
+        return slot
+
+    visit(descriptor)
+
+    parts = [struct.pack(">I", len(nodes))]
+    for node in nodes:
+        if isinstance(node, PrimitiveDescriptor):
+            parts.append(struct.pack(">BB", _TAG_PRIMITIVE, _PRIM_CODES[node.kind]))
+        elif isinstance(node, StringDescriptor):
+            parts.append(struct.pack(">BI", _TAG_STRING, node.capacity))
+        elif isinstance(node, PointerDescriptor):
+            parts.append(struct.pack(">BI", _TAG_POINTER, index[id(node.target)]))
+            parts.append(_pack_name(node.target_name))
+        elif isinstance(node, ArrayDescriptor):
+            parts.append(struct.pack(">BII", _TAG_ARRAY, index[id(node.element)], node.count))
+        elif isinstance(node, RecordDescriptor):
+            parts.append(struct.pack(">BH", _TAG_RECORD, len(node.fields)))
+            parts.append(_pack_name(node.name))
+            for field in node.fields:
+                parts.append(_pack_name(field.name))
+                parts.append(struct.pack(">I", index[id(field.descriptor)]))
+        else:
+            raise WireFormatError(f"cannot encode descriptor {node!r}")
+    return b"".join(parts)
+
+
+def decode_descriptor(buffer: bytes) -> TypeDescriptor:
+    """Reconstruct a descriptor graph from :func:`encode_descriptor` bytes."""
+    if len(buffer) < 4:
+        raise WireFormatError("descriptor buffer truncated")
+    (count,) = struct.unpack_from(">I", buffer, 0)
+    if count == 0:
+        raise WireFormatError("empty descriptor table")
+    if count * 2 > len(buffer):  # every node needs at least 2 bytes
+        raise WireFormatError(f"descriptor table claims {count} nodes "
+                              f"in a {len(buffer)}-byte buffer")
+    offset = 4
+    # Two passes: materialize shells, then wire up references.
+    nodes: List[TypeDescriptor] = [None] * count  # type: ignore[list-item]
+    fixups = []  # (node_index, kind, payload)
+
+    for slot in range(count):
+        if offset >= len(buffer):
+            raise WireFormatError("descriptor buffer truncated")
+        tag = buffer[offset]
+        offset += 1
+        if tag == _TAG_PRIMITIVE:
+            code = buffer[offset]
+            offset += 1
+            try:
+                kind = _PRIM_BY_CODE[code]
+            except KeyError:
+                raise WireFormatError(f"unknown primitive code {code}") from None
+            nodes[slot] = PrimitiveDescriptor(kind)
+        elif tag == _TAG_STRING:
+            (capacity,) = struct.unpack_from(">I", buffer, offset)
+            offset += 4
+            nodes[slot] = StringDescriptor(capacity)
+        elif tag == _TAG_POINTER:
+            (target,) = struct.unpack_from(">I", buffer, offset)
+            offset += 4
+            name, offset = _unpack_name(buffer, offset)
+            nodes[slot] = PointerDescriptor(None, target_name=name)
+            fixups.append((slot, "pointer", target))
+        elif tag == _TAG_ARRAY:
+            element, length = struct.unpack_from(">II", buffer, offset)
+            offset += 8
+            fixups.append((slot, "array", (element, length)))
+        elif tag == _TAG_RECORD:
+            (nfields,) = struct.unpack_from(">H", buffer, offset)
+            offset += 2
+            name, offset = _unpack_name(buffer, offset)
+            field_specs = []
+            for _ in range(nfields):
+                field_name, offset = _unpack_name(buffer, offset)
+                (field_type,) = struct.unpack_from(">I", buffer, offset)
+                offset += 4
+                field_specs.append((field_name, field_type))
+            fixups.append((slot, "record", (name, field_specs)))
+        else:
+            raise WireFormatError(f"unknown descriptor tag {tag}")
+
+    # Resolve arrays/records innermost-first; pointers last (may be cyclic).
+    # Arrays and records cannot be cyclic without an intervening pointer, so
+    # repeated passes terminate.
+    pending = [fix for fix in fixups if fix[1] in ("array", "record")]
+    while pending:
+        progressed = False
+        remaining = []
+        for slot, kind, payload in pending:
+            if kind == "array":
+                element_slot, length = payload
+                element = nodes[element_slot]
+                if element is None:
+                    remaining.append((slot, kind, payload))
+                    continue
+                nodes[slot] = ArrayDescriptor(element, length)
+            else:
+                name, field_specs = payload
+                if any(nodes[type_slot] is None for _, type_slot in field_specs):
+                    remaining.append((slot, kind, payload))
+                    continue
+                nodes[slot] = RecordDescriptor(
+                    name, [Field(field_name, nodes[type_slot])
+                           for field_name, type_slot in field_specs])
+            progressed = True
+        if not progressed:
+            raise WireFormatError("cyclic array/record structure without pointer")
+        pending = remaining
+
+    for slot, kind, payload in fixups:
+        if kind == "pointer":
+            target = nodes[payload]
+            if target is None:
+                raise WireFormatError("pointer target unresolved after decode")
+            nodes[slot].target = target
+
+    root = nodes[0]
+    if root is None:
+        raise WireFormatError("empty descriptor table")
+    return root

@@ -1,0 +1,8 @@
+"""Shared infrastructure: balanced trees, locks, clocks, run algebra."""
+
+from repro.util.avltree import AVLTree
+from repro.util.clock import Clock, VirtualClock, WallClock
+from repro.util.rwlock import ReaderWriterLock
+from repro.util import runs
+
+__all__ = ["AVLTree", "Clock", "VirtualClock", "WallClock", "ReaderWriterLock", "runs"]

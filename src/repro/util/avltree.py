@@ -1,0 +1,301 @@
+"""A self-balancing (AVL) ordered map.
+
+InterWeave's metadata is dominated by balanced search trees: the client
+keeps blocks sorted by serial number, by symbolic name, and by address
+(``blk_number_tree``, ``blk_name_tree``, ``blk_addr_tree``), plus a global
+tree of subsegments sorted by address (``subseg_addr_tree``); the server
+keeps blocks by serial number (``svr_blk_number_tree``) and version markers
+by version (``marker_version_tree``).  All of those are instances of this
+class.
+
+Beyond the usual ordered-map operations, the lookups the paper's algorithms
+need are *floor* searches ("the block/subsegment spanning this address" =
+greatest key <= address) and ordered iteration from a key ("the first
+marker newer than the client's version" = successor search), so both are
+first-class operations here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key, value):
+        self.key = key
+        self.value = value
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.height = 1
+
+
+def _height(node: Optional[_Node]) -> int:
+    return node.height if node is not None else 0
+
+
+def _update(node: _Node) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _balance_factor(node: _Node) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(y: _Node) -> _Node:
+    x = y.left
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rotate_left(x: _Node) -> _Node:
+    y = x.right
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _rebalance(node: _Node) -> _Node:
+    _update(node)
+    balance = _balance_factor(node)
+    if balance > 1:
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AVLTree:
+    """An ordered map with floor/ceiling search and range iteration.
+
+    Keys must be mutually comparable.  ``None`` is a legal value but not a
+    legal key.
+    """
+
+    def __init__(self, items=None):
+        self._root: Optional[_Node] = None
+        self._size = 0
+        if items:
+            for key, value in items:
+                self[key] = value
+
+    # -- basic map protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key) -> bool:
+        return self._find(key) is not None
+
+    def __getitem__(self, key):
+        node = self._find(key)
+        if node is None:
+            raise KeyError(key)
+        return node.value
+
+    def get(self, key, default=None):
+        node = self._find(key)
+        return node.value if node is not None else default
+
+    def __setitem__(self, key, value) -> None:
+        self._root, inserted = self._insert(self._root, key, value)
+        if inserted:
+            self._size += 1
+
+    def __delitem__(self, key) -> None:
+        self._root, removed = self._delete(self._root, key)
+        if not removed:
+            raise KeyError(key)
+        self._size -= 1
+
+    def pop(self, key, *default):
+        node = self._find(key)
+        if node is None:
+            if default:
+                return default[0]
+            raise KeyError(key)
+        value = node.value
+        del self[key]
+        return value
+
+    def clear(self) -> None:
+        self._root = None
+        self._size = 0
+
+    # -- ordered searches ----------------------------------------------------
+
+    def floor(self, key) -> Optional[Tuple[Any, Any]]:
+        """Return the (key, value) pair with the greatest key <= ``key``."""
+        node, best = self._root, None
+        while node is not None:
+            if node.key == key:
+                return (node.key, node.value)
+            if node.key < key:
+                best = node
+                node = node.right
+            else:
+                node = node.left
+        return (best.key, best.value) if best is not None else None
+
+    def ceiling(self, key) -> Optional[Tuple[Any, Any]]:
+        """Return the (key, value) pair with the least key >= ``key``."""
+        node, best = self._root, None
+        while node is not None:
+            if node.key == key:
+                return (node.key, node.value)
+            if node.key > key:
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        return (best.key, best.value) if best is not None else None
+
+    def successor(self, key) -> Optional[Tuple[Any, Any]]:
+        """Return the (key, value) pair with the least key strictly > ``key``."""
+        node, best = self._root, None
+        while node is not None:
+            if node.key > key:
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        return (best.key, best.value) if best is not None else None
+
+    def min(self) -> Optional[Tuple[Any, Any]]:
+        node = self._root
+        if node is None:
+            return None
+        while node.left is not None:
+            node = node.left
+        return (node.key, node.value)
+
+    def max(self) -> Optional[Tuple[Any, Any]]:
+        node = self._root
+        if node is None:
+            return None
+        while node.right is not None:
+            node = node.right
+        return (node.key, node.value)
+
+    # -- iteration -----------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Yield (key, value) pairs in ascending key order."""
+        stack, node = [], self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield (node.key, node.value)
+            node = node.right
+
+    def keys(self) -> Iterator[Any]:
+        for key, _ in self.items():
+            yield key
+
+    def values(self) -> Iterator[Any]:
+        for _, value in self.items():
+            yield value
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.keys()
+
+    def items_from(self, key, inclusive=True) -> Iterator[Tuple[Any, Any]]:
+        """Yield (key, value) pairs in ascending order starting at ``key``.
+
+        With ``inclusive=False`` this is the paper's "first marker whose
+        version is newer than the client's version" traversal.
+        """
+        stack, node = [], self._root
+        while stack or node is not None:
+            while node is not None:
+                if node.key > key or (inclusive and node.key == key):
+                    stack.append(node)
+                    node = node.left
+                else:
+                    node = node.right
+            if not stack:
+                return
+            node = stack.pop()
+            yield (node.key, node.value)
+            node = node.right
+
+    # -- internals -----------------------------------------------------------
+
+    def _find(self, key) -> Optional[_Node]:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return None
+
+    def _insert(self, node: Optional[_Node], key, value):
+        if node is None:
+            return _Node(key, value), True
+        if key == node.key:
+            node.value = value
+            return node, False
+        if key < node.key:
+            node.left, inserted = self._insert(node.left, key, value)
+        else:
+            node.right, inserted = self._insert(node.right, key, value)
+        return (_rebalance(node) if inserted else node), inserted
+
+    def _delete(self, node: Optional[_Node], key):
+        if node is None:
+            return None, False
+        if key < node.key:
+            node.left, removed = self._delete(node.left, key)
+        elif key > node.key:
+            node.right, removed = self._delete(node.right, key)
+        else:
+            removed = True
+            if node.left is None:
+                return node.right, True
+            if node.right is None:
+                return node.left, True
+            # Replace with in-order successor.
+            successor = node.right
+            while successor.left is not None:
+                successor = successor.left
+            node.key, node.value = successor.key, successor.value
+            node.right, _ = self._delete(node.right, successor.key)
+        return (_rebalance(node) if removed else node), removed
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate AVL balance and ordering; raises AssertionError if broken."""
+
+        def recurse(node):
+            if node is None:
+                return 0, None, None
+            left_h, left_min, left_max = recurse(node.left)
+            right_h, right_min, right_max = recurse(node.right)
+            assert abs(left_h - right_h) <= 1, "AVL balance violated"
+            if left_max is not None:
+                assert left_max < node.key, "BST order violated"
+            if right_min is not None:
+                assert node.key < right_min, "BST order violated"
+            height = 1 + max(left_h, right_h)
+            assert node.height == height, "cached height stale"
+            low = left_min if left_min is not None else node.key
+            high = right_max if right_max is not None else node.key
+            return height, low, high
+
+        recurse(self._root)

@@ -1,0 +1,50 @@
+"""Virtual time.
+
+Temporal coherence ("no more than *x* time units out of date") needs a
+clock.  Real wall-clock time makes tests and benchmarks nondeterministic,
+so the library routes every time read through a :class:`Clock` object:
+:class:`WallClock` for deployments, :class:`VirtualClock` for tests,
+simulations, and the reproduction experiments (where "time" advances with
+simulated work, exactly as in a discrete-event simulation).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Interface: ``now()`` returns a monotonically nondecreasing float."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real monotonic time, for live deployments."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class VirtualClock(Clock):
+    """Deterministic, manually advanced time for simulation and tests."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` (must be >= 0); returns the new time."""
+        if delta < 0:
+            raise ValueError(f"time cannot move backwards (delta={delta})")
+        self._now += delta
+        return self._now
+
+    def set(self, timestamp: float) -> None:
+        """Jump to an absolute time (must not be in the past)."""
+        if timestamp < self._now:
+            raise ValueError(f"time cannot move backwards ({timestamp} < {self._now})")
+        self._now = float(timestamp)

@@ -1,0 +1,84 @@
+"""Run (half-open interval) algebra.
+
+Diffs in InterWeave are run-length encoded: a change is a *run* — a start
+offset and a length, both in primitive data units (wire side) or words
+(page-diffing side).  This module centralizes the interval arithmetic those
+layers share: normalization, merging, splicing small gaps (the paper's
+"diff run splicing" optimization), intersection, and coverage accounting.
+
+Runs are ``(start, length)`` tuples with ``length > 0``, interpreted as the
+half-open interval ``[start, start + length)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+Run = Tuple[int, int]
+
+
+def normalize(runs: Iterable[Run]) -> List[Run]:
+    """Sort runs and merge overlapping or adjacent ones."""
+    ordered = sorted((start, length) for start, length in runs if length > 0)
+    merged: List[Run] = []
+    for start, length in ordered:
+        if merged and start <= merged[-1][0] + merged[-1][1]:
+            prev_start, prev_length = merged[-1]
+            merged[-1] = (prev_start, max(prev_start + prev_length, start + length) - prev_start)
+        else:
+            merged.append((start, length))
+    return merged
+
+
+def splice(runs: Iterable[Run], max_gap: int) -> List[Run]:
+    """Merge runs separated by gaps of at most ``max_gap`` units.
+
+    This is the paper's *diff run splicing*: it costs two words to encode a
+    run header, so when one or two unchanged words sit between two changed
+    runs it is cheaper (and faster to apply) to transmit the gap as if it
+    had changed.  ``max_gap=0`` degenerates to :func:`normalize`.
+    """
+    merged: List[Run] = []
+    for start, length in normalize(runs):
+        if merged and start - (merged[-1][0] + merged[-1][1]) <= max_gap:
+            prev_start = merged[-1][0]
+            merged[-1] = (prev_start, start + length - prev_start)
+        else:
+            merged.append((start, length))
+    return merged
+
+
+def intersect(runs: Iterable[Run], window_start: int, window_length: int) -> List[Run]:
+    """Clip runs to the window ``[window_start, window_start + window_length)``."""
+    window_end = window_start + window_length
+    clipped: List[Run] = []
+    for start, length in runs:
+        lo = max(start, window_start)
+        hi = min(start + length, window_end)
+        if lo < hi:
+            clipped.append((lo, hi - lo))
+    return clipped
+
+
+def shift(runs: Iterable[Run], delta: int) -> List[Run]:
+    """Translate every run by ``delta`` units."""
+    return [(start + delta, length) for start, length in runs]
+
+
+def total_length(runs: Iterable[Run]) -> int:
+    """Units covered, assuming the runs are already disjoint."""
+    return sum(length for _, length in runs)
+
+
+def complement(runs: Iterable[Run], window_start: int, window_length: int) -> List[Run]:
+    """Return the gaps inside the window not covered by ``runs``."""
+    gaps: List[Run] = []
+    cursor = window_start
+    window_end = window_start + window_length
+    for start, length in intersect(normalize(runs), window_start, window_length):
+        if start > cursor:
+            gaps.append((cursor, start - cursor))
+        cursor = start + length
+    if cursor < window_end:
+        gaps.append((cursor, window_end - cursor))
+    return gaps

@@ -1,0 +1,116 @@
+"""A reader-writer lock.
+
+InterWeave synchronization is segment-granularity reader-writer locking
+(``IW_rl_acquire`` / ``IW_wl_acquire``).  The server arbitrates lock
+requests between clients; this class provides the local arbiter used by the
+server's lock manager and, in multi-threaded deployments, by the client
+library to serialize its own threads.
+
+The lock is writer-preferring: once a writer is waiting, new readers queue
+behind it, which prevents writer starvation under a steady read load (the
+behaviour the paper's applications — one producer, many visualization
+readers — rely on).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReaderWriterLock:
+    """Writer-preferring reader-writer lock for threads."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # -- read side -----------------------------------------------------------
+
+    def acquire_read(self, timeout=None) -> bool:
+        with self._cond:
+            deadline = None if timeout is None else _deadline(timeout)
+            while self._writer or self._writers_waiting:
+                if not _wait(self._cond, deadline):
+                    return False
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without matching acquire_read")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- write side ----------------------------------------------------------
+
+    def acquire_write(self, timeout=None) -> bool:
+        with self._cond:
+            deadline = None if timeout is None else _deadline(timeout)
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    if not _wait(self._cond, deadline):
+                        return False
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+            return True
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer:
+                raise RuntimeError("release_write without matching acquire_write")
+            self._writer = False
+            self._cond.notify_all()
+
+    # -- context managers ----------------------------------------------------
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def readers(self) -> int:
+        return self._readers
+
+    @property
+    def has_writer(self) -> bool:
+        return self._writer
+
+
+def _deadline(timeout):
+    import time
+
+    return time.monotonic() + timeout
+
+
+def _wait(cond, deadline) -> bool:
+    if deadline is None:
+        cond.wait()
+        return True
+    import time
+
+    remaining = deadline - time.monotonic()
+    if remaining <= 0:
+        return False
+    cond.wait(remaining)
+    return True  # caller's while-loop re-checks the predicate and the deadline

@@ -1,0 +1,116 @@
+"""A minimal canonical binary codec (big-endian, length-prefixed blobs).
+
+Everything InterWeave puts on the wire — diffs, protocol messages, type
+descriptors — is built from a handful of primitives: fixed-width unsigned
+integers, raw byte runs, and length-prefixed blobs/strings.  This module
+provides the writer/reader pair the other wire modules share.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.errors import WireFormatError
+
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_F64 = struct.Struct(">d")
+
+
+class Writer:
+    """Accumulates canonical bytes."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self):
+        self.parts: List[bytes] = []
+
+    def u8(self, value: int) -> "Writer":
+        self.parts.append(bytes([value]))
+        return self
+
+    def u32(self, value: int) -> "Writer":
+        self.parts.append(_U32.pack(value))
+        return self
+
+    def u64(self, value: int) -> "Writer":
+        self.parts.append(_U64.pack(value))
+        return self
+
+    def f64(self, value: float) -> "Writer":
+        self.parts.append(_F64.pack(value))
+        return self
+
+    def boolean(self, value: bool) -> "Writer":
+        return self.u8(1 if value else 0)
+
+    def raw(self, data: bytes) -> "Writer":
+        self.parts.append(data)
+        return self
+
+    def blob(self, data: bytes) -> "Writer":
+        self.u32(len(data))
+        return self.raw(data)
+
+    def text(self, value: str) -> "Writer":
+        return self.blob(value.encode("utf-8"))
+
+    def getvalue(self) -> bytes:
+        return b"".join(self.parts)
+
+
+class Reader:
+    """Consumes canonical bytes, raising WireFormatError on truncation."""
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self.data = data
+        self.offset = offset
+
+    def u8(self) -> int:
+        if self.offset >= len(self.data):
+            raise WireFormatError("buffer truncated")
+        value = self.data[self.offset]
+        self.offset += 1
+        return value
+
+    def _unpack(self, codec):
+        try:
+            (value,) = codec.unpack_from(self.data, self.offset)
+        except struct.error:
+            raise WireFormatError("buffer truncated") from None
+        self.offset += codec.size
+        return value
+
+    def u32(self) -> int:
+        return self._unpack(_U32)
+
+    def u64(self) -> int:
+        return self._unpack(_U64)
+
+    def f64(self) -> float:
+        return self._unpack(_F64)
+
+    def boolean(self) -> bool:
+        return self.u8() != 0
+
+    def raw(self, size: int) -> bytes:
+        chunk = self.data[self.offset:self.offset + size]
+        if len(chunk) != size:
+            raise WireFormatError("buffer truncated")
+        self.offset += size
+        return chunk
+
+    def blob(self) -> bytes:
+        return self.raw(self.u32())
+
+    def text(self) -> str:
+        try:
+            return self.blob().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"invalid UTF-8 in text field: {exc}") from exc
+
+    def at_end(self) -> bool:
+        return self.offset == len(self.data)

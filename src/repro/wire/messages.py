@@ -1,0 +1,343 @@
+"""Client <-> server protocol messages.
+
+Every interaction between an InterWeave client library and a server is one
+of a small set of request/reply messages, all serialized with the
+canonical codec — even when client and server share a process, the message
+crosses a real serialization boundary, so measured byte counts are genuine
+wire sizes.
+
+Requests
+--------
+- :class:`OpenSegmentRequest` — open (or create) a segment.
+- :class:`LockAcquireRequest` — acquire a read or write lock; carries the
+  client's cached version and coherence model so the server can decide
+  whether the cache is "recent enough", and piggyback an update diff on
+  the grant when it is not.
+- :class:`LockReleaseRequest` — release a lock; a write release carries
+  the wire-format diff of everything modified in the critical section.
+- :class:`FetchRequest` — fetch an update diff without locking (used by
+  the polling side of the adaptive polling/notification protocol).
+- :class:`SubscribeRequest` — toggle server notifications for a segment
+  (the notification side of the same protocol).
+
+Replies mirror requests; :class:`ErrorReply` carries failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import Dict, Optional, Type
+
+from repro.errors import WireFormatError
+from repro.wire.codec import Reader, Writer
+from repro.wire.diff import SegmentDiff, decode_segment_diff, encode_segment_diff
+
+LOCK_READ = 0
+LOCK_WRITE = 1
+
+#: Coherence model identifiers carried in lock requests.
+COHERENCE_FULL = 0
+COHERENCE_DELTA = 1
+COHERENCE_TEMPORAL = 2
+COHERENCE_DIFF = 3
+
+
+class Message:
+    """Base: a self-identifying, codec-serializable protocol message."""
+
+    TAG: int = -1
+
+    def encode_body(self, out: Writer) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "Message":
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[int, Type[Message]] = {}
+
+
+def _register(cls: Type[Message]) -> Type[Message]:
+    if cls.TAG in _REGISTRY:
+        raise ValueError(f"duplicate message tag {cls.TAG}")
+    _REGISTRY[cls.TAG] = cls
+    return cls
+
+
+def encode_message(message: Message) -> bytes:
+    out = Writer()
+    out.u8(message.TAG)
+    message.encode_body(out)
+    return out.getvalue()
+
+
+def decode_message(data: bytes) -> Message:
+    reader = Reader(data)
+    tag = reader.u8()
+    cls = _REGISTRY.get(tag)
+    if cls is None:
+        raise WireFormatError(f"unknown message tag {tag}")
+    message = cls.decode_body(reader)
+    if not reader.at_end():
+        raise WireFormatError(f"trailing bytes after {cls.__name__}")
+    return message
+
+
+def _encode_optional_diff(out: Writer, diff: Optional[SegmentDiff]) -> None:
+    if diff is None:
+        out.boolean(False)
+    else:
+        out.boolean(True)
+        out.blob(encode_segment_diff(diff))
+
+
+def _decode_optional_diff(reader: Reader) -> Optional[SegmentDiff]:
+    if not reader.boolean():
+        return None
+    return decode_segment_diff(reader.blob())
+
+
+# ---------------------------------------------------------------------------
+# requests
+# ---------------------------------------------------------------------------
+
+@_register
+@dataclass
+class OpenSegmentRequest(Message):
+    TAG = 1
+    segment: str
+    create: bool = True
+    client_id: str = ""
+
+    def encode_body(self, out: Writer) -> None:
+        out.text(self.segment).boolean(self.create).text(self.client_id)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "OpenSegmentRequest":
+        return cls(reader.text(), reader.boolean(), reader.text())
+
+
+@_register
+@dataclass
+class LockAcquireRequest(Message):
+    TAG = 2
+    segment: str
+    mode: int  # LOCK_READ or LOCK_WRITE
+    client_id: str
+    client_version: int  # version of the client's cached copy (0 = none)
+    coherence_kind: int = COHERENCE_FULL
+    coherence_param: float = 0.0
+    client_time: float = 0.0  # client clock, for temporal coherence
+
+    def encode_body(self, out: Writer) -> None:
+        (out.text(self.segment).u8(self.mode).text(self.client_id)
+            .u32(self.client_version).u8(self.coherence_kind)
+            .f64(self.coherence_param).f64(self.client_time))
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "LockAcquireRequest":
+        return cls(reader.text(), reader.u8(), reader.text(), reader.u32(),
+                   reader.u8(), reader.f64(), reader.f64())
+
+
+@_register
+@dataclass
+class LockReleaseRequest(Message):
+    TAG = 3
+    segment: str
+    mode: int
+    client_id: str
+    diff: Optional[SegmentDiff] = None  # present on write release
+
+    def encode_body(self, out: Writer) -> None:
+        out.text(self.segment).u8(self.mode).text(self.client_id)
+        _encode_optional_diff(out, self.diff)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "LockReleaseRequest":
+        return cls(reader.text(), reader.u8(), reader.text(),
+                   _decode_optional_diff(reader))
+
+
+@_register
+@dataclass
+class FetchRequest(Message):
+    TAG = 4
+    segment: str
+    client_id: str
+    client_version: int
+    #: metadata only: block skeletons and types, no data runs.  Used by
+    #: IW_mip_to_ptr to reserve space for a segment that is not yet locked
+    #: ("actual data will not be copied until the segment is locked").
+    meta_only: bool = False
+
+    def encode_body(self, out: Writer) -> None:
+        (out.text(self.segment).text(self.client_id)
+            .u32(self.client_version).boolean(self.meta_only))
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "FetchRequest":
+        return cls(reader.text(), reader.text(), reader.u32(), reader.boolean())
+
+
+@_register
+@dataclass
+class DeleteSegmentRequest(Message):
+    """Destroy a segment at the server.  Clients still caching it will get
+    errors on their next validation — deletion is administrative, not
+    coherent."""
+
+    TAG = 6
+    segment: str
+    client_id: str
+
+    def encode_body(self, out: Writer) -> None:
+        out.text(self.segment).text(self.client_id)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "DeleteSegmentRequest":
+        return cls(reader.text(), reader.text())
+
+
+@_register
+@dataclass
+class DeleteSegmentReply(Message):
+    TAG = 70
+    deleted: bool
+
+    def encode_body(self, out: Writer) -> None:
+        out.boolean(self.deleted)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "DeleteSegmentReply":
+        return cls(reader.boolean())
+
+
+@_register
+@dataclass
+class SubscribeRequest(Message):
+    TAG = 5
+    segment: str
+    client_id: str
+    enable: bool
+
+    def encode_body(self, out: Writer) -> None:
+        out.text(self.segment).text(self.client_id).boolean(self.enable)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "SubscribeRequest":
+        return cls(reader.text(), reader.text(), reader.boolean())
+
+
+# ---------------------------------------------------------------------------
+# replies
+# ---------------------------------------------------------------------------
+
+@_register
+@dataclass
+class OpenSegmentReply(Message):
+    TAG = 64
+    existed: bool
+    version: int
+
+    def encode_body(self, out: Writer) -> None:
+        out.boolean(self.existed).u32(self.version)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "OpenSegmentReply":
+        return cls(reader.boolean(), reader.u32())
+
+
+@_register
+@dataclass
+class LockAcquireReply(Message):
+    TAG = 65
+    granted: bool
+    version: int = 0  # current segment version at the server
+    diff: Optional[SegmentDiff] = None  # update, when the cache is stale
+
+    def encode_body(self, out: Writer) -> None:
+        out.boolean(self.granted).u32(self.version)
+        _encode_optional_diff(out, self.diff)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "LockAcquireReply":
+        return cls(reader.boolean(), reader.u32(), _decode_optional_diff(reader))
+
+
+@_register
+@dataclass
+class LockReleaseReply(Message):
+    TAG = 66
+    version: int  # the version the release produced (write) or held (read)
+
+    def encode_body(self, out: Writer) -> None:
+        out.u32(self.version)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "LockReleaseReply":
+        return cls(reader.u32())
+
+
+@_register
+@dataclass
+class FetchReply(Message):
+    TAG = 67
+    version: int
+    diff: Optional[SegmentDiff] = None  # None when already current
+
+    def encode_body(self, out: Writer) -> None:
+        out.u32(self.version)
+        _encode_optional_diff(out, self.diff)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "FetchReply":
+        return cls(reader.u32(), _decode_optional_diff(reader))
+
+
+@_register
+@dataclass
+class SubscribeReply(Message):
+    TAG = 68
+    enabled: bool
+
+    def encode_body(self, out: Writer) -> None:
+        out.boolean(self.enabled)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "SubscribeReply":
+        return cls(reader.boolean())
+
+
+@_register
+@dataclass
+class NotifyInvalidate(Message):
+    """Server -> client notification: the segment moved past a coherence
+    bound, so the client's next acquire must revalidate."""
+
+    TAG = 69
+    segment: str
+    version: int
+
+    def encode_body(self, out: Writer) -> None:
+        out.text(self.segment).u32(self.version)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "NotifyInvalidate":
+        return cls(reader.text(), reader.u32())
+
+
+@_register
+@dataclass
+class ErrorReply(Message):
+    TAG = 127
+    message: str
+
+    def encode_body(self, out: Writer) -> None:
+        out.text(self.message)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "ErrorReply":
+        return cls(reader.text())

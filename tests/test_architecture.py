@@ -1,0 +1,113 @@
+"""Tests for the machine architecture models."""
+
+import pytest
+
+from repro.arch import (
+    ALPHA,
+    ARCHITECTURES,
+    MIPS32,
+    SPARC_V9,
+    X86_32,
+    X86_64,
+    Architecture,
+    PrimKind,
+    get_architecture,
+)
+
+
+class TestDefinitions:
+    def test_builtin_registry(self):
+        assert ARCHITECTURES["x86-32"] is X86_32
+        assert get_architecture("alpha") is ALPHA
+        with pytest.raises(KeyError):
+            get_architecture("pdp-11")
+
+    def test_endianness_split(self):
+        assert X86_32.endian == "little"
+        assert ALPHA.endian == "little"
+        assert SPARC_V9.endian == "big"
+        assert MIPS32.endian == "big"
+
+    def test_pointer_sizes(self):
+        assert X86_32.pointer_size == 4
+        assert ALPHA.pointer_size == 8
+        assert SPARC_V9.pointer_size == 8
+        assert MIPS32.pointer_size == 4
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            Architecture("bad", "middle", 4, 4, 4)
+        with pytest.raises(ValueError):
+            Architecture("bad", "little", 3, 4, 4)
+        with pytest.raises(ValueError):
+            Architecture("bad", "little", 4, 16, 4)
+
+
+class TestSizesAndAlignment:
+    def test_prim_sizes(self):
+        for arch in ARCHITECTURES.values():
+            assert arch.prim_size(PrimKind.CHAR) == 1
+            assert arch.prim_size(PrimKind.SHORT) == 2
+            assert arch.prim_size(PrimKind.INT) == 4
+            assert arch.prim_size(PrimKind.HYPER) == 8
+            assert arch.prim_size(PrimKind.FLOAT) == 4
+            assert arch.prim_size(PrimKind.DOUBLE) == 8
+            assert arch.prim_size(PrimKind.POINTER) == arch.pointer_size
+
+    def test_string_size_is_per_type(self):
+        with pytest.raises(ValueError):
+            X86_32.prim_size(PrimKind.STRING)
+
+    def test_double_alignment_differs_across_abis(self):
+        # i386 ABI aligns doubles to 4; 64-bit ABIs and classic RISC to 8
+        assert X86_32.prim_align(PrimKind.DOUBLE) == 4
+        assert X86_64.prim_align(PrimKind.DOUBLE) == 8
+        assert MIPS32.prim_align(PrimKind.DOUBLE) == 8
+
+    def test_align_up(self):
+        assert Architecture.align_up(0, 8) == 0
+        assert Architecture.align_up(1, 8) == 8
+        assert Architecture.align_up(8, 8) == 8
+        assert Architecture.align_up(9, 4) == 12
+
+
+class TestEncoding:
+    def test_int_byte_order(self):
+        assert X86_32.encode_prim(PrimKind.INT, 1) == b"\x01\x00\x00\x00"
+        assert SPARC_V9.encode_prim(PrimKind.INT, 1) == b"\x00\x00\x00\x01"
+
+    def test_roundtrip_all_kinds(self):
+        cases = [
+            (PrimKind.CHAR, 65),
+            (PrimKind.SHORT, -12345),
+            (PrimKind.INT, -(2**31)),
+            (PrimKind.HYPER, 2**62),
+            (PrimKind.FLOAT, 1.5),
+            (PrimKind.DOUBLE, 3.141592653589793),
+        ]
+        for arch in ARCHITECTURES.values():
+            for kind, value in cases:
+                data = arch.encode_prim(kind, value)
+                assert arch.decode_prim(kind, data) == value
+                assert len(data) == arch.prim_size(kind)
+
+    def test_char_accepts_str(self):
+        assert X86_32.encode_prim(PrimKind.CHAR, "A") == b"A"
+
+    def test_pointer_encoding_width(self):
+        assert len(X86_32.encode_prim(PrimKind.POINTER, 0xDEAD)) == 4
+        assert len(ALPHA.encode_prim(PrimKind.POINTER, 0xDEAD)) == 8
+
+    def test_decode_at_offset(self):
+        buffer = b"\xff" + X86_32.encode_prim(PrimKind.INT, 77)
+        assert X86_32.decode_prim(PrimKind.INT, buffer, 1) == 77
+
+    def test_cross_arch_same_value_different_bytes(self):
+        little = X86_32.encode_prim(PrimKind.INT, 0x01020304)
+        big = MIPS32.encode_prim(PrimKind.INT, 0x01020304)
+        assert little == bytes(reversed(big))
+
+    def test_variable_wire_size_flags(self):
+        assert PrimKind.POINTER.is_variable_wire_size
+        assert PrimKind.STRING.is_variable_wire_size
+        assert not PrimKind.INT.is_variable_wire_size

@@ -1,0 +1,168 @@
+"""Tests for the AVL ordered map used by all InterWeave metadata trees."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.avltree import AVLTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = AVLTree()
+        assert len(tree) == 0
+        assert not tree
+        assert 1 not in tree
+        assert tree.get(1) is None
+        assert tree.min() is None
+        assert tree.max() is None
+        assert list(tree.items()) == []
+
+    def test_insert_and_lookup(self):
+        tree = AVLTree()
+        tree[5] = "five"
+        tree[3] = "three"
+        tree[8] = "eight"
+        assert len(tree) == 3
+        assert tree[5] == "five"
+        assert tree[3] == "three"
+        assert tree[8] == "eight"
+        assert 5 in tree and 4 not in tree
+
+    def test_overwrite_does_not_grow(self):
+        tree = AVLTree()
+        tree[1] = "a"
+        tree[1] = "b"
+        assert len(tree) == 1
+        assert tree[1] == "b"
+
+    def test_missing_key_raises(self):
+        tree = AVLTree()
+        with pytest.raises(KeyError):
+            tree[42]
+        with pytest.raises(KeyError):
+            del tree[42]
+
+    def test_delete_leaf_and_internal(self):
+        tree = AVLTree((k, k * 10) for k in [5, 3, 8, 1, 4, 7, 9])
+        del tree[1]  # leaf
+        del tree[8]  # internal with two children
+        del tree[5]  # root region
+        assert sorted(tree.keys()) == [3, 4, 7, 9]
+        tree.check_invariants()
+
+    def test_pop(self):
+        tree = AVLTree([(1, "a")])
+        assert tree.pop(1) == "a"
+        assert tree.pop(1, "default") == "default"
+        with pytest.raises(KeyError):
+            tree.pop(1)
+
+    def test_clear(self):
+        tree = AVLTree((k, k) for k in range(10))
+        tree.clear()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_constructor_items(self):
+        tree = AVLTree([(2, "b"), (1, "a")])
+        assert list(tree.items()) == [(1, "a"), (2, "b")]
+
+
+class TestOrderedSearches:
+    def setup_method(self):
+        self.tree = AVLTree((k, f"v{k}") for k in [10, 20, 30, 40, 50])
+
+    def test_floor(self):
+        assert self.tree.floor(30) == (30, "v30")
+        assert self.tree.floor(35) == (30, "v30")
+        assert self.tree.floor(9) is None
+        assert self.tree.floor(100) == (50, "v50")
+
+    def test_ceiling(self):
+        assert self.tree.ceiling(30) == (30, "v30")
+        assert self.tree.ceiling(31) == (40, "v40")
+        assert self.tree.ceiling(51) is None
+        assert self.tree.ceiling(0) == (10, "v10")
+
+    def test_successor(self):
+        assert self.tree.successor(30) == (40, "v40")
+        assert self.tree.successor(0) == (10, "v10")
+        assert self.tree.successor(50) is None
+
+    def test_min_max(self):
+        assert self.tree.min() == (10, "v10")
+        assert self.tree.max() == (50, "v50")
+
+    def test_items_from_inclusive(self):
+        assert [k for k, _ in self.tree.items_from(30)] == [30, 40, 50]
+
+    def test_items_from_exclusive(self):
+        assert [k for k, _ in self.tree.items_from(30, inclusive=False)] == [40, 50]
+
+    def test_items_from_between_keys(self):
+        assert [k for k, _ in self.tree.items_from(25)] == [30, 40, 50]
+
+    def test_items_from_past_end(self):
+        assert list(self.tree.items_from(60)) == []
+
+
+class TestLargeScale:
+    def test_ascending_insert_stays_balanced(self):
+        tree = AVLTree()
+        for k in range(2000):
+            tree[k] = k
+        tree.check_invariants()
+        assert len(tree) == 2000
+        assert list(tree.keys()) == list(range(2000))
+
+    def test_descending_insert_stays_balanced(self):
+        tree = AVLTree()
+        for k in reversed(range(2000)):
+            tree[k] = k
+        tree.check_invariants()
+        assert list(tree.keys()) == list(range(2000))
+
+    def test_interleaved_delete(self):
+        tree = AVLTree((k, k) for k in range(1000))
+        for k in range(0, 1000, 2):
+            del tree[k]
+        tree.check_invariants()
+        assert list(tree.keys()) == list(range(1, 1000, 2))
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["set", "del", "get"]),
+                          st.integers(min_value=0, max_value=50))))
+def test_model_based_against_dict(ops):
+    """The tree must behave exactly like a dict plus ordering."""
+    tree = AVLTree()
+    model = {}
+    for op, key in ops:
+        if op == "set":
+            tree[key] = key * 2
+            model[key] = key * 2
+        elif op == "del":
+            if key in model:
+                del tree[key]
+                del model[key]
+            else:
+                with pytest.raises(KeyError):
+                    del tree[key]
+        else:
+            assert tree.get(key) == model.get(key)
+    assert list(tree.items()) == sorted(model.items())
+    assert len(tree) == len(model)
+    tree.check_invariants()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=1000)), st.integers(0, 1000))
+def test_floor_ceiling_against_sorted_list(keys, probe):
+    tree = AVLTree((k, k) for k in keys)
+    le = [k for k in keys if k <= probe]
+    ge = [k for k in keys if k >= probe]
+    gt = [k for k in keys if k > probe]
+    assert tree.floor(probe) == ((max(le), max(le)) if le else None)
+    assert tree.ceiling(probe) == ((min(ge), min(ge)) if ge else None)
+    assert tree.successor(probe) == ((min(gt), min(gt)) if gt else None)

@@ -1,0 +1,149 @@
+"""Tests for segment checkpointing and recovery."""
+
+import struct
+
+import pytest
+
+from repro import InProcHub, InterWeaveClient, InterWeaveServer, VirtualClock
+from repro.arch import X86_32
+from repro.errors import CheckpointError
+from repro.server import (
+    InterWeaveServer as Server,
+    decode_checkpoint,
+    encode_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.types import INT, ArrayDescriptor, PointerDescriptor, StringDescriptor, TypeRegistry
+from repro.wire import BlockDiff, DiffRun, SegmentDiff
+
+from tests.test_server_segment import make_segment_with_array, wire_ints
+
+
+class TestRoundtrip:
+    def test_simple_segment(self):
+        state, _ = make_segment_with_array(64)
+        restored = decode_checkpoint(encode_checkpoint(state))
+        assert restored.name == state.name
+        assert restored.version == state.version
+        assert restored.read_block_wire(1) == state.read_block_wire(1)
+
+    def test_restored_segment_serves_updates(self):
+        state, _ = make_segment_with_array(64)
+        state.apply_client_diff(SegmentDiff("host/data", 1, 0, [
+            BlockDiff(serial=1, runs=[DiffRun(0, 1, wire_ints(-9))])]))
+        restored = decode_checkpoint(encode_checkpoint(state))
+        update = restored.build_update(0)
+        assert update.to_version == 2
+        assert update.block_diffs[0].runs[0].data.startswith(wire_ints(-9))
+
+    def test_restored_segment_accepts_new_diffs(self):
+        state, _ = make_segment_with_array(8)
+        restored = decode_checkpoint(encode_checkpoint(state))
+        restored.apply_client_diff(SegmentDiff("host/data", 1, 0, [
+            BlockDiff(serial=1, runs=[DiffRun(0, 1, wire_ints(123))])]))
+        assert restored.version == 2
+        assert restored.read_block_wire(1)[:4] == wire_ints(123)
+
+    def test_freed_log_and_types_survive(self):
+        state, type_serial = make_segment_with_array(8)
+        state.apply_client_diff(SegmentDiff("host/data", 1, 0,
+                                            [BlockDiff(serial=1, freed=True)]))
+        restored = decode_checkpoint(encode_checkpoint(state))
+        assert restored.freed_log == [(2, 1)]
+        assert restored.registry.contains_serial(type_serial)
+        update = restored.build_update(1)
+        assert update.block_diffs[0].freed
+
+    def test_pointer_data_survives(self):
+        from repro.server.segment_state import ServerSegment
+
+        state = ServerSegment("host/p")
+        registry = TypeRegistry()
+        descriptor = PointerDescriptor(INT, "int")
+        serial = registry.register(descriptor)
+        mip = b"host/other#3"
+        state.apply_client_diff(SegmentDiff("host/p", 0, 0, [
+            BlockDiff(serial=1, is_new=True, type_serial=serial,
+                      runs=[DiffRun(0, 1, struct.pack(">I", len(mip)) + mip)])],
+            new_types=[(serial, registry.encoded(serial))]))
+        restored = decode_checkpoint(encode_checkpoint(state))
+        assert restored.read_block_wire(1) == struct.pack(">I", len(mip)) + mip
+
+    def test_version_times_survive(self):
+        state, _ = make_segment_with_array(8)
+        state.apply_client_diff(SegmentDiff("host/data", 1, 0, [
+            BlockDiff(serial=1, runs=[DiffRun(0, 1, wire_ints(1))])]), now=42.0)
+        restored = decode_checkpoint(encode_checkpoint(state))
+        assert restored.version_times[2] == 42.0
+
+
+class TestFiles:
+    def test_write_and_read(self, tmp_path):
+        state, _ = make_segment_with_array(16)
+        path = write_checkpoint(state, str(tmp_path))
+        restored = read_checkpoint(path)
+        assert restored.read_block_wire(1) == state.read_block_wire(1)
+
+    def test_rewrite_replaces_atomically(self, tmp_path):
+        state, _ = make_segment_with_array(16)
+        path1 = write_checkpoint(state, str(tmp_path))
+        state.apply_client_diff(SegmentDiff("host/data", 1, 0, [
+            BlockDiff(serial=1, runs=[DiffRun(0, 1, wire_ints(7))])]))
+        path2 = write_checkpoint(state, str(tmp_path))
+        assert path1 == path2
+        assert read_checkpoint(path2).version == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_checkpoint(str(tmp_path / "nope.iwck"))
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.iwck"
+        path.write_bytes(b"garbage")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(str(path))
+
+    def test_truncated_checkpoint(self):
+        state, _ = make_segment_with_array(16)
+        data = encode_checkpoint(state)
+        with pytest.raises(CheckpointError):
+            decode_checkpoint(data[:-3])
+
+
+class TestServerIntegration:
+    def test_periodic_checkpoint_and_recovery(self, tmp_path):
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock)
+        server = InterWeaveServer("host", sink=hub, clock=clock,
+                                  checkpoint_dir=str(tmp_path),
+                                  checkpoint_every=2)
+        hub.register_server("host", server)
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("host/ck")
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 32), name="a")
+        array.write_values(list(range(32)))
+        client.wl_release(seg)
+        client.wl_acquire(seg)
+        array[0] = -1
+        client.wl_release(seg)  # version 2: checkpoint fires
+
+        # "crash" the server; bring up a replacement from the checkpoint
+        hub2 = InProcHub(clock=clock)
+        server2 = InterWeaveServer("host", sink=hub2, clock=clock)
+        server2.add_segment(read_checkpoint(str(tmp_path / "host_ck.iwck")))
+        hub2.register_server("host", server2)
+        reader = InterWeaveClient("r", X86_32, hub2.connect, clock=clock)
+        seg_r = reader.open_segment("host/ck", create=False)
+        reader.rl_acquire(seg_r)
+        values = list(reader.accessor_for(seg_r, "a").read_values())
+        reader.rl_release(seg_r)
+        assert values == [-1] + list(range(1, 32))
+
+    def test_manual_checkpoint_requires_directory(self):
+        server = Server("host")
+        from repro.errors import ServerError
+
+        with pytest.raises(ServerError):
+            server.checkpoint_segment("host/x")

@@ -1,0 +1,156 @@
+"""Tests for client-side validation logic and instrumentation."""
+
+import pytest
+
+from repro import (
+    ClientOptions,
+    InProcHub,
+    InterWeaveClient,
+    InterWeaveServer,
+    VirtualClock,
+    temporal,
+)
+from repro.arch import X86_32
+from repro.errors import BlockError, MIPError
+from repro.types import INT, ArrayDescriptor
+
+
+@pytest.fixture
+def world():
+    clock = VirtualClock()
+    hub = InProcHub(clock=clock)
+    server = InterWeaveServer("h", sink=hub, clock=clock)
+    hub.register_server("h", server)
+    return clock, hub, server
+
+
+def make_client(hub, clock, name, **options):
+    return InterWeaveClient(name, X86_32, hub.connect, clock=clock,
+                            options=ClientOptions(**options) if options else None)
+
+
+class TestWriterCatchUp:
+    def test_writer_behind_gets_update_on_acquire(self, world):
+        clock, hub, server = world
+        first = make_client(hub, clock, "a")
+        second = make_client(hub, clock, "b")
+        seg_a = first.open_segment("h/s")
+        first.wl_acquire(seg_a)
+        array = first.malloc(seg_a, ArrayDescriptor(INT, 8), name="v")
+        array.write_values([1] * 8)
+        first.wl_release(seg_a)
+
+        seg_b = second.open_segment("h/s")
+        second.rl_acquire(seg_b)
+        second.rl_release(seg_b)
+
+        # first writes twice more while second is away
+        for value in (2, 3):
+            first.wl_acquire(seg_a)
+            first.accessor_for(seg_a, "v").write_values([value] * 8)
+            first.wl_release(seg_a)
+
+        # second's write acquire must piggyback the catch-up update
+        second.wl_acquire(seg_b)
+        values = second.accessor_for(seg_b, "v")
+        assert values[0] == 3
+        values[0] = 99  # and its write builds on the latest version
+        second.wl_release(seg_b)
+        assert seg_b.version == 4
+
+    def test_own_writer_never_revalidates_after_release(self, world):
+        clock, hub, server = world
+        client = make_client(hub, clock, "c", enable_notifications=True)
+        seg = client.open_segment("h/s")
+        client.wl_acquire(seg)
+        client.malloc(seg, INT, name="v").set(1)
+        client.wl_release(seg)
+        # subscribe by polling a few times
+        for _ in range(5):
+            client.rl_acquire(seg)
+            client.rl_release(seg)
+        requests = client._channels["h"].stats.requests
+        client.rl_acquire(seg)  # own write validated the cache: no traffic
+        client.rl_release(seg)
+        assert client._channels["h"].stats.requests == requests
+
+
+class TestValidationCounters:
+    def test_skipped_vs_sent(self, world):
+        clock, hub, server = world
+        client = make_client(hub, clock, "c", enable_notifications=False)
+        seg = client.open_segment("h/s")
+        client.wl_acquire(seg)
+        client.malloc(seg, INT, name="v").set(1)
+        client.wl_release(seg)
+        client.set_coherence(seg, temporal(100.0))
+        client.rl_acquire(seg)
+        client.rl_release(seg)
+        sent_before = client.stats.validations_sent
+        skipped_before = client.stats.validations_skipped
+        for _ in range(4):
+            clock.advance(1.0)
+            client.rl_acquire(seg)
+            client.rl_release(seg)
+        assert client.stats.validations_skipped == skipped_before + 4
+        assert client.stats.validations_sent == sent_before
+
+    def test_twins_counted(self, world):
+        clock, hub, server = world
+        client = make_client(hub, clock, "c")
+        seg = client.open_segment("h/s")
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 4096), name="a")
+        array.write_values([0] * 4096)
+        client.wl_release(seg)
+        before = client.stats.twins_created
+        client.wl_acquire(seg)
+        array[0] = 1        # one page
+        array[2000] = 1     # another page
+        client.wl_release(seg)
+        assert client.stats.twins_created == before + 2
+
+    def test_diffs_sent_counts_content_only(self, world):
+        clock, hub, server = world
+        client = make_client(hub, clock, "c")
+        seg = client.open_segment("h/s")
+        client.wl_acquire(seg)
+        client.malloc(seg, INT, name="v").set(1)
+        client.wl_release(seg)
+        sent = client.stats.diffs_sent
+        client.wl_acquire(seg)
+        client.wl_release(seg)  # empty critical section: nothing shipped
+        assert client.stats.diffs_sent == sent
+        assert seg.version == 1
+
+
+class TestMIPEdges:
+    def test_unknown_block_in_mip(self, world):
+        clock, hub, server = world
+        client = make_client(hub, clock, "c")
+        seg = client.open_segment("h/s")
+        client.wl_acquire(seg)
+        client.malloc(seg, INT, name="v").set(1)
+        client.wl_release(seg)
+        with pytest.raises(BlockError):
+            client.mip_to_ptr("h/s#no_such_block")
+        with pytest.raises(BlockError):
+            client.mip_to_ptr("h/s#999")
+
+    def test_malformed_mip(self, world):
+        clock, hub, server = world
+        client = make_client(hub, clock, "c")
+        with pytest.raises(MIPError):
+            client.mip_to_ptr("not a mip")
+
+    def test_mip_offset_beyond_block(self, world):
+        from repro.errors import TypeDescriptorError
+
+        clock, hub, server = world
+        client = make_client(hub, clock, "c")
+        seg = client.open_segment("h/s")
+        client.wl_acquire(seg)
+        client.malloc(seg, ArrayDescriptor(INT, 4), name="a")
+        client.wl_release(seg)
+        with pytest.raises(TypeDescriptorError):
+            client.mip_to_ptr("h/s#a#9")

@@ -1,0 +1,80 @@
+"""Tests for the canonical binary codec (Writer/Reader)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireFormatError
+from repro.wire.codec import Reader, Writer
+
+
+class TestWriter:
+    def test_chaining(self):
+        data = Writer().u8(1).u32(2).text("x").getvalue()
+        assert data == b"\x01\x00\x00\x00\x02\x00\x00\x00\x01x"
+
+    def test_boolean(self):
+        assert Writer().boolean(True).getvalue() == b"\x01"
+        assert Writer().boolean(False).getvalue() == b"\x00"
+
+    def test_u64_and_f64(self):
+        data = Writer().u64(2**40).f64(0.5).getvalue()
+        reader = Reader(data)
+        assert reader.u64() == 2**40
+        assert reader.f64() == 0.5
+
+    def test_blob_roundtrip(self):
+        payload = bytes(range(256))
+        reader = Reader(Writer().blob(payload).getvalue())
+        assert reader.blob() == payload
+        assert reader.at_end()
+
+    def test_empty_blob(self):
+        reader = Reader(Writer().blob(b"").getvalue())
+        assert reader.blob() == b""
+
+
+class TestReaderErrors:
+    def test_truncated_u8(self):
+        with pytest.raises(WireFormatError):
+            Reader(b"").u8()
+
+    def test_truncated_u32(self):
+        with pytest.raises(WireFormatError):
+            Reader(b"\x00\x01").u32()
+
+    def test_truncated_blob(self):
+        data = Writer().u32(100).raw(b"short").getvalue()
+        with pytest.raises(WireFormatError):
+            Reader(data).blob()
+
+    def test_invalid_utf8_text(self):
+        data = Writer().blob(b"\xff\xfe").getvalue()
+        with pytest.raises(WireFormatError):
+            Reader(data).text()
+
+    def test_at_end(self):
+        reader = Reader(b"\x01")
+        assert not reader.at_end()
+        reader.u8()
+        assert reader.at_end()
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.one_of(
+    st.tuples(st.just("u8"), st.integers(0, 255)),
+    st.tuples(st.just("u32"), st.integers(0, 2**32 - 1)),
+    st.tuples(st.just("u64"), st.integers(0, 2**64 - 1)),
+    st.tuples(st.just("f64"), st.floats(allow_nan=False)),
+    st.tuples(st.just("boolean"), st.booleans()),
+    st.tuples(st.just("blob"), st.binary(max_size=40)),
+    st.tuples(st.just("text"), st.text(max_size=20)),
+), max_size=20))
+def test_mixed_roundtrip(fields):
+    writer = Writer()
+    for kind, value in fields:
+        getattr(writer, kind)(value)
+    reader = Reader(writer.getvalue())
+    for kind, value in fields:
+        assert getattr(reader, kind)() == value
+    assert reader.at_end()

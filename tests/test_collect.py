@@ -1,0 +1,335 @@
+"""Unit tests for client diff collection: word diffing, mapping, batching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import X86_32
+from repro.client.collect import (
+    SPLICE_MAX_GAP_WORDS,
+    changed_byte_runs,
+    collect_write_diff,
+    map_runs_to_blocks,
+    word_diff_arrays,
+    word_diff_pages,
+)
+from repro.memory import AccessorContext, AddressSpace, Heap, SegmentHeap, make_accessor
+from repro.types import INT, ArrayDescriptor, flat_layout
+from repro.types.layout import merge_run_arrays
+from repro.wire import TranslationContext
+from repro.wire.translate import apply_runs, collect_range, collect_runs
+
+
+def make_env(arch=X86_32):
+    memory = AddressSpace()
+    heap = Heap(memory)
+    seg = SegmentHeap("s", heap, arch)
+    return memory, seg, AccessorContext(memory, arch)
+
+
+def protect_and_twin(memory, subsegment):
+    """Install the twin-on-fault handler and protect the subsegment."""
+
+    def handler(space, page_number):
+        index = subsegment.page_index(page_number * space.page_size)
+        if index not in subsegment.pagemap:
+            subsegment.pagemap[index] = space.snapshot_page(page_number)
+        space.unprotect_page(page_number)
+        return True
+
+    memory.fault_handler = handler
+    memory.protect_range(subsegment.base, subsegment.size)
+
+
+class TestWordDiff:
+    def setup_env(self, words=4096):
+        memory, seg, actx = make_env()
+        block = seg.allocate(ArrayDescriptor(INT, words), 1)
+        acc = make_accessor(actx, block.descriptor, block.address)
+        acc.write_values([0] * words)
+        sub = block.subsegment
+        sub.pagemap.clear()
+        protect_and_twin(memory, sub)
+        return memory, seg, acc, block, sub
+
+    def test_no_changes_no_runs(self):
+        memory, seg, acc, block, sub = self.setup_env()
+        starts, ends = word_diff_arrays(memory, sub, 4)
+        assert starts.size == 0
+
+    def test_single_word_change(self):
+        memory, seg, acc, block, sub = self.setup_env()
+        acc[100] = 7
+        runs = word_diff_pages(memory, sub, 4)
+        offset_words = (block.address - sub.base) // 4
+        assert runs == [(offset_words + 100, 1)]
+
+    def test_contiguous_changes_merge(self):
+        memory, seg, acc, block, sub = self.setup_env()
+        acc.write_values([1, 2, 3], start=10)
+        runs = word_diff_pages(memory, sub, 4)
+        assert len(runs) == 1 and runs[0][1] == 3
+
+    def test_untouched_pages_not_compared(self):
+        memory, seg, acc, block, sub = self.setup_env()
+        acc[0] = 1  # touches only the first page
+        assert len(sub.pagemap) == 1
+        runs = word_diff_pages(memory, sub, 4)
+        assert len(runs) == 1
+
+    def test_write_of_same_value_yields_no_run(self):
+        memory, seg, acc, block, sub = self.setup_env()
+        acc[5] = 0  # store happens (fault + twin) but content is unchanged
+        assert len(sub.pagemap) == 1
+        assert word_diff_pages(memory, sub, 4) == []
+
+    def test_splice_gap_within_limit(self):
+        memory, seg, acc, block, sub = self.setup_env()
+        acc[10] = 1
+        acc[13] = 1  # gap of 2 words: spliced
+        runs = word_diff_pages(memory, sub, 4, max_gap=SPLICE_MAX_GAP_WORDS)
+        assert len(runs) == 1 and runs[0][1] == 4
+
+    def test_splice_gap_beyond_limit(self):
+        memory, seg, acc, block, sub = self.setup_env()
+        acc[10] = 1
+        acc[14] = 1  # gap of 3 words: separate runs
+        runs = word_diff_pages(memory, sub, 4, max_gap=SPLICE_MAX_GAP_WORDS)
+        assert len(runs) == 2
+
+    def test_cross_page_run_merges(self):
+        memory, seg, acc, block, sub = self.setup_env(words=4096)
+        page_words = 4096 // 4
+        offset_words = (block.address - sub.base) // 4
+        boundary = page_words - offset_words  # first array index on page 2
+        acc.write_values([9, 9], start=boundary - 1)
+        runs = changed_byte_runs(memory, sub, 4)
+        assert len(runs) == 1
+        assert runs[0][1] == 8
+
+
+class TestMergeRunArrays:
+    def test_empty(self):
+        starts, ends = merge_run_arrays([], [])
+        assert starts.size == 0
+
+    def test_adjacent_merge(self):
+        starts, ends = merge_run_arrays([0, 2], [2, 5])
+        assert starts.tolist() == [0] and ends.tolist() == [5]
+
+    def test_gap_respected(self):
+        starts, ends = merge_run_arrays([0, 5], [2, 6])
+        assert starts.tolist() == [0, 5]
+
+    def test_max_gap_splices(self):
+        starts, ends = merge_run_arrays([0, 4], [2, 6], max_gap=2)
+        assert starts.tolist() == [0] and ends.tolist() == [6]
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 100), st.integers(1, 10)),
+                    max_size=20), st.integers(0, 3))
+    def test_matches_scalar_splice(self, runs, max_gap):
+        from repro.util import runs as run_algebra
+
+        normalized = run_algebra.normalize(runs)
+        starts = np.array([s for s, _ in normalized], np.int64)
+        ends = np.array([s + c for s, c in normalized], np.int64)
+        merged_starts, merged_ends = merge_run_arrays(starts, ends, max_gap)
+        expected = run_algebra.splice(normalized, max_gap)
+        assert list(zip(merged_starts.tolist(),
+                        (merged_ends - merged_starts).tolist())) == expected
+
+
+class TestBatchedTranslation:
+    def test_collect_runs_matches_per_run(self):
+        memory, seg, actx = make_env()
+        block = seg.allocate(ArrayDescriptor(INT, 1000), 1)
+        acc = make_accessor(actx, block.descriptor, block.address)
+        acc.write_values(list(range(1000)))
+        tctx = TranslationContext(memory, X86_32)
+        layout = flat_layout(block.descriptor, X86_32)
+        starts = [0, 10, 500, 998]
+        counts = [5, 1, 100, 2]
+        batched = collect_runs(tctx, layout, block.address, starts, counts)
+        individual = [collect_range(tctx, layout, block.address, s, c)
+                      for s, c in zip(starts, counts)]
+        assert batched == individual
+
+    def test_apply_runs_roundtrip(self):
+        from repro.wire.diff import DiffRun
+
+        memory, seg, actx = make_env()
+        src = seg.allocate(ArrayDescriptor(INT, 1000), 1)
+        dst = seg.allocate(ArrayDescriptor(INT, 1000), 1)
+        acc_src = make_accessor(actx, src.descriptor, src.address)
+        acc_dst = make_accessor(actx, dst.descriptor, dst.address)
+        acc_src.write_values(list(range(1000)))
+        acc_dst.write_values([0] * 1000)
+        tctx = TranslationContext(memory, X86_32)
+        layout = flat_layout(src.descriptor, X86_32)
+        starts = [3, 100, 200, 300, 700]
+        counts = [4, 2, 2, 2, 50]
+        buffers = collect_runs(tctx, layout, src.address, starts, counts)
+        runs = [DiffRun(s, c, b) for s, c, b in zip(starts, counts, buffers)]
+        assert apply_runs(tctx, layout, dst.address, runs)
+        values = acc_dst.read_values()
+        assert list(values[3:7]) == [3, 4, 5, 6]
+        assert list(values[100:102]) == [100, 101]
+        assert list(values[700:750]) == list(range(700, 750))
+        assert values[0] == 0 and values[7] == 0
+
+    def test_apply_runs_rejects_bad_payload(self):
+        from repro.errors import WireFormatError
+        from repro.wire.diff import DiffRun
+
+        memory, seg, actx = make_env()
+        block = seg.allocate(ArrayDescriptor(INT, 10), 1)
+        tctx = TranslationContext(memory, X86_32)
+        layout = flat_layout(block.descriptor, X86_32)
+        filler = [DiffRun(k, 1, b"\x00" * 4) for k in range(2, 7)]
+        with pytest.raises(WireFormatError):
+            apply_runs(tctx, layout, block.address,
+                       [DiffRun(0, 2, b"\x00" * 7)] + filler)  # 7 != 8
+        with pytest.raises(WireFormatError):
+            apply_runs(tctx, layout, block.address,
+                       [DiffRun(8, 5, b"\x00" * 20)] + filler)  # beyond end
+
+    def test_apply_runs_declines_complex_layouts(self):
+        from repro.types import DOUBLE, Field, RecordDescriptor
+
+        memory, seg, actx = make_env()
+        rec = RecordDescriptor("r", [Field("i", INT), Field("d", DOUBLE)])
+        block = seg.allocate(ArrayDescriptor(rec, 4), 1)
+        tctx = TranslationContext(memory, X86_32)
+        layout = flat_layout(block.descriptor, X86_32)
+        assert apply_runs(tctx, layout, block.address, []) is False
+
+
+class TestByteRangesVectorized:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 399), st.integers(1, 30)),
+                    min_size=1, max_size=15))
+    def test_matches_scalar_mapper(self, raw_ranges):
+        from repro.util import runs as run_algebra
+
+        layout = flat_layout(ArrayDescriptor(INT, 100), X86_32)
+        merged = run_algebra.normalize(
+            [(lo, min(length, 400 - lo)) for lo, length in raw_ranges
+             if lo < 400])
+        los = np.array([s for s, _ in merged], np.int64)
+        his = np.array([s + c for s, c in merged], np.int64)
+        starts, counts = layout.prim_runs_for_byte_ranges(los, his)
+        expected = run_algebra.normalize(
+            [run for lo, hi in zip(los.tolist(), his.tolist())
+             for run in layout.prim_runs_for_byte_range(lo, hi)])
+        assert list(zip(starts.tolist(), counts.tolist())) == expected
+
+
+class TestMapRunsToBlocks:
+    def test_runs_spanning_blocks_split_correctly(self):
+        memory, seg, actx = make_env()
+        block_a = seg.allocate(ArrayDescriptor(INT, 16), 1)
+        block_b = seg.allocate(ArrayDescriptor(INT, 16), 1)
+        sub = block_a.subsegment
+        assert block_b.subsegment is sub
+        # one byte run covering the tail of A, the header gap, and the
+        # head of B
+        run = (block_a.address + 56, (block_b.address + 8) - (block_a.address + 56))
+        mapped = map_runs_to_blocks(sub, [run], set(), X86_32)
+        assert mapped[block_a.serial] == [(14, 2)]
+        assert mapped[block_b.serial] == [(0, 2)]
+
+    def test_skip_serials_excluded(self):
+        memory, seg, actx = make_env()
+        block = seg.allocate(ArrayDescriptor(INT, 16), 1)
+        run = (block.address, 64)
+        mapped = map_runs_to_blocks(block.subsegment, [run],
+                                    {block.serial}, X86_32)
+        assert mapped == {}
+
+    def test_header_only_run_maps_nowhere(self):
+        memory, seg, actx = make_env()
+        block = seg.allocate(ArrayDescriptor(INT, 16), 1)
+        run = (block.address - 8, 8)  # entirely inside the header
+        mapped = map_runs_to_blocks(block.subsegment, [run], set(), X86_32)
+        assert mapped == {}
+
+
+class TestBlockLevelFullSend:
+    """The per-block half of no-diff mode: mostly-modified blocks go whole."""
+
+    def make_world_pair(self, threshold):
+        from repro import ClientOptions, InProcHub, InterWeaveClient, \
+            InterWeaveServer, VirtualClock
+
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock)
+        hub.register_server("h", InterWeaveServer("h", sink=hub, clock=clock))
+        options = ClientOptions(block_full_threshold=threshold,
+                                enable_nodiff=False)
+        client = InterWeaveClient("w", X86_32, hub.connect, clock=clock,
+                                  options=options)
+        seg = client.open_segment("h/s")
+        client.wl_acquire(seg)
+        acc = client.malloc(seg, ArrayDescriptor(INT, 1024), name="a")
+        acc.write_values([0] * 1024)
+        client.wl_release(seg)
+        return client, seg, acc
+
+    def modify_most(self, client, seg, acc):
+        """Change 80% of the block in runs separated by 3-word gaps
+        (too wide to splice, so the diff genuinely fragments)."""
+        client.wl_acquire(seg)
+        values = list(acc.read_values())
+        for index in range(0, 1024):
+            if index % 15 < 12:
+                values[index] += 1
+        acc.write_values(values)
+        diff, _ = client._collect(seg)
+        return diff
+
+    def test_mostly_modified_block_sent_whole(self):
+        client, seg, acc = self.make_world_pair(threshold=0.75)
+        diff = self.modify_most(client, seg, acc)
+        (block_diff,) = diff.block_diffs
+        assert len(block_diff.runs) == 1
+        assert (block_diff.runs[0].prim_start,
+                block_diff.runs[0].prim_count) == (0, 1024)
+        client.wl_release(seg)
+
+    def test_disabled_threshold_keeps_runs(self):
+        client, seg, acc = self.make_world_pair(threshold=None)
+        diff = self.modify_most(client, seg, acc)
+        (block_diff,) = diff.block_diffs
+        assert len(block_diff.runs) > 1
+        assert block_diff.covered_units() < 1024
+        client.wl_release(seg)
+
+    def test_lightly_modified_block_stays_diffed(self):
+        client, seg, acc = self.make_world_pair(threshold=0.75)
+        client.wl_acquire(seg)
+        acc[10] = 99
+        acc[500] = 98
+        diff, _ = client._collect(seg)
+        (block_diff,) = diff.block_diffs
+        assert block_diff.covered_units() <= 8  # spliced single-unit runs
+        client.wl_release(seg)
+
+    def test_full_send_applies_correctly(self):
+        client, seg, acc = self.make_world_pair(threshold=0.75)
+        client.wl_acquire(seg)
+        values = [(k * 3) % 100 + 1 if k % 15 < 12 else 0 for k in range(1024)]
+        for index in range(0, 1024):
+            if index % 15 < 12:
+                acc[index] = values[index]
+        client.wl_release(seg)
+        # a second client pulls the whole-block update and must agree
+        from repro import InterWeaveClient
+
+        hub_connect = client.connector
+        reader = InterWeaveClient("r", X86_32, hub_connect, clock=client.clock)
+        seg_r = reader.open_segment("h/s")
+        reader.rl_acquire(seg_r)
+        assert list(reader.accessor_for(seg_r, "a").read_values()) == values
+        reader.rl_release(seg_r)

@@ -1,0 +1,160 @@
+"""Tests for cached-diff composition (multi-version updates)."""
+
+import pytest
+
+from repro.errors import ServerError
+from repro.server.compose import compose_diffs
+from repro.wire import BlockDiff, DiffRun, SegmentDiff
+
+
+def diff(from_version, to_version, blocks, types=()):
+    return SegmentDiff("s", from_version, to_version, blocks, list(types))
+
+
+class TestChainValidation:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ServerError):
+            compose_diffs([])
+
+    def test_broken_chain_rejected(self):
+        with pytest.raises(ServerError):
+            compose_diffs([diff(1, 2, []), diff(3, 4, [])])
+
+    def test_mixed_segments_rejected(self):
+        with pytest.raises(ServerError):
+            compose_diffs([diff(1, 2, []),
+                           SegmentDiff("other", 2, 3, [])])
+
+    def test_versions_span_chain(self):
+        result = compose_diffs([diff(1, 2, []), diff(2, 3, []), diff(3, 5, [])])
+        assert (result.from_version, result.to_version) == (1, 5)
+
+
+class TestRunMerging:
+    def test_distinct_blocks_pass_through(self):
+        result = compose_diffs([
+            diff(1, 2, [BlockDiff(serial=1, runs=[DiffRun(0, 1, b"a")])]),
+            diff(2, 3, [BlockDiff(serial=2, runs=[DiffRun(0, 1, b"b")])]),
+        ])
+        assert [bd.serial for bd in result.block_diffs] == [1, 2]
+
+    def test_covered_older_run_dropped(self):
+        """The repeated-counter case: the newer write shadows the older."""
+        result = compose_diffs([
+            diff(1, 2, [BlockDiff(serial=1, runs=[DiffRun(4, 1, b"old!")])]),
+            diff(2, 3, [BlockDiff(serial=1, runs=[DiffRun(4, 1, b"new!")])]),
+        ])
+        (block,) = result.block_diffs
+        assert [(r.prim_start, r.data) for r in block.runs] == [(4, b"new!")]
+
+    def test_wider_newer_run_covers(self):
+        result = compose_diffs([
+            diff(1, 2, [BlockDiff(serial=1, runs=[DiffRun(5, 2, b"xx")])]),
+            diff(2, 3, [BlockDiff(serial=1, runs=[DiffRun(4, 4, b"yyyy")])]),
+        ])
+        (block,) = result.block_diffs
+        assert len(block.runs) == 1
+
+    def test_partial_overlap_keeps_both_in_order(self):
+        result = compose_diffs([
+            diff(1, 2, [BlockDiff(serial=1, runs=[DiffRun(0, 4, b"old4")])]),
+            diff(2, 3, [BlockDiff(serial=1, runs=[DiffRun(2, 4, b"new4")])]),
+        ])
+        (block,) = result.block_diffs
+        # older first so the newer overwrite wins where they overlap
+        assert [r.data for r in block.runs] == [b"old4", b"new4"]
+
+    def test_disjoint_runs_accumulate(self):
+        result = compose_diffs([
+            diff(1, 2, [BlockDiff(serial=1, runs=[DiffRun(0, 1, b"a")])]),
+            diff(2, 3, [BlockDiff(serial=1, runs=[DiffRun(9, 1, b"b")])]),
+        ])
+        (block,) = result.block_diffs
+        assert len(block.runs) == 2
+
+
+class TestLifecycle:
+    def test_creation_then_update_merges_into_creation(self):
+        result = compose_diffs([
+            diff(1, 2, [BlockDiff(serial=3, is_new=True, type_serial=7,
+                                  runs=[DiffRun(0, 8, b"x" * 8)])]),
+            diff(2, 3, [BlockDiff(serial=3, runs=[DiffRun(2, 1, b"y")])]),
+        ])
+        (block,) = result.block_diffs
+        assert block.is_new and block.type_serial == 7
+        assert len(block.runs) == 2
+
+    def test_free_cancels_history(self):
+        result = compose_diffs([
+            diff(1, 2, [BlockDiff(serial=3, runs=[DiffRun(0, 1, b"a")])]),
+            diff(2, 3, [BlockDiff(serial=3, freed=True)]),
+        ])
+        (block,) = result.block_diffs
+        assert block.freed and not block.runs
+
+    def test_create_then_free_becomes_tombstone(self):
+        result = compose_diffs([
+            diff(1, 2, [BlockDiff(serial=3, is_new=True, type_serial=1,
+                                  runs=[DiffRun(0, 1, b"a")])]),
+            diff(2, 3, [BlockDiff(serial=3, freed=True)]),
+        ])
+        (block,) = result.block_diffs
+        assert block.freed
+
+    def test_recreation_falls_back(self):
+        with pytest.raises(ServerError):
+            compose_diffs([
+                diff(1, 2, [BlockDiff(serial=3, freed=True)]),
+                diff(2, 3, [BlockDiff(serial=3, is_new=True, type_serial=1,
+                                      runs=[DiffRun(0, 1, b"a")])]),
+            ])
+
+    def test_types_deduplicated(self):
+        result = compose_diffs([
+            diff(1, 2, [], types=[(1, b"T1")]),
+            diff(2, 3, [], types=[(1, b"T1"), (2, b"T2")]),
+        ])
+        assert result.new_types == [(1, b"T1"), (2, b"T2")]
+
+
+class TestServerIntegration:
+    def test_delta_reader_served_composed_diff(self):
+        """A Delta(2) reader's catch-up reuses the writers' precise diffs
+        instead of subblock-rounded rebuilds."""
+        from repro import InProcHub, InterWeaveClient, InterWeaveServer, VirtualClock, delta
+        from repro.arch import X86_32
+        from repro.types import ArrayDescriptor, INT
+
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock)
+        server = InterWeaveServer("h", sink=hub, clock=clock)
+        hub.register_server("h", server)
+        writer = InterWeaveClient("w", X86_32, hub.connect, clock=clock)
+        seg = writer.open_segment("h/s")
+        writer.wl_acquire(seg)
+        array = writer.malloc(seg, ArrayDescriptor(INT, 1024), name="a")
+        array.write_values([0] * 1024)
+        writer.wl_release(seg)
+
+        reader = InterWeaveClient("r", X86_32, hub.connect, clock=clock)
+        reader.options.enable_notifications = False
+        seg_r = reader.open_segment("h/s")
+        reader.rl_acquire(seg_r)
+        reader.rl_release(seg_r)
+        reader.set_coherence(seg_r, delta(2))
+
+        for value in (1, 2):
+            writer.wl_acquire(seg)
+            array[500] = value  # single-unit change each version
+            writer.wl_release(seg)
+
+        built_before = server.stats.updates_built
+        received_before = reader._channels["h"].stats.bytes_received
+        reader.rl_acquire(seg_r)
+        assert reader.accessor_for(seg_r, "a")[500] == 2
+        reader.rl_release(seg_r)
+        # no subblock rebuild: the two cached writer diffs were composed
+        assert server.stats.updates_built == built_before
+        # and the composed diff is single-unit precise, not subblock-sized
+        received = reader._channels["h"].stats.bytes_received - received_before
+        assert received < 200

@@ -1,0 +1,165 @@
+"""Tests for type descriptors and per-architecture record layout."""
+
+import pytest
+
+from repro.arch import ALPHA, MIPS32, SPARC_V9, X86_32, X86_64
+from repro.errors import TypeDescriptorError
+from repro.types import (
+    CHAR,
+    DOUBLE,
+    INT,
+    SHORT,
+    ArrayDescriptor,
+    Field,
+    PointerDescriptor,
+    RecordDescriptor,
+    StringDescriptor,
+    validate_closed,
+)
+
+from tests._support import linked_node_type
+
+
+class TestPrimitives:
+    def test_prim_counts(self):
+        assert INT.prim_count == 1
+        assert DOUBLE.prim_count == 1
+
+    def test_sizes_follow_architecture(self):
+        assert INT.local_size(X86_32) == 4
+        assert DOUBLE.local_size(ALPHA) == 8
+
+    def test_pointer_and_string_not_primitive_descriptors(self):
+        from repro.arch import PrimKind
+        from repro.types.descriptor import PrimitiveDescriptor
+
+        with pytest.raises(TypeDescriptorError):
+            PrimitiveDescriptor(PrimKind.POINTER)
+        with pytest.raises(TypeDescriptorError):
+            PrimitiveDescriptor(PrimKind.STRING)
+
+
+class TestString:
+    def test_one_prim_unit_variable_size(self):
+        s = StringDescriptor(256)
+        assert s.prim_count == 1
+        assert s.local_size(X86_32) == 256
+        assert s.local_align(X86_32) == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(TypeDescriptorError):
+            StringDescriptor(0)
+
+
+class TestPointer:
+    def test_size_is_architecture_pointer_size(self):
+        p = PointerDescriptor(INT, target_name="int")
+        assert p.local_size(X86_32) == 4
+        assert p.local_size(SPARC_V9) == 8
+        assert p.prim_count == 1
+
+    def test_recursive_type_closes(self):
+        node = linked_node_type()
+        validate_closed(node)
+        next_field = node.field("next").descriptor
+        assert next_field.target is node
+
+    def test_unresolved_pointer_rejected(self):
+        dangling = PointerDescriptor(None, target_name="nowhere")
+        record = RecordDescriptor("r", [Field("p", dangling)])
+        with pytest.raises(TypeDescriptorError):
+            validate_closed(record)
+
+
+class TestArray:
+    def test_prim_count_multiplies(self):
+        a = ArrayDescriptor(INT, 10)
+        assert a.prim_count == 10
+        nested = ArrayDescriptor(a, 3)
+        assert nested.prim_count == 30
+
+    def test_local_size(self):
+        assert ArrayDescriptor(INT, 10).local_size(X86_32) == 40
+
+    def test_array_of_records_uses_stride(self):
+        # {char; int} has size 8 (tail-padded) so 3 of them = 24
+        rec = RecordDescriptor("ci", [Field("c", CHAR), Field("i", INT)])
+        assert rec.local_size(X86_32) == 8
+        assert ArrayDescriptor(rec, 3).local_size(X86_32) == 24
+
+    def test_count_validated(self):
+        with pytest.raises(TypeDescriptorError):
+            ArrayDescriptor(INT, 0)
+
+
+class TestRecordLayout:
+    def test_c_style_padding_x86_32(self):
+        # struct { char c; int i; short s; } -> c@0, i@4, s@8, size 12
+        rec = RecordDescriptor(
+            "r", [Field("c", CHAR), Field("i", INT), Field("s", SHORT)])
+        assert rec.field_local_offset(X86_32, "c") == 0
+        assert rec.field_local_offset(X86_32, "i") == 4
+        assert rec.field_local_offset(X86_32, "s") == 8
+        assert rec.local_size(X86_32) == 12
+        assert rec.local_align(X86_32) == 4
+
+    def test_double_alignment_differs_between_abis(self):
+        # struct { int i; double d; }: i386 packs double at 4; 64-bit at 8
+        rec = RecordDescriptor("r", [Field("i", INT), Field("d", DOUBLE)])
+        assert rec.field_local_offset(X86_32, "d") == 4
+        assert rec.local_size(X86_32) == 12
+        assert rec.field_local_offset(X86_64, "d") == 8
+        assert rec.local_size(X86_64) == 16
+        assert rec.field_local_offset(MIPS32, "d") == 8
+        assert rec.local_size(MIPS32) == 16
+
+    def test_prim_offsets_are_machine_independent(self):
+        rec = RecordDescriptor(
+            "r", [Field("a", INT), Field("b", ArrayDescriptor(DOUBLE, 4)), Field("c", CHAR)])
+        assert rec.field_prim_offset("a") == 0
+        assert rec.field_prim_offset("b") == 1
+        assert rec.field_prim_offset("c") == 5
+        assert rec.prim_count == 6
+
+    def test_pointer_field_offset_differs_by_arch(self):
+        rec = RecordDescriptor(
+            "r", [Field("c", CHAR), Field("p", PointerDescriptor(INT, "int"))])
+        assert rec.field_local_offset(X86_32, "p") == 4
+        assert rec.field_local_offset(ALPHA, "p") == 8
+        assert rec.local_size(X86_32) == 8
+        assert rec.local_size(ALPHA) == 16
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(TypeDescriptorError):
+            RecordDescriptor("empty", [])
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(TypeDescriptorError):
+            RecordDescriptor("r", [Field("x", INT), Field("x", CHAR)])
+
+    def test_unknown_field_raises(self):
+        rec = RecordDescriptor("r", [Field("x", INT)])
+        with pytest.raises(TypeDescriptorError):
+            rec.field_local_offset(X86_32, "y")
+        with pytest.raises(TypeDescriptorError):
+            rec.field_prim_offset("y")
+        with pytest.raises(TypeDescriptorError):
+            rec.field("y")
+
+    def test_tail_padding_makes_size_multiple_of_align(self):
+        rec = RecordDescriptor("r", [Field("d", DOUBLE), Field("c", CHAR)])
+        for arch in (X86_32, X86_64, ALPHA, MIPS32, SPARC_V9):
+            assert rec.local_size(arch) % rec.local_align(arch) == 0
+
+    def test_structural_equality(self):
+        a = RecordDescriptor("r", [Field("x", INT)])
+        b = RecordDescriptor("r", [Field("x", INT)])
+        c = RecordDescriptor("r", [Field("x", DOUBLE)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_iter_field_layout(self):
+        rec = RecordDescriptor("r", [Field("c", CHAR), Field("i", INT)])
+        rows = list(rec.iter_field_layout(X86_32))
+        assert [(f.name, off, prim) for f, off, prim in rows] == [("c", 0, 0), ("i", 4, 1)]

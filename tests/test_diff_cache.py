@@ -1,0 +1,74 @@
+"""Tests for the server's LRU diff cache."""
+
+from repro.server import DiffCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = DiffCache(1024)
+        assert cache.get("s", 1, 2) is None
+        cache.put("s", 1, 2, b"payload")
+        assert cache.get("s", 1, 2) == b"payload"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_version_pairs_are_distinct_entries(self):
+        cache = DiffCache(1024)
+        cache.put("s", 1, 2, b"a")
+        cache.put("s", 2, 3, b"b")
+        cache.put("s", 1, 3, b"c")
+        assert cache.get("s", 1, 2) == b"a"
+        assert cache.get("s", 2, 3) == b"b"
+        assert cache.get("s", 1, 3) == b"c"
+
+    def test_segments_are_namespaced(self):
+        cache = DiffCache(1024)
+        cache.put("s1", 1, 2, b"a")
+        assert cache.get("s2", 1, 2) is None
+
+    def test_overwrite_same_key(self):
+        cache = DiffCache(1024)
+        cache.put("s", 1, 2, b"aaaa")
+        cache.put("s", 1, 2, b"bb")
+        assert cache.get("s", 1, 2) == b"bb"
+        assert cache.used_bytes == 2
+
+
+class TestEviction:
+    def test_lru_eviction_by_bytes(self):
+        cache = DiffCache(10)
+        cache.put("s", 1, 2, b"aaaa")
+        cache.put("s", 2, 3, b"bbbb")
+        cache.put("s", 3, 4, b"cccc")  # evicts (1, 2)
+        assert cache.get("s", 1, 2) is None
+        assert cache.get("s", 2, 3) == b"bbbb"
+        assert cache.used_bytes <= 10
+
+    def test_get_refreshes_recency(self):
+        cache = DiffCache(10)
+        cache.put("s", 1, 2, b"aaaa")
+        cache.put("s", 2, 3, b"bbbb")
+        cache.get("s", 1, 2)  # now most recent
+        cache.put("s", 3, 4, b"cccc")  # evicts (2, 3), not (1, 2)
+        assert cache.get("s", 1, 2) == b"aaaa"
+        assert cache.get("s", 2, 3) is None
+
+    def test_oversized_entry_ignored(self):
+        cache = DiffCache(4)
+        cache.put("s", 1, 2, b"way too large")
+        assert len(cache) == 0
+
+    def test_invalidate_segment(self):
+        cache = DiffCache(1024)
+        cache.put("a", 1, 2, b"x")
+        cache.put("b", 1, 2, b"y")
+        cache.invalidate_segment("a")
+        assert cache.get("a", 1, 2) is None
+        assert cache.get("b", 1, 2) == b"y"
+        assert cache.used_bytes == 1
+
+    def test_hit_rate(self):
+        cache = DiffCache(1024)
+        cache.put("s", 1, 2, b"x")
+        cache.get("s", 1, 2)
+        cache.get("s", 9, 9)
+        assert cache.hit_rate == 0.5

@@ -1,0 +1,63 @@
+"""Smoke tests: every example program must run clean, end to end.
+
+Examples are documentation that executes; a broken example is a broken
+promise.  Each one runs in a subprocess with a timeout and must exit 0
+(they all carry internal assertions about their own output).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "calendar_cscw.py",
+    "bank_transactions.py",
+    "rpc_with_references.py",
+    "astroflow.py",
+]
+
+SLOW_EXAMPLES = [
+    "datamining.py",
+]
+
+
+def run_example(name, timeout):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True, text=True, timeout=timeout)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs_clean(name):
+    result = run_example(name, timeout=120)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they do"
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs_clean(name):
+    result = run_example(name, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+
+
+def test_every_example_is_covered():
+    """A new example file must be added to one of the lists above."""
+    present = {name for name in os.listdir(EXAMPLES_DIR)
+               if name.endswith(".py")}
+    assert present == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)
+
+
+def test_quickstart_output_shape():
+    result = run_example("quickstart.py", timeout=120)
+    assert "walked the list: [13, 8, 3, 5]" in result.stdout
+
+
+def test_bank_output_shape():
+    result = run_example("bank_transactions.py", timeout=120)
+    assert "ABORTED" in result.stdout
+    assert "total $125.00" in result.stdout

@@ -1,0 +1,244 @@
+"""Tests for the IDL lexer, parser, compiler, and code generator."""
+
+import pytest
+
+from repro.arch import X86_32, X86_64
+from repro.errors import IDLError
+from repro.idl import compile_idl, generate_c_header, parse, tokenize
+from repro.types import (
+    ArrayDescriptor,
+    PointerDescriptor,
+    RecordDescriptor,
+    StringDescriptor,
+    validate_closed,
+)
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("struct point { int x; };")
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert kinds == [
+            ("keyword", "struct"), ("ident", "point"), ("punct", "{"),
+            ("keyword", "int"), ("ident", "x"), ("punct", ";"),
+            ("punct", "}"), ("punct", ";"), ("eof", ""),
+        ]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("// line\nint /* block\nspans */ x")
+        assert [t.text for t in tokens[:-1]] == ["int", "x"]
+
+    def test_positions(self):
+        tokens = tokenize("int\n  x")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_bad_character(self):
+        with pytest.raises(IDLError):
+            tokenize("int $x;")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(IDLError):
+            tokenize("/* oops")
+
+    def test_hex_numbers(self):
+        tokens = tokenize("0x10")
+        assert tokens[0].kind == "number"
+
+
+class TestParser:
+    def test_struct(self):
+        program = parse("struct p { int x; double y; };")
+        (struct,) = program.structs()
+        assert struct.name == "p"
+        assert [d.name for f in struct.fields for d in f.declarators] == ["x", "y"]
+
+    def test_multi_declarator_field(self):
+        program = parse("struct p { int x, y, z; };")
+        (struct,) = program.structs()
+        assert len(struct.fields) == 1
+        assert len(struct.fields[0].declarators) == 3
+
+    def test_pointers_and_arrays(self):
+        program = parse("struct p { int *q; double m[3][4]; };")
+        fields = program.structs()[0].fields
+        assert fields[0].declarators[0].pointer_depth == 1
+        assert fields[1].declarators[0].array_dims == (3, 4)
+
+    def test_string_type(self):
+        program = parse("struct p { string<32> name; };")
+        field = program.structs()[0].fields[0]
+        assert field.type_ref.name == "string"
+        assert field.type_ref.string_capacity == 32
+
+    def test_const_and_typedef(self):
+        program = parse("const N = 8; typedef double vec[N];")
+        assert program.consts()[0].value == 8
+        assert program.typedefs()[0].declarator.array_dims == ("N",)
+
+    def test_struct_keyword_in_reference(self):
+        program = parse("struct a { int x; }; struct b { struct a inner; };")
+        assert program.structs()[1].fields[0].type_ref.name == "a"
+
+    @pytest.mark.parametrize("bad", [
+        "struct { int x; };",       # missing name
+        "struct p { int x; }",      # missing trailing semicolon
+        "struct p { int; };",       # missing declarator
+        "struct p { x int; };",     # reversed
+        "const N;",                 # missing value
+        "typedef int;",             # missing name
+        "struct p { string name; };",  # string needs a capacity
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(IDLError):
+            parse(bad)
+
+    def test_error_carries_line(self):
+        with pytest.raises(IDLError) as info:
+            parse("struct p {\n  int;\n};")
+        assert "line 2" in str(info.value)
+
+
+class TestCompiler:
+    def test_flat_struct(self):
+        compiled = compile_idl("struct p { int x; double y; };")
+        descriptor = compiled["p"]
+        assert isinstance(descriptor, RecordDescriptor)
+        assert descriptor.prim_count == 2
+        assert descriptor.local_size(X86_64) == 16
+
+    def test_figure1_node(self):
+        compiled = compile_idl("struct node { int key; node *next; };")
+        node = compiled["node"]
+        next_field = node.field("next").descriptor
+        assert isinstance(next_field, PointerDescriptor)
+        assert next_field.target is node
+        validate_closed(node)
+
+    def test_mutually_recursive_structs(self):
+        compiled = compile_idl("""
+            struct a { b *peer; int x; };
+            struct b { a *peer; double y; };
+        """)
+        assert compiled["a"].field("peer").descriptor.target is compiled["b"]
+        assert compiled["b"].field("peer").descriptor.target is compiled["a"]
+
+    def test_value_recursion_rejected(self):
+        with pytest.raises(IDLError):
+            compile_idl("struct p { p inner; };")
+
+    def test_mutual_value_recursion_rejected(self):
+        with pytest.raises(IDLError):
+            compile_idl("struct a { b inner; }; struct b { a inner; };")
+
+    def test_const_in_dimensions(self):
+        compiled = compile_idl("""
+            const ROWS = 4;
+            const NAME_LEN = 16;
+            struct m { double grid[ROWS][2]; string<NAME_LEN> name; };
+        """)
+        grid = compiled["m"].field("grid").descriptor
+        assert isinstance(grid, ArrayDescriptor)
+        assert grid.count == 4 and grid.element.count == 2
+        name = compiled["m"].field("name").descriptor
+        assert isinstance(name, StringDescriptor) and name.capacity == 16
+
+    def test_typedef(self):
+        compiled = compile_idl("typedef double vec3[3]; struct p { vec3 v; };")
+        assert compiled["vec3"].count == 3
+        assert compiled["p"].field("v").descriptor == compiled["vec3"]
+
+    def test_array_of_pointers(self):
+        compiled = compile_idl("struct p { int *q[4]; };")
+        q = compiled["p"].field("q").descriptor
+        assert isinstance(q, ArrayDescriptor)
+        assert isinstance(q.element, PointerDescriptor)
+
+    def test_double_pointer(self):
+        compiled = compile_idl("struct p { int **q; };")
+        q = compiled["p"].field("q").descriptor
+        assert isinstance(q, PointerDescriptor)
+        assert isinstance(q.target, PointerDescriptor)
+        assert q.target.target.kind.value == "int"
+
+    def test_pointer_to_string(self):
+        compiled = compile_idl("struct p { string<8> *s; };")
+        target = compiled["p"].field("s").descriptor.target
+        assert isinstance(target, StringDescriptor) and target.capacity == 8
+
+    def test_undefined_type_rejected(self):
+        with pytest.raises(IDLError):
+            compile_idl("struct p { mystery x; };")
+
+    def test_undefined_const_rejected(self):
+        with pytest.raises(IDLError):
+            compile_idl("struct p { int x[N]; };")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(IDLError):
+            compile_idl("struct p { int x; }; struct p { int y; };")
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(IDLError):
+            compile_idl("struct p { int x[0]; };")
+
+    def test_layout_matches_hand_built(self):
+        compiled = compile_idl("struct s { char c; int i; short h; };")
+        assert compiled["s"].local_size(X86_32) == 12
+        assert compiled["s"].field_local_offset(X86_32, "i") == 4
+
+    def test_compiled_types_usable_end_to_end(self):
+        """IDL-compiled descriptors drive real sharing."""
+        from repro import InProcHub, InterWeaveClient, InterWeaveServer, VirtualClock
+        from repro.arch import SPARC_V9
+
+        compiled = compile_idl("""
+            const LEN = 24;
+            struct event { int id; string<LEN> title; event *next; };
+        """)
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock)
+        hub.register_server("h", InterWeaveServer("h", sink=hub, clock=clock))
+        writer = InterWeaveClient("w", X86_32, hub.connect, clock=clock)
+        reader = InterWeaveClient("r", SPARC_V9, hub.connect, clock=clock)
+        seg = writer.open_segment("h/events")
+        writer.wl_acquire(seg)
+        head = writer.malloc(seg, compiled["event"], name="head")
+        head.id = 1
+        head.title = "kickoff"
+        head.next = None
+        writer.wl_release(seg)
+        seg_r = reader.open_segment("h/events")
+        reader.rl_acquire(seg_r)
+        event = reader.accessor_for(seg_r, "head")
+        assert (event.id, event.title, event.next) == (1, "kickoff", None)
+        reader.rl_release(seg_r)
+
+
+class TestCodegen:
+    def test_header_contains_structs_and_constants(self):
+        compiled = compile_idl("""
+            const N = 4;
+            struct inner { int v; };
+            struct outer { inner parts[N]; outer *next; string<8> tag; };
+        """)
+        header = generate_c_header(compiled)
+        assert "#define N 4" in header
+        assert "struct inner {" in header
+        assert "int v;" in header
+        assert "struct inner parts[4];" in header
+        assert "struct outer *next;" in header
+        assert "char tag[8];" in header
+
+    def test_value_dependencies_ordered(self):
+        compiled = compile_idl(
+            "struct a { int x; }; struct b { a inner; }; struct c { b inner; };")
+        header = generate_c_header(compiled)
+        assert header.index("struct a {") < header.index("struct b {")
+        assert header.index("struct b {") < header.index("struct c {")
+
+    def test_header_guard(self):
+        compiled = compile_idl("struct p { int x; };")
+        header = generate_c_header(compiled, guard="MY_GUARD")
+        assert header.startswith("#ifndef MY_GUARD")
+        assert header.rstrip().endswith("#endif /* MY_GUARD */")

@@ -1,0 +1,137 @@
+"""Tests for segment and client lifecycle: close, delete, shutdown."""
+
+import pytest
+
+from repro import InProcHub, InterWeaveClient, InterWeaveServer, VirtualClock
+from repro.arch import X86_32
+from repro.errors import LockError, ProtectionError, SegmentError, ServerError
+from repro.types import INT, ArrayDescriptor
+
+
+@pytest.fixture
+def world():
+    clock = VirtualClock()
+    hub = InProcHub(clock=clock)
+    server = InterWeaveServer("h", sink=hub, clock=clock)
+    hub.register_server("h", server)
+    return clock, hub, server
+
+
+def make_populated(hub, clock, name="c"):
+    client = InterWeaveClient(name, X86_32, hub.connect, clock=clock)
+    seg = client.open_segment("h/life")
+    client.wl_acquire(seg)
+    array = client.malloc(seg, ArrayDescriptor(INT, 16), name="a")
+    array.write_values(list(range(16)))
+    client.wl_release(seg)
+    return client, seg
+
+
+class TestCloseSegment:
+    def test_close_unmaps_memory(self, world):
+        clock, hub, server = world
+        client, seg = make_populated(hub, clock)
+        address = seg.heap.block_by_name("a").address
+        client.close_segment(seg)
+        assert "h/life" not in client.segments
+        assert not client.memory.is_mapped(address)
+        assert client.heap_root.find_subsegment(address) is None
+
+    def test_close_while_locked_rejected(self, world):
+        clock, hub, server = world
+        client, seg = make_populated(hub, clock)
+        client.rl_acquire(seg)
+        with pytest.raises(LockError):
+            client.close_segment(seg)
+        client.rl_release(seg)
+
+    def test_close_twice_rejected(self, world):
+        clock, hub, server = world
+        client, seg = make_populated(hub, clock)
+        client.close_segment(seg)
+        with pytest.raises(SegmentError):
+            client.close_segment(seg)
+
+    def test_reopen_after_close_gets_fresh_cache(self, world):
+        clock, hub, server = world
+        client, seg = make_populated(hub, clock)
+        client.close_segment(seg)
+        seg2 = client.open_segment("h/life")
+        assert seg2 is not seg
+        client.rl_acquire(seg2)
+        assert list(client.accessor_for(seg2, "a").read_values()) == list(range(16))
+        client.rl_release(seg2)
+
+    def test_server_copy_survives_close(self, world):
+        clock, hub, server = world
+        client, seg = make_populated(hub, clock)
+        client.close_segment(seg)
+        assert "h/life" in server.segments
+
+
+class TestDeleteSegment:
+    def test_delete_removes_server_state(self, world):
+        clock, hub, server = world
+        client, seg = make_populated(hub, clock)
+        assert client.delete_segment("h/life")
+        assert "h/life" not in server.segments
+        assert "h/life" not in client.segments
+
+    def test_delete_missing_returns_false(self, world):
+        clock, hub, server = world
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock)
+        assert client.delete_segment("h/ghost") is False
+
+    def test_delete_blocked_by_other_writer(self, world):
+        clock, hub, server = world
+        writer, seg = make_populated(hub, clock, "writer")
+        writer.wl_acquire(seg)
+        admin = InterWeaveClient("admin", X86_32, hub.connect, clock=clock)
+        with pytest.raises(ServerError):
+            admin.delete_segment("h/life")
+        writer.wl_release(seg)
+        assert admin.delete_segment("h/life")
+
+    def test_orphaned_cache_errors_on_next_validation(self, world):
+        clock, hub, server = world
+        client, seg = make_populated(hub, clock)
+        other = InterWeaveClient("other", X86_32, hub.connect, clock=clock)
+        seg_other = other.open_segment("h/life")
+        other.rl_acquire(seg_other)
+        other.rl_release(seg_other)
+        client.delete_segment("h/life")
+        # force a server validation (subscription state is gone with the
+        # segment, so make the poller ask)
+        seg_other.poller.subscribed = False
+        with pytest.raises(ServerError):
+            other.wl_acquire(seg_other)
+
+
+class TestClientClose:
+    def test_close_releases_everything(self, world):
+        clock, hub, server = world
+        client, seg = make_populated(hub, clock)
+        client.open_segment("h/other")
+        client.close()
+        assert client.segments == {}
+        assert client._channels == {}
+
+    def test_close_with_held_lock_rejected(self, world):
+        clock, hub, server = world
+        client, seg = make_populated(hub, clock)
+        client.rl_acquire(seg)
+        with pytest.raises(LockError):
+            client.close()
+        client.rl_release(seg)
+        client.close()
+
+    def test_closed_channel_unusable(self, world):
+        clock, hub, server = world
+        client, seg = make_populated(hub, clock)
+        client.close()
+        from repro.errors import TransportError
+
+        # the hub dropped the channel; a fresh open would reconnect, but
+        # the old channel object is dead
+        with pytest.raises((TransportError, KeyError)):
+            seg.channel.request(b"\x01")

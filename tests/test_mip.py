@@ -1,0 +1,78 @@
+"""Tests for machine-independent pointers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MIPError
+from repro.wire import MIP, format_mip, parse_mip
+
+
+class TestFormat:
+    def test_serial_block(self):
+        assert format_mip("host/list", 3) == "host/list#3"
+
+    def test_named_block(self):
+        assert format_mip("host/list", "head") == "host/list#head"
+
+    def test_with_offset(self):
+        assert format_mip("host/list", 3, 7) == "host/list#3#7"
+
+    def test_zero_offset_omitted(self):
+        assert format_mip("host/list", "head", 0) == "host/list#head"
+
+
+class TestParse:
+    def test_serial(self):
+        mip = parse_mip("foo.org/path#12")
+        assert mip == MIP("foo.org/path", 12, 0)
+
+    def test_named(self):
+        mip = parse_mip("foo.org/path#head")
+        assert mip.block == "head"
+
+    def test_offset(self):
+        mip = parse_mip("foo.org/path#12#34")
+        assert (mip.block, mip.offset) == (12, 34)
+
+    def test_roundtrip(self):
+        for text in ["a/b#1", "a/b#name", "a/b#5#99", "a/b#name#3"]:
+            assert str(parse_mip(text)) == text
+
+    @pytest.mark.parametrize("bad", [
+        "nohash", "a#b#c#d", "a/b#1#x", "#1", "a/b#", "a/b##3",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(MIPError):
+            parse_mip(bad)
+
+
+class TestValidation:
+    def test_numeric_block_name_rejected(self):
+        with pytest.raises(MIPError):
+            MIP("seg", "123")
+
+    def test_segment_with_hash_rejected(self):
+        with pytest.raises(MIPError):
+            MIP("se#g", 1)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(MIPError):
+            MIP("seg", 1, -1)
+
+    def test_zero_serial_rejected(self):
+        with pytest.raises(MIPError):
+            MIP("seg", 0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.text(alphabet=st.characters(blacklist_characters="#", min_codepoint=33,
+                                   max_codepoint=126), min_size=1, max_size=30),
+    st.one_of(st.integers(1, 10**6),
+              st.from_regex(r"[a-z_][a-z0-9_]{0,10}", fullmatch=True)),
+    st.integers(0, 10**6),
+)
+def test_roundtrip_property(segment, block, offset):
+    mip = MIP(segment, block, offset)
+    assert parse_mip(str(mip)) == mip

@@ -1,0 +1,160 @@
+"""Tests for the simulated MMU: mapping, protection, and write faults."""
+
+import pytest
+
+from repro.errors import ProtectionError
+from repro.memory import AddressSpace
+
+
+class TestMapping:
+    def test_map_region_returns_page_aligned_base(self):
+        mem = AddressSpace()
+        base = mem.map_region(4)
+        assert base % mem.page_size == 0
+        assert mem.is_mapped(base)
+        assert mem.is_mapped(base + 4 * mem.page_size - 1)
+        assert not mem.is_mapped(base + 4 * mem.page_size)
+
+    def test_regions_do_not_overlap(self):
+        mem = AddressSpace()
+        a = mem.map_region(2)
+        b = mem.map_region(3)
+        assert b >= a + 2 * mem.page_size
+
+    def test_new_pages_are_zeroed(self):
+        mem = AddressSpace()
+        base = mem.map_region(1)
+        assert mem.load(base, mem.page_size) == bytes(mem.page_size)
+
+    def test_unmap(self):
+        mem = AddressSpace()
+        base = mem.map_region(2)
+        mem.unmap_region(base, 2)
+        assert not mem.is_mapped(base)
+        with pytest.raises(ProtectionError):
+            mem.load(base, 1)
+
+    def test_invalid_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace(page_size=1000)  # not a power of two
+        with pytest.raises(ValueError):
+            AddressSpace(page_size=16)  # too small
+
+    def test_map_zero_pages_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().map_region(0)
+
+
+class TestLoadStore:
+    def test_roundtrip_within_page(self):
+        mem = AddressSpace()
+        base = mem.map_region(1)
+        mem.store(base + 10, b"hello")
+        assert mem.load(base + 10, 5) == b"hello"
+
+    def test_store_spanning_pages(self):
+        mem = AddressSpace(page_size=64)
+        base = mem.map_region(3)
+        payload = bytes(range(150))
+        mem.store(base + 30, payload)
+        assert mem.load(base + 30, 150) == payload
+
+    def test_store_to_unmapped_raises(self):
+        mem = AddressSpace()
+        with pytest.raises(ProtectionError):
+            mem.store(0x999, b"x")
+
+
+class TestProtectionAndFaults:
+    def test_store_to_protected_page_without_handler_raises(self):
+        mem = AddressSpace()
+        base = mem.map_region(1)
+        mem.protect_range(base, mem.page_size)
+        with pytest.raises(ProtectionError):
+            mem.store(base, b"x")
+
+    def test_fault_handler_resolves_store(self):
+        mem = AddressSpace()
+        base = mem.map_region(1)
+        faulted = []
+
+        def handler(space, page_number):
+            faulted.append(page_number)
+            space.unprotect_page(page_number)
+            return True
+
+        mem.fault_handler = handler
+        mem.protect_range(base, mem.page_size)
+        mem.store(base + 8, b"ab")
+        assert mem.load(base + 8, 2) == b"ab"
+        assert faulted == [base // mem.page_size]
+        assert mem.stats.write_faults == 1
+
+    def test_fault_taken_once_per_page(self):
+        mem = AddressSpace()
+        base = mem.map_region(2)
+
+        def handler(space, page_number):
+            space.unprotect_page(page_number)
+            return True
+
+        mem.fault_handler = handler
+        mem.protect_range(base, 2 * mem.page_size)
+        mem.store(base, b"a")
+        mem.store(base + 1, b"b")  # same page: no new fault
+        mem.store(base + mem.page_size, b"c")  # second page: one more
+        assert mem.stats.write_faults == 2
+
+    def test_refusing_handler_raises(self):
+        mem = AddressSpace()
+        base = mem.map_region(1)
+        mem.fault_handler = lambda space, page: False
+        mem.protect_range(base, 1)
+        with pytest.raises(ProtectionError):
+            mem.store(base, b"x")
+
+    def test_spanning_store_faults_every_protected_page(self):
+        mem = AddressSpace(page_size=64)
+        base = mem.map_region(3)
+
+        def handler(space, page_number):
+            space.unprotect_page(page_number)
+            return True
+
+        mem.fault_handler = handler
+        mem.protect_range(base, 3 * 64)
+        mem.store(base, bytes(160))
+        assert mem.stats.write_faults == 3
+
+    def test_protect_range_partial_page_rounds_to_pages(self):
+        mem = AddressSpace()
+        base = mem.map_region(2)
+        mem.protect_range(base + 100, 10)  # protection is page-granular
+        assert not mem.page(base // mem.page_size).writable
+        assert mem.page(base // mem.page_size + 1).writable
+
+    def test_snapshot_is_pristine_copy(self):
+        mem = AddressSpace()
+        base = mem.map_region(1)
+        mem.store(base, b"original")
+        twin = mem.snapshot_page(base // mem.page_size)
+        mem.store(base, b"modified")
+        assert twin[:8] == b"original"
+        assert mem.load(base, 8) == b"modified"
+
+    def test_reads_never_fault(self):
+        mem = AddressSpace()
+        base = mem.map_region(1)
+        mem.protect_range(base, mem.page_size)
+        mem.load(base, 16)  # protection only blocks stores
+        assert mem.stats.write_faults == 0
+
+
+class TestWordView:
+    def test_as_words(self):
+        mem = AddressSpace()
+        base = mem.map_region(1)
+        mem.store(base, (123).to_bytes(4, "little"))
+        words = mem.page(base // mem.page_size).as_words(4)
+        assert words[0] == 123
+        assert len(words) == mem.page_size // 4

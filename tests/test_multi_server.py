@@ -1,0 +1,166 @@
+"""Tests for multi-server deployments and cross-server pointers.
+
+"Every segment is managed by an InterWeave server at the IP address
+corresponding to the segment's URL.  Different segments may be managed by
+different servers."  Pointers may span segments — including segments on
+different servers — and swizzling must resolve them transparently.
+"""
+
+import pytest
+
+from repro import InProcHub, InterWeaveClient, InterWeaveServer, VirtualClock
+from repro.arch import SPARC_V9, X86_32
+from repro.errors import SegmentError, ServerError, TransportError
+from repro.types import INT, ArrayDescriptor, PointerDescriptor
+
+
+@pytest.fixture
+def world():
+    clock = VirtualClock()
+    hub = InProcHub(clock=clock)
+    for name in ("alpha", "beta"):
+        hub.register_server(name, InterWeaveServer(name, sink=hub, clock=clock))
+    return clock, hub
+
+
+class TestRouting:
+    def test_segments_land_on_their_servers(self, world):
+        clock, hub = world
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock)
+        seg_a = client.open_segment("alpha/one")
+        seg_b = client.open_segment("beta/two")
+        client.wl_acquire(seg_a)
+        client.malloc(seg_a, INT, name="x").set(1)
+        client.wl_release(seg_a)
+        client.wl_acquire(seg_b)
+        client.malloc(seg_b, INT, name="y").set(2)
+        client.wl_release(seg_b)
+        # each server holds exactly its own segment
+        assert "alpha" in {InterWeaveClient.server_of("alpha/one")}
+        assert len(client._channels) == 2
+
+    def test_bad_segment_url_rejected(self, world):
+        clock, hub = world
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock)
+        with pytest.raises(SegmentError):
+            client.open_segment("nopath")
+        with pytest.raises(SegmentError):
+            client.open_segment("/leading")
+
+    def test_unknown_server_rejected(self, world):
+        clock, hub = world
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock)
+        with pytest.raises(TransportError):
+            client.open_segment("gamma/anything")
+
+
+class TestCrossServerPointers:
+    def test_pointer_across_servers_resolves(self, world):
+        clock, hub = world
+        writer = InterWeaveClient("w", X86_32, hub.connect, clock=clock)
+        seg_data = writer.open_segment("beta/data")
+        writer.wl_acquire(seg_data)
+        payload = writer.malloc(seg_data, ArrayDescriptor(INT, 4), name="payload")
+        payload.write_values([9, 8, 7, 6])
+        writer.wl_release(seg_data)
+
+        seg_index = writer.open_segment("alpha/index")
+        writer.wl_acquire(seg_index)
+        pointer = writer.malloc(
+            seg_index, PointerDescriptor(ArrayDescriptor(INT, 4), "arr"),
+            name="entry")
+        pointer.set(payload)
+        writer.wl_release(seg_index)
+
+        # a fresh client on another architecture follows the pointer
+        # through both servers
+        reader = InterWeaveClient("r", SPARC_V9, hub.connect, clock=clock)
+        seg_r = reader.open_segment("alpha/index", create=False)
+        reader.rl_acquire(seg_r)
+        remote = reader.accessor_for(seg_r, "entry").get()
+        reader.rl_release(seg_r)
+        seg_data_r = reader.segments["beta/data"]
+        reader.rl_acquire(seg_data_r)
+        assert list(remote.read_values()) == [9, 8, 7, 6]
+        reader.rl_release(seg_data_r)
+        assert len(reader._channels) == 2
+
+    def test_mip_text_names_the_right_server(self, world):
+        clock, hub = world
+        writer = InterWeaveClient("w", X86_32, hub.connect, clock=clock)
+        seg = writer.open_segment("beta/data2")
+        writer.wl_acquire(seg)
+        block = writer.malloc(seg, INT, name="val")
+        mip = writer.ptr_to_mip(block)
+        writer.wl_release(seg)
+        assert mip.startswith("beta/data2#")
+
+    def test_independent_versions_per_server(self, world):
+        clock, hub = world
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock)
+        seg_a = client.open_segment("alpha/s")
+        seg_b = client.open_segment("beta/s")
+        for round_number in range(3):
+            client.wl_acquire(seg_a)
+            if not seg_a.heap.blk_name_tree.get("k"):
+                client.malloc(seg_a, INT, name="k")
+            client.accessor_for(seg_a, "k").set(round_number + 1)
+            client.wl_release(seg_a)
+        client.wl_acquire(seg_b)
+        client.malloc(seg_b, INT, name="k").set(1)
+        client.wl_release(seg_b)
+        assert seg_a.version == 3
+        assert seg_b.version == 1
+
+
+class TestClientAPIEdges:
+    def test_accessor_for_by_serial_and_name(self, world):
+        clock, hub = world
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("alpha/api")
+        client.wl_acquire(seg)
+        block = client.malloc(seg, INT, name="named")
+        block.set(5)
+        client.wl_release(seg)
+        serial = seg.heap.block_by_name("named").serial
+        assert client.accessor_for(seg, serial).get() == 5
+        assert client.accessor_for(seg, "named").get() == 5
+
+    def test_free_by_serial(self, world):
+        clock, hub = world
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("alpha/api2")
+        client.wl_acquire(seg)
+        client.malloc(seg, INT, name="victim")
+        client.wl_release(seg)
+        serial = seg.heap.block_by_name("victim").serial
+        client.wl_acquire(seg)
+        client.free(seg, serial)
+        client.wl_release(seg)
+        from repro.errors import BlockError
+
+        with pytest.raises(BlockError):
+            seg.heap.block_by_serial(serial)
+
+    def test_open_segment_idempotent(self, world):
+        clock, hub = world
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock)
+        assert client.open_segment("alpha/same") is client.open_segment("alpha/same")
+
+    def test_interior_struct_mip(self, world):
+        from repro.types import DOUBLE, Field, RecordDescriptor
+
+        clock, hub = world
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("alpha/struct")
+        inner = RecordDescriptor("inner", [Field("v", DOUBLE)])
+        outer = RecordDescriptor("outer", [Field("a", inner), Field("b", inner)])
+        client.wl_acquire(seg)
+        block = client.malloc(seg, outer, name="o")
+        block.b.v = 6.5
+        mip = client.ptr_to_mip(block.field_accessor("b"))
+        client.wl_release(seg)
+        # the MIP points at the inner record; resolving it yields a typed
+        # accessor for exactly that sub-structure
+        resolved = client.mip_to_ptr(mip)
+        assert resolved.v == 6.5

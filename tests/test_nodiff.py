@@ -1,0 +1,91 @@
+"""Tests for the no-diff mode controller."""
+
+from repro.client.nodiff import (
+    FRACTION_THRESHOLD,
+    RESAMPLE_EVERY,
+    SWITCH_AFTER,
+    NoDiffController,
+)
+
+
+def heavy(controller, n=1, diffed=True):
+    for _ in range(n):
+        controller.on_release(0.9, was_diffed=diffed)
+
+
+def light(controller, n=1, diffed=True):
+    for _ in range(n):
+        controller.on_release(0.1, was_diffed=diffed)
+
+
+class TestSwitching:
+    def test_starts_in_diff_mode(self):
+        controller = NoDiffController()
+        assert controller.use_diffing_next()
+
+    def test_switches_after_consecutive_heavy_sections(self):
+        controller = NoDiffController()
+        heavy(controller, SWITCH_AFTER - 1)
+        assert not controller.in_nodiff_mode
+        heavy(controller, 1)
+        assert controller.in_nodiff_mode
+        assert not controller.use_diffing_next()
+
+    def test_light_section_resets_streak(self):
+        controller = NoDiffController()
+        heavy(controller, SWITCH_AFTER - 1)
+        light(controller)
+        heavy(controller, SWITCH_AFTER - 1)
+        assert not controller.in_nodiff_mode
+
+    def test_threshold_is_strict(self):
+        controller = NoDiffController()
+        for _ in range(SWITCH_AFTER * 2):
+            controller.on_release(FRACTION_THRESHOLD, was_diffed=True)
+        assert not controller.in_nodiff_mode
+
+
+class TestResampling:
+    def enter_nodiff(self):
+        controller = NoDiffController()
+        heavy(controller, SWITCH_AFTER)
+        return controller
+
+    def test_periodic_probe_uses_diffing(self):
+        controller = self.enter_nodiff()
+        probes = 0
+        for _ in range(RESAMPLE_EVERY * 2):
+            diffed = controller.use_diffing_next()
+            if diffed:
+                probes += 1
+            heavy(controller, 1, diffed=diffed)
+        assert probes == 2  # one probe per RESAMPLE_EVERY sections
+
+    def test_probe_showing_light_writes_returns_to_diffing(self):
+        controller = self.enter_nodiff()
+        while not controller.use_diffing_next():
+            heavy(controller, 1, diffed=False)
+        light(controller, 1, diffed=True)  # the probe sees light writes
+        assert not controller.in_nodiff_mode
+        assert controller.use_diffing_next()
+
+    def test_probe_showing_heavy_writes_stays_nodiff(self):
+        controller = self.enter_nodiff()
+        while not controller.use_diffing_next():
+            heavy(controller, 1, diffed=False)
+        heavy(controller, 1, diffed=True)
+        assert controller.in_nodiff_mode
+
+    def test_disabled_controller_always_diffs(self):
+        controller = NoDiffController(enabled=False)
+        heavy(controller, SWITCH_AFTER * 3)
+        assert controller.use_diffing_next()
+        assert not controller.in_nodiff_mode
+
+    def test_mode_switches_counted(self):
+        controller = self.enter_nodiff()
+        assert controller.mode_switches == 1
+        while not controller.use_diffing_next():
+            heavy(controller, 1, diffed=False)
+        light(controller, 1, diffed=True)
+        assert controller.mode_switches == 2

@@ -1,0 +1,102 @@
+"""Tests for per-segment type registries."""
+
+import pytest
+
+from repro.errors import TypeDescriptorError
+from repro.types import (
+    DOUBLE,
+    INT,
+    ArrayDescriptor,
+    Field,
+    PointerDescriptor,
+    RecordDescriptor,
+    TypeRegistry,
+    encode_descriptor,
+)
+
+from tests._support import linked_node_type
+
+
+class TestRegistration:
+    def test_serials_start_at_one(self):
+        registry = TypeRegistry()
+        assert registry.register(INT) == 1
+        assert registry.register(DOUBLE) == 2
+        assert len(registry) == 2
+
+    def test_idempotent_by_structure(self):
+        registry = TypeRegistry()
+        a = RecordDescriptor("r", [Field("x", INT)])
+        b = RecordDescriptor("r", [Field("x", INT)])
+        assert registry.register(a) == registry.register(b)
+        assert len(registry) == 1
+
+    def test_lookup_and_serial_of(self):
+        registry = TypeRegistry()
+        serial = registry.register(ArrayDescriptor(INT, 5))
+        assert registry.lookup(serial) == ArrayDescriptor(INT, 5)
+        assert registry.serial_of(ArrayDescriptor(INT, 5)) == serial
+
+    def test_unknown_lookups_raise(self):
+        registry = TypeRegistry()
+        with pytest.raises(TypeDescriptorError):
+            registry.lookup(9)
+        with pytest.raises(TypeDescriptorError):
+            registry.serial_of(INT)
+        with pytest.raises(TypeDescriptorError):
+            registry.encoded(9)
+        assert registry.get_serial(INT) is None
+
+    def test_unresolved_pointer_rejected(self):
+        registry = TypeRegistry()
+        dangling = PointerDescriptor(None, "x")
+        with pytest.raises(TypeDescriptorError):
+            registry.register(RecordDescriptor("r", [Field("p", dangling)]))
+
+    def test_recursive_type_registers(self):
+        registry = TypeRegistry()
+        node = linked_node_type()
+        serial = registry.register(node)
+        assert registry.lookup(serial).name == node.name
+
+
+class TestWireAdoption:
+    def test_register_with_serial(self):
+        source = TypeRegistry()
+        serial = source.register(ArrayDescriptor(DOUBLE, 3))
+        encoded = source.encoded(serial)
+
+        sink = TypeRegistry()
+        descriptor = sink.register_with_serial(serial, encoded)
+        assert descriptor == ArrayDescriptor(DOUBLE, 3)
+        assert sink.lookup(serial) == descriptor
+        assert sink.contains_serial(serial)
+
+    def test_adopting_advances_counter(self):
+        registry = TypeRegistry()
+        registry.register_with_serial(5, encode_descriptor(INT))
+        assert registry.register(DOUBLE) == 6
+
+    def test_conflicting_serial_rejected(self):
+        registry = TypeRegistry()
+        registry.register_with_serial(1, encode_descriptor(INT))
+        with pytest.raises(TypeDescriptorError):
+            registry.register_with_serial(1, encode_descriptor(DOUBLE))
+
+    def test_same_type_two_serials_rejected(self):
+        registry = TypeRegistry()
+        registry.register_with_serial(1, encode_descriptor(INT))
+        with pytest.raises(TypeDescriptorError):
+            registry.register_with_serial(2, encode_descriptor(INT))
+
+    def test_re_adoption_is_idempotent(self):
+        registry = TypeRegistry()
+        registry.register_with_serial(1, encode_descriptor(INT))
+        registry.register_with_serial(1, encode_descriptor(INT))
+        assert len(registry) == 1
+
+    def test_items_sorted_by_serial(self):
+        registry = TypeRegistry()
+        registry.register_with_serial(7, encode_descriptor(INT))
+        registry.register_with_serial(2, encode_descriptor(DOUBLE))
+        assert [serial for serial, _ in registry.items()] == [2, 7]

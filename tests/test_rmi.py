@@ -1,0 +1,223 @@
+"""Tests for the RMI-style serialization baseline."""
+
+import struct
+
+import pytest
+
+from repro.arch import ALPHA, SPARC_V9, X86_32
+from repro.memory import AccessorContext, AddressSpace, Heap, SegmentHeap, make_accessor
+from repro.rpc.rmi import RMIError, deserialize, serialize
+from repro.types import (
+    CHAR,
+    DOUBLE,
+    INT,
+    ArrayDescriptor,
+    Field,
+    PointerDescriptor,
+    RecordDescriptor,
+    StringDescriptor,
+)
+
+from tests._support import linked_node_type
+
+
+def make_env(arch=X86_32):
+    memory = AddressSpace()
+    heap = SegmentHeap("s", Heap(memory), arch)
+    return memory, heap, AccessorContext(memory, arch)
+
+
+def alloc(memory, heap, context, descriptor):
+    block = heap.allocate(descriptor, 0)
+    memory.store(block.address, bytes(block.size))
+    return block, make_accessor(context, descriptor, block.address)
+
+
+def make_allocator(memory, heap, context):
+    def allocator(descriptor):
+        block, _ = alloc(memory, heap, context, descriptor)
+        return block.address
+
+    return allocator
+
+
+class TestScalars:
+    def test_int_roundtrip(self):
+        memory, heap, context = make_env()
+        block, acc = alloc(memory, heap, context, INT)
+        acc.set(-77)
+        data = serialize(memory, X86_32, INT, block.address)
+        block2, acc2 = alloc(memory, heap, context, INT)
+        deserialize(memory, X86_32, INT, block2.address, data)
+        assert acc2.get() == -77
+
+    def test_string_roundtrip(self):
+        memory, heap, context = make_env()
+        desc = StringDescriptor(32)
+        block, acc = alloc(memory, heap, context, desc)
+        acc.set("rmi")
+        data = serialize(memory, X86_32, desc, block.address)
+        block2, acc2 = alloc(memory, heap, context, desc)
+        deserialize(memory, X86_32, desc, block2.address, data)
+        assert acc2.get() == "rmi"
+
+
+class TestSelfDescription:
+    def test_class_descriptor_written_once(self):
+        memory, heap, context = make_env()
+        rec = RecordDescriptor("point", [Field("x", INT), Field("y", INT)])
+        desc = ArrayDescriptor(rec, 10)
+        block, acc = alloc(memory, heap, context, desc)
+        data = serialize(memory, X86_32, desc, block.address)
+        # once in the array signature "[Lpoint;", once in the CLASSDESC;
+        # the nine other elements use CLASSREF handles
+        assert data.count(b"point") == 2
+
+    def test_field_names_on_the_wire(self):
+        memory, heap, context = make_env()
+        rec = RecordDescriptor("sample", [Field("count", INT), Field("mean", DOUBLE)])
+        block, _ = alloc(memory, heap, context, rec)
+        data = serialize(memory, X86_32, rec, block.address)
+        assert b"count" in data and b"mean" in data
+
+    def test_rmi_stream_bigger_than_interweave_wire(self):
+        """Self-description costs bytes, not just time."""
+        from repro.types import flat_layout
+        from repro.wire import TranslationContext, collect_block
+
+        memory, heap, context = make_env()
+        rec = RecordDescriptor("s", [Field("a", INT), Field("b", DOUBLE)])
+        desc = ArrayDescriptor(rec, 100)
+        block, _ = alloc(memory, heap, context, desc)
+        rmi = serialize(memory, X86_32, desc, block.address)
+        iw = collect_block(TranslationContext(memory, X86_32),
+                           flat_layout(desc, X86_32), block.address)
+        assert len(rmi) > len(iw)
+
+    def test_class_mismatch_rejected(self):
+        memory, heap, context = make_env()
+        rec_a = RecordDescriptor("a", [Field("x", INT)])
+        rec_b = RecordDescriptor("b", [Field("x", INT)])
+        block, _ = alloc(memory, heap, context, rec_a)
+        data = serialize(memory, X86_32, rec_a, block.address)
+        block2, _ = alloc(memory, heap, context, rec_b)
+        with pytest.raises(RMIError):
+            deserialize(memory, X86_32, rec_b, block2.address, data)
+
+
+class TestCrossArchitecture:
+    @pytest.mark.parametrize("src,dst", [(X86_32, SPARC_V9), (ALPHA, X86_32)])
+    def test_mixed_record(self, src, dst):
+        rec = RecordDescriptor("m", [
+            Field("c", CHAR), Field("i", INT), Field("d", DOUBLE),
+            Field("s", StringDescriptor(16))])
+        memory_a, heap_a, context_a = make_env(src)
+        block_a, acc_a = alloc(memory_a, heap_a, context_a, rec)
+        acc_a.c = "R"
+        acc_a.i = 1 << 19
+        acc_a.d = -0.5
+        acc_a.s = "over"
+        data = serialize(memory_a, src, rec, block_a.address)
+        memory_b, heap_b, context_b = make_env(dst)
+        block_b, acc_b = alloc(memory_b, heap_b, context_b, rec)
+        deserialize(memory_b, dst, rec, block_b.address, data)
+        assert (acc_b.c, acc_b.i, acc_b.d, acc_b.s) == ("R", 1 << 19, -0.5, "over")
+
+
+class TestObjectGraphs:
+    def test_linked_list(self):
+        memory, heap, context = make_env()
+        node_t = linked_node_type(name="rmilist")
+        blocks = [alloc(memory, heap, context, node_t) for _ in range(3)]
+        for index, (block, acc) in enumerate(blocks):
+            acc.key = index * 10
+        blocks[0][1].next = blocks[1][0].address
+        blocks[1][1].next = blocks[2][0].address
+        data = serialize(memory, X86_32, node_t, blocks[0][0].address)
+
+        memory2, heap2, context2 = make_env(SPARC_V9)
+        root, acc = alloc(memory2, heap2, context2, node_t)
+        deserialize(memory2, SPARC_V9, node_t, root.address, data,
+                    make_allocator(memory2, heap2, context2))
+        assert [acc.key, acc.next.key, acc.next.next.key] == [0, 10, 20]
+        assert acc.next.next.next is None
+
+    def test_cycles_resolve_via_handles(self):
+        """Unlike XDR's deep copy, RMI streams handle cyclic graphs."""
+        memory, heap, context = make_env()
+        node_t = linked_node_type(name="rmicycle")
+        a_block, a = alloc(memory, heap, context, node_t)
+        b_block, b = alloc(memory, heap, context, node_t)
+        holder_t = RecordDescriptor(
+            "holder", [Field("head", PointerDescriptor(node_t, "rmicycle"))])
+        holder_block, holder = alloc(memory, heap, context, holder_t)
+        a.key, b.key = 1, 2
+        a.next = b_block.address
+        b.next = a_block.address  # 2-cycle
+        holder.head = a_block.address
+        data = serialize(memory, X86_32, holder_t, holder_block.address)
+
+        memory2, heap2, context2 = make_env()
+        root, acc = alloc(memory2, heap2, context2, holder_t)
+        deserialize(memory2, X86_32, holder_t, root.address, data,
+                    make_allocator(memory2, heap2, context2))
+        head = acc.head
+        assert head.key == 1 and head.next.key == 2
+        assert head.next.next.address == head.address  # the cycle survives
+
+    def test_shared_object_deduplicated(self):
+        memory, heap, context = make_env()
+        target_block, target = alloc(memory, heap, context, INT)
+        target.set(9)
+        two_ptrs = RecordDescriptor("pair", [
+            Field("p1", PointerDescriptor(INT, "int")),
+            Field("p2", PointerDescriptor(INT, "int"))])
+        block, acc = alloc(memory, heap, context, two_ptrs)
+        acc.p1 = target_block.address
+        acc.p2 = target_block.address
+        data = serialize(memory, X86_32, two_ptrs, block.address)
+
+        memory2, heap2, context2 = make_env()
+        root, acc2 = alloc(memory2, heap2, context2, two_ptrs)
+        deserialize(memory2, X86_32, two_ptrs, root.address, data,
+                    make_allocator(memory2, heap2, context2))
+        assert acc2.p1.get() == 9
+        assert acc2.p1.address == acc2.p2.address  # one copy, two refs
+
+    def test_null_pointer(self):
+        memory, heap, context = make_env()
+        desc = PointerDescriptor(INT, "int")
+        block, _ = alloc(memory, heap, context, desc)
+        data = serialize(memory, X86_32, desc, block.address)
+        block2, acc2 = alloc(memory, heap, context, desc)
+        deserialize(memory, X86_32, desc, block2.address, data)
+        assert acc2.get() is None
+
+    def test_allocator_required_for_objects(self):
+        memory, heap, context = make_env()
+        desc = PointerDescriptor(INT, "int")
+        target_block, _ = alloc(memory, heap, context, INT)
+        block, acc = alloc(memory, heap, context, desc)
+        acc.set(target_block.address)
+        data = serialize(memory, X86_32, desc, block.address)
+        with pytest.raises(RMIError):
+            deserialize(memory, X86_32, desc, block.address, data)
+
+
+class TestErrors:
+    def test_trailing_bytes_rejected(self):
+        memory, heap, context = make_env()
+        block, acc = alloc(memory, heap, context, INT)
+        data = serialize(memory, X86_32, INT, block.address)
+        with pytest.raises(RMIError):
+            deserialize(memory, X86_32, INT, block.address, data + b"!")
+
+    def test_array_length_mismatch(self):
+        memory, heap, context = make_env()
+        a4 = ArrayDescriptor(INT, 4)
+        a5 = ArrayDescriptor(INT, 5)
+        block, _ = alloc(memory, heap, context, a4)
+        data = serialize(memory, X86_32, a4, block.address)
+        block2, _ = alloc(memory, heap, context, a5)
+        with pytest.raises(RMIError):
+            deserialize(memory, X86_32, a5, block2.address, data)

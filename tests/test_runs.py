@@ -1,0 +1,121 @@
+"""Tests for run (interval) algebra, including the diff-run-splicing rule."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import runs
+
+
+class TestNormalize:
+    def test_empty(self):
+        assert runs.normalize([]) == []
+
+    def test_drops_zero_length(self):
+        assert runs.normalize([(5, 0), (1, 2)]) == [(1, 2)]
+
+    def test_sorts(self):
+        assert runs.normalize([(10, 2), (1, 2)]) == [(1, 2), (10, 2)]
+
+    def test_merges_adjacent(self):
+        assert runs.normalize([(1, 2), (3, 2)]) == [(1, 4)]
+
+    def test_merges_overlapping(self):
+        assert runs.normalize([(1, 5), (3, 10)]) == [(1, 12)]
+
+    def test_contained_run_absorbed(self):
+        assert runs.normalize([(1, 10), (3, 2)]) == [(1, 10)]
+
+    def test_keeps_gaps(self):
+        assert runs.normalize([(1, 2), (5, 2)]) == [(1, 2), (5, 2)]
+
+
+class TestSplice:
+    def test_gap_of_one_spliced(self):
+        # the paper: one or two unchanged words between changed words are
+        # treated as changed to avoid a new RLE section
+        assert runs.splice([(0, 2), (3, 2)], max_gap=2) == [(0, 5)]
+
+    def test_gap_of_two_spliced(self):
+        assert runs.splice([(0, 2), (4, 2)], max_gap=2) == [(0, 6)]
+
+    def test_gap_of_three_not_spliced(self):
+        assert runs.splice([(0, 2), (5, 2)], max_gap=2) == [(0, 2), (5, 2)]
+
+    def test_zero_gap_equals_normalize(self):
+        data = [(0, 2), (3, 2), (5, 1)]
+        assert runs.splice(data, max_gap=0) == runs.normalize(data)
+
+    def test_chained_splicing(self):
+        assert runs.splice([(0, 1), (2, 1), (4, 1)], max_gap=1) == [(0, 5)]
+
+
+class TestIntersect:
+    def test_clips_both_ends(self):
+        assert runs.intersect([(0, 10)], 3, 4) == [(3, 4)]
+
+    def test_outside_window_dropped(self):
+        assert runs.intersect([(0, 2), (10, 2)], 4, 4) == []
+
+    def test_partial_overlap(self):
+        assert runs.intersect([(2, 4)], 4, 10) == [(4, 2)]
+
+
+class TestComplement:
+    def test_full_coverage_no_gaps(self):
+        assert runs.complement([(0, 10)], 0, 10) == []
+
+    def test_empty_runs_whole_window(self):
+        assert runs.complement([], 5, 10) == [(5, 10)]
+
+    def test_gaps_between_runs(self):
+        assert runs.complement([(2, 2), (6, 2)], 0, 10) == [(0, 2), (4, 2), (8, 2)]
+
+
+class TestHelpers:
+    def test_shift(self):
+        assert runs.shift([(1, 2)], 10) == [(11, 2)]
+
+    def test_total_length(self):
+        assert runs.total_length([(0, 3), (10, 4)]) == 7
+
+
+run_lists = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(0, 20)), max_size=30)
+
+
+def _covered(rs):
+    out = set()
+    for start, length in rs:
+        out.update(range(start, start + length))
+    return out
+
+
+@settings(max_examples=200, deadline=None)
+@given(run_lists)
+def test_normalize_preserves_coverage_and_is_canonical(rs):
+    normalized = runs.normalize(rs)
+    assert _covered(normalized) == _covered(rs)
+    # disjoint, sorted, non-adjacent
+    for (s1, l1), (s2, _) in zip(normalized, normalized[1:]):
+        assert s1 + l1 < s2
+    assert all(length > 0 for _, length in normalized)
+
+
+@settings(max_examples=200, deadline=None)
+@given(run_lists, st.integers(0, 3))
+def test_splice_is_superset_and_gap_bounded(rs, max_gap):
+    spliced = runs.splice(rs, max_gap)
+    assert _covered(rs) <= _covered(spliced)
+    # every extra unit spliced in lies in a gap of width <= max_gap
+    for (s1, l1), (s2, _) in zip(spliced, spliced[1:]):
+        assert s2 - (s1 + l1) > max_gap
+
+
+@settings(max_examples=200, deadline=None)
+@given(run_lists, st.integers(0, 100), st.integers(0, 50))
+def test_complement_partitions_window(rs, start, length):
+    inside = _covered(runs.intersect(runs.normalize(rs), start, length))
+    gaps = _covered(runs.complement(rs, start, length))
+    window = set(range(start, start + length))
+    assert inside | gaps == window
+    assert inside & gaps == set()

@@ -1,0 +1,127 @@
+"""Tests for the command-line tools."""
+
+import io
+import threading
+
+import pytest
+
+from repro import InterWeaveClient, InterWeaveServer
+from repro.arch import SPARC_V9, X86_32
+from repro.server import write_checkpoint
+from repro.transport import TCPChannel
+from repro.types import ArrayDescriptor, INT
+
+
+class TestServerTool:
+    def test_serve_restore_and_share(self, tmp_path):
+        from repro.tools.server_main import build_parser, serve
+
+        # seed a checkpoint to restore
+        from tests.test_server_segment import make_segment_with_array
+
+        state, _ = make_segment_with_array(16)
+        state.name = "tool/data"
+        write_checkpoint(state, str(tmp_path))
+
+        args = build_parser().parse_args([
+            "--name", "tool", "--port", "0",
+            "--checkpoint-dir", str(tmp_path), "--restore"])
+        ready = threading.Event()
+        stop = threading.Event()
+        thread = threading.Thread(target=serve, args=(args, ready, stop),
+                                  daemon=True)
+        thread.start()
+        assert ready.wait(5)
+        port = ready.ready_port
+        try:
+            def connector(server_name, client_id):
+                return TCPChannel("127.0.0.1", port, client_id)
+
+            client = InterWeaveClient("c", SPARC_V9, connector)
+            seg = client.open_segment("tool/data", create=False)
+            client.rl_acquire(seg)
+            values = list(client.accessor_for(seg, 1).read_values())
+            client.rl_release(seg)
+            assert values == list(range(16))
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+
+    def test_parser_defaults(self):
+        from repro.tools.server_main import build_parser
+
+        args = build_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.checkpoint_every == 16
+
+
+class TestInspectTool:
+    def test_describe_checkpoint(self, tmp_path, capsys):
+        from repro.tools.inspect_main import main
+        from tests.test_server_segment import make_segment_with_array
+
+        state, _ = make_segment_with_array(64)
+        path = write_checkpoint(state, str(tmp_path))
+        assert main([path, "--blocks", "--types"]) == 0
+        out = capsys.readouterr().out
+        assert "version      : 1" in out
+        assert "blocks       : 1" in out
+        assert "Array(Prim(int) x 64)" in out
+
+    def test_missing_file(self, tmp_path):
+        from repro.errors import CheckpointError
+        from repro.tools.inspect_main import main
+
+        with pytest.raises(CheckpointError):
+            main([str(tmp_path / "nope.iwck")])
+
+
+class TestIdlcTool:
+    IDL = """
+    const N = 3;
+    struct node { int key; node *next; double weights[N]; };
+    """
+
+    def test_emit_header(self, tmp_path, capsys):
+        from repro.tools.idlc_main import main
+
+        source = tmp_path / "types.idl"
+        source.write_text(self.IDL)
+        assert main([str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "#ifndef IW_TYPES_H" in out
+        assert "struct node {" in out
+        assert "double weights[3];" in out
+
+    def test_output_file_and_guard(self, tmp_path):
+        from repro.tools.idlc_main import main
+
+        source = tmp_path / "types.idl"
+        source.write_text(self.IDL)
+        header = tmp_path / "types.h"
+        assert main([str(source), "-o", str(header), "--guard", "MY_H"]) == 0
+        text = header.read_text()
+        assert text.startswith("#ifndef MY_H")
+
+    def test_layout_report(self, tmp_path, capsys):
+        from repro.tools.idlc_main import main
+
+        source = tmp_path / "types.idl"
+        source.write_text(self.IDL)
+        assert main([str(source), "--layout", "sparc-v9"]) == 0
+        out = capsys.readouterr().out
+        assert "layouts on sparc-v9" in out
+        assert "translation program" in out
+
+    def test_bad_idl_reports_error(self, tmp_path, capsys):
+        from repro.tools.idlc_main import main
+
+        source = tmp_path / "bad.idl"
+        source.write_text("struct { int x; };")
+        assert main([str(source)]) == 1
+        assert "repro-idlc" in capsys.readouterr().err
+
+    def test_missing_source(self, tmp_path):
+        from repro.tools.idlc_main import main
+
+        assert main([str(tmp_path / "missing.idl")]) == 2

@@ -1,0 +1,181 @@
+"""Tests for transports: in-process hub and real TCP sockets."""
+
+import threading
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport import (
+    Dispatcher,
+    InProcHub,
+    NetworkModel,
+    TCPChannel,
+    TCPServerTransport,
+)
+from repro.util.clock import VirtualClock
+
+
+class EchoServer(Dispatcher):
+    def __init__(self):
+        self.seen = []
+
+    def dispatch(self, client_id, data):
+        self.seen.append((client_id, bytes(data)))
+        return b"echo:" + data
+
+
+class TestInProc:
+    def test_request_reply(self):
+        hub = InProcHub()
+        server = EchoServer()
+        hub.register_server("s", server)
+        channel = hub.connect("s", "c1")
+        assert channel.request(b"hello") == b"echo:hello"
+        assert server.seen == [("c1", b"hello")]
+
+    def test_byte_accounting(self):
+        hub = InProcHub()
+        hub.register_server("s", EchoServer())
+        channel = hub.connect("s", "c1")
+        channel.request(b"12345")
+        assert channel.stats.bytes_sent == 5
+        assert channel.stats.bytes_received == 10  # "echo:12345"
+        assert channel.stats.requests == 1
+
+    def test_rejects_non_bytes(self):
+        hub = InProcHub()
+        hub.register_server("s", EchoServer())
+        channel = hub.connect("s", "c1")
+        with pytest.raises(TransportError):
+            channel.request("not bytes")
+
+    def test_unknown_server(self):
+        hub = InProcHub()
+        with pytest.raises(TransportError):
+            hub.connect("nope", "c1")
+
+    def test_duplicate_server_rejected(self):
+        hub = InProcHub()
+        hub.register_server("s", EchoServer())
+        with pytest.raises(TransportError):
+            hub.register_server("s", EchoServer())
+
+    def test_push_notifications(self):
+        hub = InProcHub()
+        hub.register_server("s", EchoServer())
+        channel = hub.connect("s", "c1")
+        received = []
+        channel.set_notification_handler(received.append)
+        assert hub.push("c1", b"wake up")
+        assert received == [b"wake up"]
+        assert channel.stats.notifications == 1
+
+    def test_push_to_unknown_client(self):
+        hub = InProcHub()
+        assert not hub.push("ghost", b"x")
+
+    def test_push_without_handler(self):
+        hub = InProcHub()
+        hub.register_server("s", EchoServer())
+        hub.connect("s", "c1")
+        assert not hub.push("c1", b"x")
+
+    def test_closed_channel_rejects(self):
+        hub = InProcHub()
+        hub.register_server("s", EchoServer())
+        channel = hub.connect("s", "c1")
+        channel.close()
+        with pytest.raises(TransportError):
+            channel.request(b"x")
+        assert not hub.push("c1", b"x")
+
+    def test_network_model_advances_virtual_clock(self):
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock, network=NetworkModel(latency=0.01,
+                                                          bandwidth=1000))
+        hub.register_server("s", EchoServer())
+        channel = hub.connect("s", "c1")
+        channel.request(b"x" * 100)  # 100 bytes out, 105 back
+        # 2 messages of latency + 205 bytes / 1000 B/s
+        assert clock.now() == pytest.approx(0.02 + 0.205)
+
+
+class TestNetworkModel:
+    def test_latency_only(self):
+        assert NetworkModel(latency=0.5).transfer_time(10**6) == 0.5
+
+    def test_bandwidth(self):
+        model = NetworkModel(latency=0.1, bandwidth=100.0)
+        assert model.transfer_time(50) == pytest.approx(0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency=-1)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0)
+
+
+class TestTCP:
+    @pytest.fixture
+    def server(self):
+        dispatcher = EchoServer()
+        transport = TCPServerTransport(dispatcher)
+        yield transport, dispatcher
+        transport.close()
+
+    def test_request_reply(self, server):
+        transport, dispatcher = server
+        channel = TCPChannel("127.0.0.1", transport.port, "tcp-client")
+        try:
+            assert channel.request(b"ping") == b"echo:ping"
+            assert dispatcher.seen == [("tcp-client", b"ping")]
+        finally:
+            channel.close()
+
+    def test_large_payload(self, server):
+        transport, _ = server
+        channel = TCPChannel("127.0.0.1", transport.port, "c")
+        try:
+            payload = bytes(range(256)) * 4096  # 1 MiB
+            assert channel.request(payload) == b"echo:" + payload
+        finally:
+            channel.close()
+
+    def test_multiple_clients(self, server):
+        transport, dispatcher = server
+        channels = [TCPChannel("127.0.0.1", transport.port, f"c{i}")
+                    for i in range(4)]
+        try:
+            results = {}
+
+            def work(index):
+                results[index] = channels[index].request(f"m{index}".encode())
+
+            threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert results == {i: f"echo:m{i}".encode() for i in range(4)}
+        finally:
+            for channel in channels:
+                channel.close()
+
+    def test_sequential_requests_on_one_connection(self, server):
+        transport, _ = server
+        channel = TCPChannel("127.0.0.1", transport.port, "c")
+        try:
+            for i in range(20):
+                assert channel.request(f"n{i}".encode()) == f"echo:n{i}".encode()
+        finally:
+            channel.close()
+
+    def test_cannot_push(self, server):
+        transport, _ = server
+        channel = TCPChannel("127.0.0.1", transport.port, "c")
+        try:
+            assert not channel.can_push
+            with pytest.raises(NotImplementedError):
+                channel.set_notification_handler(lambda data: None)
+        finally:
+            channel.close()

@@ -1,0 +1,134 @@
+"""Tests for clocks and the reader-writer lock."""
+
+import threading
+
+import pytest
+
+from repro.util.clock import VirtualClock, WallClock
+from repro.util.rwlock import ReaderWriterLock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(10.0).now() == 10.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+        clock.advance(0)
+        assert clock.now() == 2.5
+
+    def test_set(self):
+        clock = VirtualClock()
+        clock.set(7.0)
+        assert clock.now() == 7.0
+
+    def test_time_cannot_go_backwards(self):
+        clock = VirtualClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.set(4.0)
+
+
+class TestWallClock:
+    def test_monotonic(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+
+class TestReaderWriterLock:
+    def test_multiple_readers(self):
+        lock = ReaderWriterLock()
+        assert lock.acquire_read()
+        assert lock.acquire_read()
+        assert lock.readers == 2
+        lock.release_read()
+        lock.release_read()
+        assert lock.readers == 0
+
+    def test_writer_exclusive(self):
+        lock = ReaderWriterLock()
+        assert lock.acquire_write()
+        assert lock.has_writer
+        assert not lock.acquire_read(timeout=0.01)
+        assert not lock.acquire_write(timeout=0.01)
+        lock.release_write()
+        assert lock.acquire_read()
+        lock.release_read()
+
+    def test_writer_blocks_on_readers(self):
+        lock = ReaderWriterLock()
+        lock.acquire_read()
+        assert not lock.acquire_write(timeout=0.01)
+        lock.release_read()
+        assert lock.acquire_write(timeout=0.1)
+        lock.release_write()
+
+    def test_unbalanced_release_rejected(self):
+        lock = ReaderWriterLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_context_managers(self):
+        lock = ReaderWriterLock()
+        with lock.read_locked():
+            assert lock.readers == 1
+        with lock.write_locked():
+            assert lock.has_writer
+        assert lock.readers == 0 and not lock.has_writer
+
+    def test_writer_preference_prevents_starvation(self):
+        """Once a writer waits, new readers queue behind it."""
+        lock = ReaderWriterLock()
+        lock.acquire_read()
+        order = []
+
+        def writer():
+            lock.acquire_write()
+            order.append("writer")
+            lock.release_write()
+
+        def late_reader():
+            lock.acquire_read()
+            order.append("reader")
+            lock.release_read()
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        # wait until the writer is registered as waiting
+        for _ in range(1000):
+            if lock._writers_waiting:
+                break
+            threading.Event().wait(0.001)
+        reader_thread = threading.Thread(target=late_reader)
+        reader_thread.start()
+        threading.Event().wait(0.01)
+        lock.release_read()  # the initial reader leaves
+        writer_thread.join(timeout=2)
+        reader_thread.join(timeout=2)
+        assert order == ["writer", "reader"]
+
+    def test_concurrent_counter_consistency(self):
+        lock = ReaderWriterLock()
+        counter = {"value": 0}
+
+        def bump():
+            for _ in range(200):
+                with lock.write_locked():
+                    counter["value"] += 1
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter["value"] == 800

@@ -1,0 +1,111 @@
+"""Tests for the server's blk_version_list and marker tree."""
+
+import pytest
+
+from repro.server.version_list import VersionList
+
+
+class Block:
+    def __init__(self, serial):
+        self.serial = serial
+
+    def __repr__(self):
+        return f"B{self.serial}"
+
+
+class TestBasics:
+    def test_empty(self):
+        vlist = VersionList()
+        assert len(vlist) == 0
+        assert list(vlist.blocks_after(0)) == []
+        assert list(vlist.all_blocks()) == []
+
+    def test_touch_inserts_after_marker(self):
+        vlist = VersionList()
+        vlist.append_marker(1)
+        b1, b2 = Block(1), Block(2)
+        vlist.touch(1, b1)
+        vlist.touch(2, b2)
+        assert list(vlist.blocks_after(0)) == [b1, b2]
+
+    def test_markers_must_increase(self):
+        vlist = VersionList()
+        vlist.append_marker(3)
+        with pytest.raises(ValueError):
+            vlist.append_marker(3)
+        with pytest.raises(ValueError):
+            vlist.append_marker(2)
+
+    def test_retouch_moves_to_tail(self):
+        vlist = VersionList()
+        vlist.append_marker(1)
+        b1, b2 = Block(1), Block(2)
+        vlist.touch(1, b1)
+        vlist.touch(2, b2)
+        vlist.append_marker(2)
+        vlist.touch(1, b1)  # modified again in version 2
+        assert list(vlist.all_blocks()) == [b2, b1]
+        # a client at version 1 needs only b1
+        assert list(vlist.blocks_after(1)) == [b1]
+
+    def test_blocks_after_skips_up_to_date(self):
+        vlist = VersionList()
+        for version in (1, 2, 3):
+            vlist.append_marker(version)
+            vlist.touch(version, Block(version))
+        assert [b.serial for b in vlist.blocks_after(0)] == [1, 2, 3]
+        assert [b.serial for b in vlist.blocks_after(1)] == [2, 3]
+        assert [b.serial for b in vlist.blocks_after(2)] == [3]
+        assert list(vlist.blocks_after(3)) == []
+        assert list(vlist.blocks_after(99)) == []
+
+    def test_remove(self):
+        vlist = VersionList()
+        vlist.append_marker(1)
+        b = Block(1)
+        vlist.touch(1, b)
+        vlist.remove(1)
+        assert list(vlist.all_blocks()) == []
+        vlist.remove(1)  # idempotent
+
+    def test_len_counts_blocks_not_markers(self):
+        vlist = VersionList()
+        vlist.append_marker(1)
+        vlist.touch(1, Block(1))
+        vlist.append_marker(2)
+        assert len(vlist) == 1
+
+
+class TestPruning:
+    def build(self, versions=10):
+        vlist = VersionList()
+        blocks = {}
+        for version in range(1, versions + 1):
+            vlist.append_marker(version)
+            block = Block(version)
+            blocks[version] = block
+            vlist.touch(version, block)
+        return vlist, blocks
+
+    def test_prune_keeps_nonempty_sublists(self):
+        vlist, blocks = self.build(5)
+        pruned = vlist.prune_markers(keep_newest=1)
+        assert pruned == 0  # every sublist holds its block
+
+    def test_prune_drops_emptied_markers(self):
+        vlist, blocks = self.build(5)
+        vlist.append_marker(6)
+        for version in (1, 2, 3):
+            vlist.touch(version, blocks[version])  # re-modified in v6
+        pruned = vlist.prune_markers(keep_newest=1)
+        assert pruned == 3  # markers 1-3 now have empty sublists
+        # correctness preserved: a client at v0 still finds everything
+        assert {b.serial for b in vlist.blocks_after(0)} == {1, 2, 3, 4, 5}
+
+    def test_prune_respects_keep_newest(self):
+        vlist, blocks = self.build(5)
+        vlist.append_marker(6)
+        for version in (1, 2, 3, 4, 5):
+            vlist.touch(version, blocks[version])
+        pruned = vlist.prune_markers(keep_newest=4)
+        assert pruned == 2  # only the two oldest of the six markers go

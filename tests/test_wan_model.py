@@ -1,0 +1,95 @@
+"""Tests for WAN modelling: simulated latency/bandwidth on real traffic.
+
+The paper targets "potentially very slow Internet links"; the in-process
+hub can attach a :class:`NetworkModel` that charges simulated time for
+every byte crossing it, letting experiments reason about WAN behaviour
+deterministically.
+"""
+
+import pytest
+
+from repro import InProcHub, InterWeaveClient, InterWeaveServer, VirtualClock, temporal
+from repro.arch import X86_32
+from repro.transport import NetworkModel
+from repro.types import INT, ArrayDescriptor
+
+
+def make_wan_world(latency=0.05, bandwidth=100_000.0):
+    clock = VirtualClock()
+    hub = InProcHub(clock=clock, network=NetworkModel(latency=latency,
+                                                      bandwidth=bandwidth))
+    server = InterWeaveServer("wan", sink=hub, clock=clock)
+    hub.register_server("wan", server)
+    return clock, hub, server
+
+
+class TestWANCharges:
+    def test_every_message_costs_latency(self):
+        clock, hub, server = make_wan_world(latency=0.05, bandwidth=None or 1e12)
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock)
+        before = clock.now()
+        client.open_segment("wan/s")  # one request + one reply
+        assert clock.now() - before == pytest.approx(0.10, abs=1e-6)
+
+    def test_bytes_cost_bandwidth_time(self):
+        clock, hub, server = make_wan_world(latency=0.0, bandwidth=10_000.0)
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("wan/s")
+        open_cost = clock.now()
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 10_000), name="a")
+        array.write_values([1] * 10_000)
+        before = clock.now()
+        client.wl_release(seg)  # ~40 KB diff at 10 KB/s: ~4 simulated sec
+        elapsed = clock.now() - before
+        assert elapsed > 3.5
+        assert open_cost < 0.1  # control messages were nearly free
+
+    def test_diffs_make_wan_updates_cheap(self):
+        """The paper's whole point, in simulated seconds: updating a cached
+        segment over a slow link costs proportional to the change."""
+        clock, hub, server = make_wan_world(latency=0.01, bandwidth=50_000.0)
+        writer = InterWeaveClient("w", X86_32, hub.connect, clock=clock)
+        reader = InterWeaveClient("r", X86_32, hub.connect, clock=clock)
+        reader.options.enable_notifications = False
+        seg = writer.open_segment("wan/s")
+        writer.wl_acquire(seg)
+        array = writer.malloc(seg, ArrayDescriptor(INT, 25_000), name="a")
+        array.write_values([0] * 25_000)
+        writer.wl_release(seg)
+
+        seg_r = reader.open_segment("wan/s")
+        before = clock.now()
+        reader.rl_acquire(seg_r)  # full transfer: ~100 KB at 50 KB/s
+        reader.rl_release(seg_r)
+        full_time = clock.now() - before
+        assert full_time > 1.5
+
+        writer.wl_acquire(seg)
+        array[77] = 1  # four bytes changed
+        writer.wl_release(seg)
+        before = clock.now()
+        reader.rl_acquire(seg_r)
+        reader.rl_release(seg_r)
+        update_time = clock.now() - before
+        assert update_time < full_time / 20
+
+    def test_temporal_reader_pays_nothing_inside_bound(self):
+        clock, hub, server = make_wan_world(latency=0.5, bandwidth=10_000.0)
+        writer = InterWeaveClient("w", X86_32, hub.connect, clock=clock)
+        seg = writer.open_segment("wan/s")
+        writer.wl_acquire(seg)
+        writer.malloc(seg, INT, name="v").set(1)
+        writer.wl_release(seg)
+
+        reader = InterWeaveClient("r", X86_32, hub.connect, clock=clock)
+        reader.options.enable_notifications = False
+        seg_r = reader.open_segment("wan/s")
+        reader.set_coherence(seg_r, temporal(3600.0))
+        reader.rl_acquire(seg_r)
+        reader.rl_release(seg_r)
+        before = clock.now()
+        for _ in range(10):
+            reader.rl_acquire(seg_r)  # all local: no WAN time charged
+            reader.rl_release(seg_r)
+        assert clock.now() == before

@@ -1,0 +1,103 @@
+"""Tests for machine-independent type descriptor encoding."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import WireFormatError
+from repro.types import (
+    DOUBLE,
+    INT,
+    ArrayDescriptor,
+    Field,
+    PointerDescriptor,
+    RecordDescriptor,
+    StringDescriptor,
+    decode_descriptor,
+    encode_descriptor,
+)
+
+from tests._support import descriptors_with_pointers, linked_node_type
+
+
+class TestRoundtrip:
+    def test_primitive(self):
+        assert decode_descriptor(encode_descriptor(INT)) == INT
+
+    def test_string(self):
+        s = StringDescriptor(256)
+        assert decode_descriptor(encode_descriptor(s)) == s
+
+    def test_array(self):
+        a = ArrayDescriptor(DOUBLE, 42)
+        decoded = decode_descriptor(encode_descriptor(a))
+        assert decoded == a
+        assert decoded.count == 42
+
+    def test_record(self):
+        rec = RecordDescriptor("point", [Field("x", DOUBLE), Field("y", DOUBLE)])
+        decoded = decode_descriptor(encode_descriptor(rec))
+        assert decoded == rec
+        assert [f.name for f in decoded.fields] == ["x", "y"]
+
+    def test_recursive_linked_list(self):
+        node = linked_node_type(name="list_node")
+        decoded = decode_descriptor(encode_descriptor(node))
+        assert decoded.name == node.name
+        next_target = decoded.field("next").descriptor.target
+        assert next_target is decoded  # the cycle closes onto the same object
+
+    def test_shared_subtree_deduplicated(self):
+        shared = RecordDescriptor("inner", [Field("v", INT)])
+        rec = RecordDescriptor("outer", [Field("a", shared), Field("b", shared)])
+        decoded = decode_descriptor(encode_descriptor(rec))
+        assert decoded.field("a").descriptor is decoded.field("b").descriptor
+
+    def test_encoding_is_deterministic(self):
+        node = linked_node_type(name="n")
+        assert encode_descriptor(node) == encode_descriptor(node)
+
+
+class TestErrors:
+    def test_unresolved_pointer_rejected(self):
+        dangling = PointerDescriptor(None, target_name="x")
+        with pytest.raises(WireFormatError):
+            encode_descriptor(dangling)
+
+    def test_truncated_buffer(self):
+        data = encode_descriptor(ArrayDescriptor(INT, 3))
+        with pytest.raises(WireFormatError):
+            decode_descriptor(data[:3])
+
+    def test_garbage_tag(self):
+        import struct
+
+        buffer = struct.pack(">I", 1) + bytes([99])
+        with pytest.raises(WireFormatError):
+            decode_descriptor(buffer)
+
+
+@settings(max_examples=150, deadline=None)
+@given(descriptors_with_pointers())
+def test_roundtrip_preserves_structure(descriptor):
+    decoded = decode_descriptor(encode_descriptor(descriptor))
+    assert decoded == descriptor
+    assert decoded.prim_count == descriptor.prim_count
+    # re-encoding the decoded graph is stable
+    assert encode_descriptor(decoded) == encode_descriptor(descriptor)
+
+
+@settings(max_examples=60, deadline=None)
+@given(descriptors_with_pointers())
+def test_decoded_layout_matches_original(descriptor):
+    from repro.arch import SPARC_V9, X86_32
+    from repro.types.layout import FlatLayout
+
+    decoded = decode_descriptor(encode_descriptor(descriptor))
+    for arch in (X86_32, SPARC_V9):
+        original = FlatLayout(descriptor, arch, True)
+        recovered = FlatLayout(decoded, arch, True)
+        assert original.local_size == recovered.local_size
+        assert [(r.kind, r.prim_start, r.local_start, r.unit_count, r.repeat)
+                for r in original.runs] == \
+               [(r.kind, r.prim_start, r.local_start, r.unit_count, r.repeat)
+                for r in recovered.runs]

@@ -1,0 +1,280 @@
+"""Tests for the XDR baseline marshaler and the mini RPC system."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ALPHA, SPARC_V9, X86_32
+from repro.memory import AccessorContext, AddressSpace, Heap, SegmentHeap, make_accessor
+from repro.rpc import (
+    Procedure,
+    RPCClient,
+    RPCError,
+    RPCServer,
+    XDRError,
+    XDRTranslator,
+    marshal,
+    unmarshal,
+)
+from repro.types import (
+    CHAR,
+    DOUBLE,
+    INT,
+    SHORT,
+    ArrayDescriptor,
+    Field,
+    PointerDescriptor,
+    RecordDescriptor,
+    StringDescriptor,
+)
+
+from tests._support import descriptors, fill_random, linked_node_type
+
+
+def make_env(arch=X86_32):
+    memory = AddressSpace()
+    heap = SegmentHeap("s", Heap(memory), arch)
+    return memory, heap, AccessorContext(memory, arch)
+
+
+def alloc(memory, heap, context, descriptor):
+    block = heap.allocate(descriptor, 0)
+    memory.store(block.address, bytes(block.size))
+    return block, make_accessor(context, descriptor, block.address)
+
+
+class TestScalarEncoding:
+    def test_int_is_4_bytes_be(self):
+        memory, heap, context = make_env()
+        block, acc = alloc(memory, heap, context, INT)
+        acc.set(0x01020304)
+        assert marshal(memory, X86_32, INT, block.address) == b"\x01\x02\x03\x04"
+
+    def test_short_widens_to_4(self):
+        memory, heap, context = make_env()
+        block, acc = alloc(memory, heap, context, SHORT)
+        acc.set(-2)
+        assert marshal(memory, X86_32, SHORT, block.address) == struct.pack(">i", -2)
+
+    def test_lone_char_widens_to_4(self):
+        memory, heap, context = make_env()
+        rec = RecordDescriptor("r", [Field("c", CHAR), Field("i", INT)])
+        block, acc = alloc(memory, heap, context, rec)
+        acc.c = "A"
+        acc.i = 1
+        data = marshal(memory, X86_32, rec, block.address)
+        assert len(data) == 8  # char widened to 4 + int 4
+
+    def test_char_array_is_packed_opaque(self):
+        memory, heap, context = make_env()
+        desc = ArrayDescriptor(CHAR, 6)
+        block, acc = alloc(memory, heap, context, desc)
+        for index, ch in enumerate("abcdef"):
+            acc[index] = ch
+        data = marshal(memory, X86_32, desc, block.address)
+        assert data == b"abcdef\x00\x00"  # packed + pad to 8
+
+    def test_double(self):
+        memory, heap, context = make_env()
+        block, acc = alloc(memory, heap, context, DOUBLE)
+        acc.set(1.5)
+        assert marshal(memory, X86_32, DOUBLE, block.address) == struct.pack(">d", 1.5)
+
+
+class TestStrings:
+    def test_length_content_padding(self):
+        memory, heap, context = make_env()
+        desc = StringDescriptor(64)
+        block, acc = alloc(memory, heap, context, desc)
+        acc.set("hello")
+        data = marshal(memory, X86_32, desc, block.address)
+        assert data == struct.pack(">I", 5) + b"hello\x00\x00\x00"
+
+    def test_xdr_string_bigger_than_interweave(self):
+        """Padding makes XDR strings at least as large as InterWeave's."""
+        from repro.types import flat_layout
+        from repro.wire import TranslationContext, collect_block
+
+        memory, heap, context = make_env()
+        desc = ArrayDescriptor(StringDescriptor(8), 100)
+        block, acc = alloc(memory, heap, context, desc)
+        for index in range(100):
+            acc[index] = "abc"
+        xdr = marshal(memory, X86_32, desc, block.address)
+        iw = collect_block(TranslationContext(memory, X86_32),
+                           flat_layout(desc, X86_32), block.address)
+        assert len(xdr) > len(iw)
+
+
+class TestDeepCopyPointers:
+    def test_null_pointer(self):
+        memory, heap, context = make_env()
+        desc = PointerDescriptor(INT, "int")
+        block, acc = alloc(memory, heap, context, desc)
+        assert marshal(memory, X86_32, desc, block.address) == struct.pack(">I", 0)
+
+    def test_pointer_ships_pointee(self):
+        memory, heap, context = make_env()
+        target_block, target = alloc(memory, heap, context, INT)
+        target.set(77)
+        desc = PointerDescriptor(INT, "int")
+        block, acc = alloc(memory, heap, context, desc)
+        acc.set(target_block.address)
+        data = marshal(memory, X86_32, desc, block.address)
+        assert data == struct.pack(">Ii", 1, 77)
+
+    def test_linked_list_deep_copied(self):
+        memory, heap, context = make_env()
+        node_t = linked_node_type(name="xn")
+        blocks = []
+        for key in (1, 2, 3):
+            block, acc = alloc(memory, heap, context, node_t)
+            acc.key = key
+            blocks.append((block, acc))
+        blocks[0][1].next = blocks[1][0].address
+        blocks[1][1].next = blocks[2][0].address
+        data = marshal(memory, X86_32, node_t, blocks[0][0].address)
+        # 3 nodes x (int + flag) + final NULL flag
+        assert data == struct.pack(">iIiIiI", 1, 1, 2, 1, 3, 0)
+
+    def test_cycle_detected(self):
+        memory, heap, context = make_env()
+        node_t = linked_node_type(name="xc")
+        block, acc = alloc(memory, heap, context, node_t)
+        acc.key = 1
+        acc.next = block.address  # self-cycle
+        with pytest.raises(XDRError):
+            marshal(memory, X86_32, node_t, block.address)
+
+    def test_unmarshal_allocates_targets(self):
+        memory, heap, context = make_env()
+        node_t = linked_node_type(name="xu")
+        data = struct.pack(">iIiI", 5, 1, 6, 0)
+        block, acc = alloc(memory, heap, context, node_t)
+
+        def allocator(descriptor):
+            new_block, _ = alloc(memory, heap, context, descriptor)
+            return new_block.address
+
+        consumed = unmarshal(memory, X86_32, node_t, block.address, data, allocator)
+        assert consumed == len(data)
+        assert acc.key == 5
+        assert acc.next.key == 6
+        assert acc.next.next is None
+
+    def test_unmarshal_without_allocator_rejected(self):
+        memory, heap, context = make_env()
+        desc = PointerDescriptor(INT, "int")
+        block, _ = alloc(memory, heap, context, desc)
+        with pytest.raises(XDRError):
+            unmarshal(memory, X86_32, desc, block.address, struct.pack(">Ii", 1, 7))
+
+
+class TestCrossArchitecture:
+    @pytest.mark.parametrize("src", [X86_32, SPARC_V9])
+    @pytest.mark.parametrize("dst", [ALPHA, SPARC_V9])
+    def test_roundtrip(self, src, dst):
+        rec = RecordDescriptor("r", [
+            Field("c", CHAR), Field("s", SHORT), Field("i", INT),
+            Field("d", DOUBLE), Field("tag", StringDescriptor(16))])
+        memory_a, heap_a, context_a = make_env(src)
+        block_a, acc_a = alloc(memory_a, heap_a, context_a, rec)
+        acc_a.c = "Z"
+        acc_a.s = -3
+        acc_a.i = 1 << 20
+        acc_a.d = 2.25
+        acc_a.tag = "xdr"
+        data = marshal(memory_a, src, rec, block_a.address)
+
+        memory_b, heap_b, context_b = make_env(dst)
+        block_b, acc_b = alloc(memory_b, heap_b, context_b, rec)
+        unmarshal(memory_b, dst, rec, block_b.address, data)
+        assert (acc_b.c, acc_b.s, acc_b.i, acc_b.d, acc_b.tag) == \
+            ("Z", -3, 1 << 20, 2.25, "xdr")
+
+    def test_array_of_structs(self):
+        rec = RecordDescriptor("r", [Field("i", INT), Field("d", DOUBLE)])
+        desc = ArrayDescriptor(rec, 50)
+        memory, heap, context = make_env(X86_32)
+        block, acc = alloc(memory, heap, context, desc)
+        for k in range(50):
+            acc[k].i = k
+            acc[k].d = k / 2
+        data = marshal(memory, X86_32, desc, block.address)
+        assert len(data) == 50 * 12  # 4 + 8, XDR has no alignment padding
+
+        memory2, heap2, context2 = make_env(SPARC_V9)
+        block2, acc2 = alloc(memory2, heap2, context2, desc)
+        unmarshal(memory2, SPARC_V9, desc, block2.address, data)
+        assert acc2[49].i == 49 and acc2[49].d == 24.5
+
+
+class TestRPCService:
+    def make_service(self):
+        from repro.transport import InProcHub
+
+        hub = InProcHub()
+        server = RPCServer(X86_32)
+        hub.register_server("rpc", server)
+        channel = hub.connect("rpc", "c1")
+        client = RPCClient(X86_32, channel)
+        return server, client, channel
+
+    def test_call_roundtrip(self):
+        server, client, channel = self.make_service()
+        arg_type = ArrayDescriptor(INT, 4)
+        proc = Procedure("sum", arg_type, INT)
+
+        def handler(arg_address, result_address):
+            context = AccessorContext(server.memory, server.arch)
+            values = make_accessor(context, arg_type, arg_address).read_values()
+            make_accessor(context, INT, result_address).set(int(values.sum()))
+
+        server.register(proc, handler)
+        context = AccessorContext(client.memory, client.arch)
+        arg_block = client.heap.allocate(arg_type, 0)
+        client.memory.store(arg_block.address, bytes(arg_block.size))
+        make_accessor(context, arg_type, arg_block.address).write_values([1, 2, 3, 4])
+        result_block = client.heap.allocate(INT, 0)
+        client.memory.store(result_block.address, bytes(4))
+        client.call(proc, arg_block.address, result_block.address)
+        assert make_accessor(context, INT, result_block.address).get() == 10
+        assert server.calls_served == 1
+        assert channel.stats.bytes_sent > 16  # the whole array crossed the wire
+
+    def test_unknown_procedure(self):
+        server, client, channel = self.make_service()
+        proc = Procedure("nope", INT, INT)
+        block = client.heap.allocate(INT, 0)
+        client.memory.store(block.address, bytes(4))
+        with pytest.raises(RPCError):
+            client.call(proc, block.address, block.address)
+
+    def test_duplicate_registration_rejected(self):
+        server, _, _ = self.make_service()
+        proc = Procedure("p", INT, INT)
+        server.register(proc, lambda a, r: None)
+        with pytest.raises(RPCError):
+            server.register(proc, lambda a, r: None)
+
+
+
+
+@settings(max_examples=40, deadline=None)
+@given(descriptors(max_leaves=6), st.sampled_from([X86_32, SPARC_V9, ALPHA]),
+       st.integers(0, 10**9))
+def test_xdr_roundtrip_property(descriptor, arch, seed):
+    rng = np.random.default_rng(seed)
+    memory, heap, context = make_env(arch)
+    block, acc = alloc(memory, heap, context, descriptor)
+    fill_random(acc, descriptor, rng)
+    data = marshal(memory, arch, descriptor, block.address)
+    assert len(data) % 4 == 0  # XDR output is always 4-byte aligned
+
+    block2, _ = alloc(memory, heap, context, descriptor)
+    consumed = unmarshal(memory, arch, descriptor, block2.address, data)
+    assert consumed == len(data)
+    assert marshal(memory, arch, descriptor, block2.address) == data
