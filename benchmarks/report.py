@@ -35,10 +35,12 @@ from common import (
 )
 
 from repro.client.apply import ApplyStats, apply_update
+from repro.obs import get_registry, write_sidecar
 from repro.rpc import XDRTranslator
 from repro.wire import decode_segment_diff, encode_segment_diff
 
 REPEATS = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
 
 
 def best_of(fn, repeats=REPEATS):
@@ -252,20 +254,32 @@ def ablations():
               f"({len(layout.runs)} runs)")
 
 
+def run_experiment(name, fn):
+    """Run one figure with a clean metrics registry; write its sidecar.
+
+    The ``benchmarks/out/<name>.metrics.json`` sidecar records every
+    protocol-event count the run produced (faults, diff runs, RLE bytes,
+    swizzles, ...) so perf changes can be diffed by *work done*, not just
+    wall time.
+    """
+    registry = get_registry()
+    registry.reset()
+    fn()
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = write_sidecar(os.path.join(OUT_DIR, f"{name}.metrics.json"),
+                         registry.snapshot())
+    print(f"[metrics sidecar -> {os.path.relpath(path)}]")
+
+
 def main():
     wanted = set(sys.argv[1:]) or {"fig4", "fig5", "fig6", "fig7", "ablations"}
     print(f"InterWeave reproduction report "
           f"(working set {DATA_BYTES // 1024} KiB, best of {REPEATS})")
-    if "fig4" in wanted:
-        fig4()
-    if "fig5" in wanted:
-        fig5()
-    if "fig6" in wanted:
-        fig6()
-    if "fig7" in wanted:
-        fig7()
-    if "ablations" in wanted:
-        ablations()
+    experiments = [("fig4", fig4), ("fig5", fig5), ("fig6", fig6),
+                   ("fig7", fig7), ("ablations", ablations)]
+    for name, fn in experiments:
+        if name in wanted:
+            run_experiment(name, fn)
 
 
 if __name__ == "__main__":

@@ -38,6 +38,7 @@ from repro.client.api import (
     IW_wl_release,
 )
 from repro.coherence import delta, diff, full, temporal
+from repro.obs import MetricsRegistry, Tracer, get_registry, set_registry
 from repro.server import InterWeaveServer
 from repro.transport import InProcHub, NetworkModel, TCPChannel, TCPServerTransport
 from repro.util.clock import VirtualClock, WallClock
@@ -64,10 +65,12 @@ __all__ = [
     "IW_set_process",
     "IW_wl_acquire",
     "IW_wl_release",
+    "MetricsRegistry",
     "NetworkModel",
     "Segment",
     "TCPChannel",
     "TCPServerTransport",
+    "Tracer",
     "VirtualClock",
     "WallClock",
     "arch",
@@ -75,6 +78,8 @@ __all__ = [
     "delta",
     "diff",
     "full",
+    "get_registry",
+    "set_registry",
     "temporal",
     "types",
     "util",

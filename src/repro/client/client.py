@@ -47,6 +47,8 @@ from repro.memory import (
     SegmentHeap,
     make_accessor,
 )
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import Tracer
 from repro.transport.base import Channel
 from repro.types import TypeDescriptor, TypeRegistry, descriptor_at, flat_layout
 from repro.util.clock import Clock, VirtualClock, WallClock
@@ -59,6 +61,8 @@ from repro.wire.messages import (
     ErrorReply,
     FetchReply,
     FetchRequest,
+    GetStatsReply,
+    GetStatsRequest,
     LockAcquireReply,
     LockAcquireRequest,
     LockReleaseReply,
@@ -109,7 +113,7 @@ class Segment:
     """Client-side state for one cached segment (a segment-table entry)."""
 
     def __init__(self, name: str, heap: SegmentHeap, channel: Channel,
-                 can_push: bool):
+                 can_push: bool, metrics: Optional[MetricsRegistry] = None):
         self.name = name
         self.heap = heap
         self.registry = TypeRegistry()
@@ -117,7 +121,7 @@ class Segment:
         self.version = 0
         self.has_data = False
         self.policy: CoherencePolicy = full()
-        self.poller = AdaptivePoller(can_push)
+        self.poller = AdaptivePoller(can_push, metrics=metrics)
         self.nodiff = NoDiffController()
         self.lock_mode: Optional[int] = None
         self.session_diffed = True
@@ -161,15 +165,33 @@ class InterWeaveClient:
     def __init__(self, client_id: str, arch: Architecture,
                  connector: Callable[[str, str], Channel],
                  clock: Optional[Clock] = None,
-                 options: Optional[ClientOptions] = None):
+                 options: Optional[ClientOptions] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         self.client_id = client_id
         self.arch = arch
         self.connector = connector
         self.clock = clock or WallClock()
         self.options = options or ClientOptions()
         self.stats = ClientStats()
+        self.metrics = metrics or get_registry()
+        #: structured tracing over the client's clock (deterministic under
+        #: VirtualClock); disabled tracers cost one attribute check per span
+        self.tracer = tracer or Tracer(clock=self.clock, capacity=512)
+        self._m_twins = self.metrics.counter(
+            "client.twins_created", "pristine page copies made on write faults")
+        self._m_updates_applied = self.metrics.counter(
+            "client.updates_applied", "server update diffs applied to the cache")
+        self._m_diffs_sent = self.metrics.counter(
+            "client.diffs_sent", "write diffs shipped at release")
+        self._m_validations_sent = self.metrics.counter(
+            "client.validations_sent", "read validations that hit the server")
+        self._m_validations_skipped = self.metrics.counter(
+            "client.validations_skipped", "read acquires satisfied locally")
+        self._m_lock_denials = self.metrics.counter(
+            "client.lock_denials_seen", "write lock denials observed")
         self._api_lock = threading.RLock()
-        self.memory = AddressSpace()
+        self.memory = AddressSpace(metrics=self.metrics)
         self.memory.fault_handler = self._on_write_fault
         self.heap_root = Heap(self.memory)
         self.segments: Dict[str, Segment] = {}
@@ -178,7 +200,8 @@ class InterWeaveClient:
         self.tctx = TranslationContext(
             self.memory, arch,
             pointer_to_mip=self._pointer_to_mip,
-            mip_to_pointer=self._mip_to_pointer)
+            mip_to_pointer=self._mip_to_pointer,
+            metrics=self.metrics)
 
     # ------------------------------------------------------------------
     # segment management
@@ -216,7 +239,8 @@ class InterWeaveClient:
         if not isinstance(reply, OpenSegmentReply):
             raise ServerError(f"unexpected reply {type(reply).__name__}")
         heap = SegmentHeap(name, self.heap_root, self.arch)
-        segment = Segment(name, heap, channel, channel.can_push)
+        segment = Segment(name, heap, channel, channel.can_push,
+                          metrics=self.metrics)
         self.segments[name] = segment
         return segment
 
@@ -253,6 +277,23 @@ class InterWeaveClient:
         if not isinstance(reply, DeleteSegmentReply):
             raise ServerError(f"unexpected reply {type(reply).__name__}")
         return reply.deleted
+
+    @_locked
+    def server_stats(self, server: str) -> dict:
+        """Fetch a live stats snapshot from a server (see ``repro.obs``).
+
+        ``server`` is the server part of a segment URL (everything before
+        the first '/').  Returns the decoded JSON payload: a ``server``
+        section (name and segment table) and a ``metrics`` section (the
+        server's metrics-registry snapshot).  Purely observational.
+        """
+        channel = self._channels.get(server)
+        if channel is None:
+            channel = self._channel_for(f"{server}/stats")
+        reply = self._rpc(channel, GetStatsRequest(self.client_id))
+        if not isinstance(reply, GetStatsReply):
+            raise ServerError(f"unexpected reply {type(reply).__name__}")
+        return reply.to_dict()
 
     @_locked
     def close(self) -> None:
@@ -348,42 +389,53 @@ class InterWeaveClient:
         """Acquire the (server-arbitrated, exclusive) write lock."""
         if segment.lock_mode is not None:
             raise LockError(f"segment {segment.name!r} is already locked")
-        request = LockAcquireRequest(
-            segment.name, LOCK_WRITE, self.client_id, segment.version,
-            segment.policy.kind, segment.policy.param, self.clock.now())
-        retries = 0
-        while True:
-            reply = self._rpc(segment.channel, request)
-            if not isinstance(reply, LockAcquireReply):
-                raise ServerError(f"unexpected reply {type(reply).__name__}")
-            if reply.granted:
-                break
-            self.stats.lock_denials_seen += 1
-            retries += 1
-            if retries > self.options.lock_max_retries:
-                raise LockError(f"write lock on {segment.name!r} unavailable")
-            self._backoff()
-        if reply.diff is not None:
-            self._apply(segment, reply.diff)
-        segment.poller.on_validated(reply.version, reply.diff is not None,
-                                    self.clock.now())
-        self._begin_write_session(segment)
-        segment.lock_mode = LOCK_WRITE
+        with self.tracer.span("client.wl_acquire", segment=segment.name) as span:
+            request = LockAcquireRequest(
+                segment.name, LOCK_WRITE, self.client_id, segment.version,
+                segment.policy.kind, segment.policy.param, self.clock.now())
+            retries = 0
+            while True:
+                reply = self._rpc(segment.channel, request)
+                if not isinstance(reply, LockAcquireReply):
+                    raise ServerError(f"unexpected reply {type(reply).__name__}")
+                if reply.granted:
+                    break
+                self.stats.lock_denials_seen += 1
+                self._m_lock_denials.inc()
+                retries += 1
+                if retries > self.options.lock_max_retries:
+                    raise LockError(f"write lock on {segment.name!r} unavailable")
+                self._backoff()
+            span.set_attr("retries", retries)
+            span.set_attr("updated", reply.diff is not None)
+            if reply.diff is not None:
+                self._apply(segment, reply.diff)
+            segment.poller.on_validated(reply.version, reply.diff is not None,
+                                        self.clock.now())
+            self._begin_write_session(segment)
+            segment.lock_mode = LOCK_WRITE
 
     @_locked
     def wl_release(self, segment: Segment) -> None:
         """Release the write lock, shipping the collected diff."""
         if segment.lock_mode != LOCK_WRITE:
             raise LockError(f"segment {segment.name!r} holds no write lock")
+        with self.tracer.span("client.wl_release", segment=segment.name) as span:
+            self._wl_release_traced(segment, span)
+
+    def _wl_release_traced(self, segment: Segment, span) -> None:
         diff, modified_units = self._collect(segment)
         self._end_write_session(segment)
         payload = diff if (diff.block_diffs or diff.new_types) else None
+        span.set_attr("payload_bytes",
+                      0 if payload is None else payload.payload_bytes())
         reply = self._rpc(segment.channel, LockReleaseRequest(
             segment.name, LOCK_WRITE, self.client_id, payload))
         if not isinstance(reply, LockReleaseReply):
             raise ServerError(f"unexpected reply {type(reply).__name__}")
         if payload is not None:
             self.stats.diffs_sent += 1
+            self._m_diffs_sent.inc()
             segment.version = reply.version
             segment.has_data = True
             segment.server_known_types.update(serial for serial, _ in diff.new_types)
@@ -461,6 +513,7 @@ class InterWeaveClient:
         if not segment.poller.must_contact_server(
                 temporal_bound=temporal_bound, now=self.clock.now()):
             self.stats.validations_skipped += 1
+            self._m_validations_skipped.inc()
             return
         request = LockAcquireRequest(
             segment.name, LOCK_READ, self.client_id, segment.version,
@@ -469,6 +522,7 @@ class InterWeaveClient:
         if not isinstance(reply, LockAcquireReply):
             raise ServerError(f"unexpected reply {type(reply).__name__}")
         self.stats.validations_sent += 1
+        self._m_validations_sent.inc()
         if reply.diff is not None:
             self._apply(segment, reply.diff)
         segment.poller.on_validated(reply.version, reply.diff is not None,
@@ -485,16 +539,19 @@ class InterWeaveClient:
             segment.poller.on_unsubscribed()
 
     def _apply(self, segment: Segment, diff) -> None:
-        apply_update(self.tctx, segment.heap, segment.registry, diff,
-                     first_cache=not segment.has_data,
-                     stats=self.stats.apply,
-                     use_prediction=self.options.enable_prediction,
-                     locality_layout=self.options.enable_locality_layout,
-                     coalesce_layouts=self.options.enable_isomorphic)
+        with self.tracer.span("client.apply_update", segment=segment.name,
+                              to_version=diff.to_version):
+            apply_update(self.tctx, segment.heap, segment.registry, diff,
+                         first_cache=not segment.has_data,
+                         stats=self.stats.apply,
+                         use_prediction=self.options.enable_prediction,
+                         locality_layout=self.options.enable_locality_layout,
+                         coalesce_layouts=self.options.enable_isomorphic)
         segment.server_known_types.update(serial for serial, _ in diff.new_types)
         segment.version = diff.to_version
         segment.has_data = True
         self.stats.updates_applied += 1
+        self._m_updates_applied.inc()
 
     def _collect(self, segment: Segment):
         unknown = [serial for serial, _ in segment.registry.items()
@@ -507,7 +564,8 @@ class InterWeaveClient:
             coalesce_layouts=self.options.enable_isomorphic,
             timers=self.stats.collect,
             registry=segment.registry,
-            block_full_threshold=self.options.block_full_threshold)
+            block_full_threshold=self.options.block_full_threshold,
+            metrics=self.metrics)
 
     def _stamp_written_blocks(self, segment: Segment, diff, version: int) -> None:
         for block_diff in diff.block_diffs:
@@ -550,6 +608,7 @@ class InterWeaveClient:
         if page_index not in subsegment.pagemap:
             subsegment.pagemap[page_index] = space.snapshot_page(page_number)
             self.stats.twins_created += 1
+            self._m_twins.inc()
         space.unprotect_page(page_number)
         return True
 

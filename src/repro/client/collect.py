@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.memory.heap import BlockInfo, SegmentHeap, SubSegment
 from repro.memory.mmu import AddressSpace
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.types import flat_layout
 from repro.types.layout import merge_run_arrays
 from repro.wire import BlockDiff, DiffRun, SegmentDiff, TranslationContext, collect_range
@@ -197,6 +198,7 @@ def collect_write_diff(tctx: TranslationContext, heap: SegmentHeap,
                        timers: Optional[CollectTimers] = None,
                        registry=None,
                        block_full_threshold: Optional[float] = BLOCK_FULL_THRESHOLD,
+                       metrics: Optional[MetricsRegistry] = None,
                        ) -> Tuple[SegmentDiff, int]:
     """Build the write-release diff for one segment.
 
@@ -205,6 +207,9 @@ def collect_write_diff(tctx: TranslationContext, heap: SegmentHeap,
     the no-diff controller adapts on).
     """
     timers = timers or CollectTimers()
+    metrics = metrics or get_registry()
+    word_diff_before = timers.word_diff_seconds
+    translate_before = timers.translate_seconds
     arch = tctx.arch
     diff = SegmentDiff(heap.name, from_version, 0)
     if registry is not None:
@@ -278,4 +283,21 @@ def collect_write_diff(tctx: TranslationContext, heap: SegmentHeap,
             serial=block.serial, is_new=True, type_serial=block.type_serial,
             name=block.name, runs=[DiffRun(0, layout.prim_count, data)]))
     timers.translate_seconds += time.perf_counter() - started
+
+    metrics.counter("client.collect.runs",
+                    "diff collection executions (one per write release)").inc()
+    if not use_diffing:
+        metrics.counter("client.collect.nodiff_runs",
+                        "collections that transmitted whole blocks").inc()
+    metrics.counter("client.collect.diff_runs",
+                    "RLE runs emitted by diff collection").inc(
+        sum(len(bd.runs) for bd in diff.block_diffs))
+    metrics.counter("client.collect.rle_bytes",
+                    "wire payload bytes emitted by diff collection").inc(
+        diff.payload_bytes())
+    metrics.counter("client.collect.modified_units").inc(modified_units)
+    metrics.histogram("client.collect.word_diff_seconds").observe(
+        timers.word_diff_seconds - word_diff_before)
+    metrics.histogram("client.collect.translate_seconds").observe(
+        timers.translate_seconds - translate_before)
     return diff, modified_units

@@ -24,6 +24,10 @@ enough by definition, no protocol needed.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
 #: consecutive redundant polls before switching to notification mode
 SUBSCRIBE_AFTER = 3
 
@@ -38,9 +42,11 @@ class AdaptivePoller:
 
     __slots__ = ("can_push", "subscribed", "invalidated", "_redundant_polls",
                  "_notified_streak", "last_validate_time",
-                 "last_known_server_version")
+                 "last_known_server_version", "_m_subscribes",
+                 "_m_unsubscribes", "_m_notifies", "_m_redundant")
 
-    def __init__(self, can_push: bool):
+    def __init__(self, can_push: bool,
+                 metrics: Optional[MetricsRegistry] = None):
         self.can_push = can_push
         self.subscribed = False
         self.invalidated = True  # nothing cached yet: must talk to the server
@@ -48,6 +54,15 @@ class AdaptivePoller:
         self._notified_streak = 0
         self.last_validate_time = float("-inf")
         self.last_known_server_version = 0
+        metrics = metrics or get_registry()
+        self._m_subscribes = metrics.counter(
+            "poller.subscribes", "POLLING -> NOTIFYING transitions")
+        self._m_unsubscribes = metrics.counter(
+            "poller.unsubscribes", "NOTIFYING -> POLLING transitions")
+        self._m_notifies = metrics.counter(
+            "poller.invalidations", "invalidation pushes received")
+        self._m_redundant = metrics.counter(
+            "poller.redundant_polls", "validations that found nothing new")
 
     # -- decisions --------------------------------------------------------------
 
@@ -83,21 +98,25 @@ class AdaptivePoller:
         else:
             self._redundant_polls += 1
             self._notified_streak = 0  # a quiet interval: pushes pay off again
+            self._m_redundant.inc()
 
     def on_subscribed(self) -> None:
         self.subscribed = True
         self._redundant_polls = 0
         self._notified_streak = 0
+        self._m_subscribes.inc()
 
     def on_unsubscribed(self) -> None:
         self.subscribed = False
         self._redundant_polls = 0
         self._notified_streak = 0
+        self._m_unsubscribes.inc()
 
     def on_notify(self, server_version: int) -> None:
         """The server pushed an invalidation: the coherence bound is broken."""
         self.invalidated = True
         self._notified_streak += 1
+        self._m_notifies.inc()
         self.last_known_server_version = max(self.last_known_server_version, server_version)
 
     def on_local_write(self, new_version: int, now: float) -> None:

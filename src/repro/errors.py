@@ -54,6 +54,10 @@ class TransportError(InterWeaveError):
     """The transport layer failed to deliver a message."""
 
 
+class TransportTimeout(TransportError):
+    """A transport operation exceeded its deadline (connect, send, or recv)."""
+
+
 class ServerError(InterWeaveError):
     """The server rejected a request."""
 

@@ -27,6 +27,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.errors import ProtectionError
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 #: Default page size (bytes).  4 KiB, as on the paper's platforms.
 PAGE_SIZE = 4096
@@ -75,7 +76,8 @@ class AddressSpace:
     in which case the store raises :class:`ProtectionError`.
     """
 
-    def __init__(self, page_size: int = PAGE_SIZE):
+    def __init__(self, page_size: int = PAGE_SIZE,
+                 metrics: Optional[MetricsRegistry] = None):
         if page_size < 32 or page_size & (page_size - 1):
             raise ValueError(f"page size must be a power of two >= 32, got {page_size}")
         self.page_size = page_size
@@ -83,6 +85,13 @@ class AddressSpace:
         self._next_page = _BASE_ADDRESS // page_size
         self.fault_handler: Optional[Callable[["AddressSpace", int], bool]] = None
         self.stats = FaultStats()
+        metrics = metrics or get_registry()
+        self._m_write_faults = metrics.counter(
+            "mmu.write_faults", "stores that hit a write-protected page")
+        self._m_protects = metrics.counter(
+            "mmu.protect_calls", "protect_range invocations")
+        self._m_unprotects = metrics.counter(
+            "mmu.unprotect_calls", "unprotect invocations")
 
     # -- mapping ---------------------------------------------------------------
 
@@ -121,15 +130,18 @@ class AddressSpace:
         for page_number in self._page_span(base, length):
             self.page(page_number).writable = False
         self.stats.protect_calls += 1
+        self._m_protects.inc()
 
     def unprotect_range(self, base: int, length: int) -> None:
         for page_number in self._page_span(base, length):
             self.page(page_number).writable = True
         self.stats.unprotect_calls += 1
+        self._m_unprotects.inc()
 
     def unprotect_page(self, page_number: int) -> None:
         self.page(page_number).writable = True
         self.stats.unprotect_calls += 1
+        self._m_unprotects.inc()
 
     def _page_span(self, base: int, length: int):
         if length <= 0:
@@ -175,6 +187,7 @@ class AddressSpace:
 
     def _fault(self, page_number: int) -> None:
         self.stats.write_faults += 1
+        self._m_write_faults.inc()
         if self.fault_handler is None:
             raise ProtectionError(
                 f"write fault on page {page_number:#x} with no fault handler installed")

@@ -1,0 +1,94 @@
+"""Export paths for metrics snapshots: JSON and human-readable tables.
+
+Two consumers exist today: the ``repro.tools.stats_main`` CLI (renders a
+live server's :class:`GetStatsReply`) and the benchmark harness (writes a
+``*.metrics.json`` sidecar next to each report so perf PRs can diff
+protocol-event counts, not just wall times).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def snapshot_to_json(snapshot: dict, indent: Optional[int] = 2) -> str:
+    """A snapshot (or any JSON-ready dict) as deterministic JSON text."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def write_sidecar(path: str, snapshot: dict) -> str:
+    """Write a snapshot as a JSON sidecar file; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(snapshot_to_json(snapshot))
+        handle.write("\n")
+    return path
+
+
+def registry_snapshot(registry: Optional[MetricsRegistry] = None) -> dict:
+    """Snapshot ``registry`` (default: the process-wide one)."""
+    if registry is None:
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+    return registry.snapshot()
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_table(snapshot: dict) -> str:
+    """A metrics snapshot as an aligned, human-readable table.
+
+    Accepts either a bare registry snapshot or a server stats payload
+    (a dict with ``server`` and ``metrics`` sections, as carried by
+    ``GetStatsReply``).
+    """
+    lines = []
+    server = snapshot.get("server")
+    metrics = snapshot.get("metrics", snapshot)
+    if server:
+        lines.append(f"server       : {server.get('name', '?')}")
+        segments = server.get("segments", {})
+        lines.append(f"segments     : {len(segments)}")
+        for name in sorted(segments):
+            info = segments[name]
+            lines.append(f"  {name:<24s} v{info.get('version', 0):<6d} "
+                         f"{info.get('blocks', 0)} block(s)")
+        lines.append("")
+    captured = metrics.get("captured_at")
+    if captured is not None:
+        lines.append(f"captured at  : {captured:g}")
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("\ncounters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}s} {counters[name]:>12d}")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("\ngauges:")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}s} {_format_value(gauges[name]):>12s}")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("\nhistograms:")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            count = hist.get("count", 0)
+            total = hist.get("sum", 0.0)
+            mean = total / count if count else 0.0
+            lines.append(f"  {name}: n={count} sum={total:g} mean={mean:g}")
+            populated = [(bound, tally) for bound, tally in hist.get("buckets", [])
+                         if tally]
+            if populated:
+                cells = " ".join(f"<={_format_value(bound)}:{tally}"
+                                 for bound, tally in populated)
+                lines.append(f"    {cells}")
+    return "\n".join(lines)

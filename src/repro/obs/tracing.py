@@ -1,0 +1,167 @@
+"""Lightweight structured tracing: spans and events over a Clock.
+
+A :class:`Tracer` records *spans* (named intervals with attributes, e.g.
+one ``wl_release`` including its diff collection) and *events* (named
+instants, e.g. a pushed invalidation).  Time comes from the library's
+:class:`~repro.util.clock.Clock` abstraction, so traces taken under a
+``VirtualClock`` are fully deterministic — identical histories produce
+identical span ids, timestamps, and orderings, which lets tests assert on
+whole traces.
+
+Nesting is tracked per thread: a span started while another is open on
+the same thread records it as its parent, giving call-tree shaped traces
+without any context plumbing.  Finished records land in a bounded ring
+buffer (oldest dropped first), so a long-lived client can keep a tracer
+attached permanently at negligible cost.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from repro.util.clock import Clock, WallClock
+
+
+class Span:
+    """One named interval; ``end`` stays None while the span is open."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 start: float, attrs: Dict[str, object]):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def set_attr(self, key: str, value: object) -> None:
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self):
+        return f"Span(#{self.span_id} {self.name!r} {self.start:g}..{self.end})"
+
+
+class TraceEvent:
+    """One named instant."""
+
+    __slots__ = ("name", "timestamp", "span_id", "attrs")
+
+    def __init__(self, name: str, timestamp: float, span_id: Optional[int],
+                 attrs: Dict[str, object]):
+        self.name = name
+        self.timestamp = timestamp
+        self.span_id = span_id  # enclosing span, if any
+        self.attrs = attrs
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "timestamp": self.timestamp,
+            "span_id": self.span_id,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Records spans and events; one per client/server is typical."""
+
+    def __init__(self, clock: Optional[Clock] = None, capacity: int = 4096,
+                 enabled: bool = True):
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.clock = clock or WallClock()
+        self.enabled = enabled
+        self.finished: "deque[Span]" = deque(maxlen=capacity)
+        self.events: "deque[TraceEvent]" = deque(maxlen=capacity)
+        self._next_id = 1
+        self._lock = threading.Lock()
+        self._stacks = threading.local()
+
+    # -- recording ------------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._stacks, "spans", None)
+        if stack is None:
+            stack = self._stacks.spans = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a span for the duration of the ``with`` block."""
+        if not self.enabled:
+            yield _NULL_SPAN
+            return
+        stack = self._stack()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        parent = stack[-1].span_id if stack else None
+        record = Span(span_id, parent, name, self.clock.now(), attrs)
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            stack.pop()
+            record.end = self.clock.now()
+            self.finished.append(record)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an instantaneous event (inside the current span, if any)."""
+        if not self.enabled:
+            return
+        stack = self._stack()
+        span_id = stack[-1].span_id if stack else None
+        self.events.append(TraceEvent(name, self.clock.now(), span_id, attrs))
+
+    # -- export ---------------------------------------------------------------
+
+    def export(self) -> dict:
+        """Finished spans and events as a JSON-ready dict."""
+        return {
+            "spans": [span.to_dict() for span in self.finished],
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def clear(self) -> None:
+        self.finished.clear()
+        self.events.clear()
+
+
+class _NullSpanType:
+    """Stand-in yielded by disabled tracers; absorbs attribute writes."""
+
+    __slots__ = ()
+    span_id = None
+    parent_id = None
+
+    def set_attr(self, key: str, value: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanType()
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing (for hot paths that want zero cost)."""
+
+    def __init__(self):
+        super().__init__(capacity=1, enabled=False)

@@ -13,12 +13,15 @@ in-process hubs and TCP transports unchanged.
 
 from __future__ import annotations
 
+import json
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.coherence import CoherencePolicy
 from repro.errors import InterWeaveError, ServerError
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.server.coherence import SegmentCoherence
 from repro.server.diff_cache import DiffCache
 from repro.server.segment_state import ServerSegment
@@ -33,6 +36,8 @@ from repro.wire.messages import (
     ErrorReply,
     FetchReply,
     FetchRequest,
+    GetStatsReply,
+    GetStatsRequest,
     LockAcquireReply,
     LockAcquireRequest,
     LockReleaseReply,
@@ -48,15 +53,66 @@ from repro.wire.messages import (
 )
 
 
-@dataclass
-class ServerStats:
-    """Counters exposed for the experiments."""
+class _DualCounter:
+    """A per-server tally that also feeds a process-wide aggregate.
 
-    diffs_applied: int = 0
-    updates_built: int = 0
-    updates_served_from_cache: int = 0
-    notifications_pushed: int = 0
-    lock_denials: int = 0
+    Several servers can share one process (and one registry); experiments
+    assert on a *specific* server's counts, so those stay local, while
+    every increment also lands in the registry counter that snapshots and
+    ``GetStats`` export.
+    """
+
+    __slots__ = ("local", "aggregate")
+
+    def __init__(self, aggregate):
+        self.local = 0
+        self.aggregate = aggregate
+
+    def inc(self, amount: int = 1) -> None:
+        self.local += amount
+        self.aggregate.inc(amount)
+
+
+class ServerStats:
+    """Counters exposed for the experiments.
+
+    The ``*_counter`` attributes are the instruments the server
+    increments; the plain read-only properties keep the original
+    per-server integer API.
+    """
+
+    def __init__(self, metrics: MetricsRegistry):
+        self.diffs_applied_counter = _DualCounter(metrics.counter(
+            "server.diffs_applied", "client write diffs applied"))
+        self.updates_built_counter = _DualCounter(metrics.counter(
+            "server.updates_built", "update diffs rebuilt from subblock versions"))
+        self.updates_from_cache_counter = _DualCounter(metrics.counter(
+            "server.updates_served_from_cache",
+            "update diffs served or composed from the diff cache"))
+        self.notifications_pushed_counter = _DualCounter(metrics.counter(
+            "server.notifications_pushed", "invalidations pushed to subscribers"))
+        self.lock_denials_counter = _DualCounter(metrics.counter(
+            "server.lock_denials", "write lock requests denied"))
+
+    @property
+    def diffs_applied(self) -> int:
+        return self.diffs_applied_counter.local
+
+    @property
+    def updates_built(self) -> int:
+        return self.updates_built_counter.local
+
+    @property
+    def updates_served_from_cache(self) -> int:
+        return self.updates_from_cache_counter.local
+
+    @property
+    def notifications_pushed(self) -> int:
+        return self.notifications_pushed_counter.local
+
+    @property
+    def lock_denials(self) -> int:
+        return self.lock_denials_counter.local
 
 
 @dataclass
@@ -74,13 +130,23 @@ class InterWeaveServer(Dispatcher):
                  clock: Optional[Clock] = None,
                  diff_cache_bytes: int = 16 * 1024 * 1024,
                  checkpoint_dir: Optional[str] = None,
-                 checkpoint_every: int = 0):
+                 checkpoint_every: int = 0,
+                 metrics: Optional[MetricsRegistry] = None):
         self.name = name
         self.sink = sink or NullSink()
         self.clock = clock or WallClock()
         self.segments: Dict[str, _SegmentEntry] = {}
         self.diff_cache = DiffCache(diff_cache_bytes)
-        self.stats = ServerStats()
+        self.metrics = metrics or get_registry()
+        self.stats = ServerStats(self.metrics)
+        self._m_requests = self.metrics.counter(
+            "server.requests", "protocol requests dispatched")
+        self._m_errors = self.metrics.counter(
+            "server.errors", "requests answered with ErrorReply")
+        self._m_dispatch = self.metrics.histogram(
+            "server.dispatch_seconds", help="request handling latency")
+        self._m_segments = self.metrics.gauge(
+            "server.segments", "segments currently served")
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
         #: metadata compaction cadence (versions) and history depth
@@ -91,15 +157,21 @@ class InterWeaveServer(Dispatcher):
     # -- dispatcher entry point ---------------------------------------------------
 
     def dispatch(self, client_id: str, data: bytes) -> bytes:
+        started = time.perf_counter()
+        self._m_requests.inc()
         try:
             request = decode_message(data)
             with self._lock:
                 reply = self._handle(client_id, request)
         except InterWeaveError as exc:
+            self._m_errors.inc()
             reply = ErrorReply(str(exc))
+        self._m_dispatch.observe(time.perf_counter() - started)
         return encode_message(reply)
 
     def _handle(self, client_id: str, request) -> Message:
+        if isinstance(request, GetStatsRequest):
+            return self._get_stats()
         if isinstance(request, OpenSegmentRequest):
             return self._open_segment(request)
         if isinstance(request, LockAcquireRequest):
@@ -123,6 +195,7 @@ class InterWeaveServer(Dispatcher):
                 raise ServerError(f"no segment named {segment_name!r}")
             entry = _SegmentEntry(ServerSegment(segment_name))
             self.segments[segment_name] = entry
+            self._m_segments.set(len(self.segments))
         return entry
 
     def add_segment(self, state: ServerSegment) -> None:
@@ -130,6 +203,7 @@ class InterWeaveServer(Dispatcher):
         if state.name in self.segments:
             raise ServerError(f"segment {state.name!r} already exists")
         self.segments[state.name] = _SegmentEntry(state)
+        self._m_segments.set(len(self.segments))
         self.diff_cache.invalidate_segment(state.name)
 
     def _delete_segment(self, client_id: str,
@@ -141,6 +215,7 @@ class InterWeaveServer(Dispatcher):
             raise ServerError(
                 f"segment {request.segment!r} is write-locked by another client")
         del self.segments[request.segment]
+        self._m_segments.set(len(self.segments))
         self.diff_cache.invalidate_segment(request.segment)
         return DeleteSegmentReply(deleted=True)
 
@@ -161,7 +236,7 @@ class InterWeaveServer(Dispatcher):
         policy = CoherencePolicy(request.coherence_kind, request.coherence_param)
         if request.mode == LOCK_WRITE:
             if entry.writer is not None and entry.writer != client_id:
-                self.stats.lock_denials += 1
+                self.stats.lock_denials_counter.inc()
                 return LockAcquireReply(granted=False, version=state.version)
             entry.writer = client_id
             # a writer must build on the current version, regardless of its
@@ -215,7 +290,7 @@ class InterWeaveServer(Dispatcher):
         diff = request.diff
         modified_units = sum(bd.covered_units() for bd in diff.block_diffs)
         new_version = state.apply_client_diff(diff, now=self.clock.now())
-        self.stats.diffs_applied += 1
+        self.stats.diffs_applied_counter.inc()
         entry.coherence.on_new_version(modified_units)
         entry.coherence.on_client_updated(client_id, new_version,
                                           entry.coherence.view(client_id).policy)
@@ -249,6 +324,36 @@ class InterWeaveServer(Dispatcher):
         entry.coherence.subscribe(client_id, request.enable)
         return SubscribeReply(enabled=request.enable)
 
+    # -- introspection ---------------------------------------------------------------
+
+    def _get_stats(self) -> Message:
+        return GetStatsReply(json.dumps(self.stats_snapshot(), sort_keys=True))
+
+    def stats_snapshot(self) -> dict:
+        """The server's introspection payload as a plain dict.
+
+        A ``server`` section (identity and segment table) plus a
+        ``metrics`` section — the full registry snapshot, which in a
+        process co-hosting clients also carries their client-side
+        metrics (MMU faults, diff collection, transport bytes).
+        """
+        segments = {
+            name: {
+                "version": entry.state.version,
+                "blocks": len(entry.state.blocks),
+                "prim_units": entry.state.total_prim_units,
+                "writer": entry.writer,
+                "subscribers": sum(
+                    1 for view in entry.coherence.views.values()
+                    if view.subscribed),
+            }
+            for name, entry in self.segments.items()
+        }
+        return {
+            "server": {"name": self.name, "segments": segments},
+            "metrics": self.metrics.snapshot(),
+        }
+
     def _notify_stale_subscribers(self, entry: _SegmentEntry) -> None:
         state = entry.state
         stale = entry.coherence.stale_subscribers(
@@ -258,7 +363,7 @@ class InterWeaveServer(Dispatcher):
             message = encode_message(NotifyInvalidate(state.name, state.version))
             if self.sink.push(view.client_id, message):
                 view.notified = True
-                self.stats.notifications_pushed += 1
+                self.stats.notifications_pushed_counter.inc()
 
     # -- update construction -----------------------------------------------------------
 
@@ -270,14 +375,14 @@ class InterWeaveServer(Dispatcher):
         if cached is not None:
             from repro.wire import decode_segment_diff
 
-            self.stats.updates_served_from_cache += 1
+            self.stats.updates_from_cache_counter.inc()
             return decode_segment_diff(cached)
         diff = self._compose_from_cache(state, client_version)
         if diff is None:
             diff = state.build_update(client_version)
             if diff is None:
                 return None
-            self.stats.updates_built += 1
+            self.stats.updates_built_counter.inc()
         self.diff_cache.put(state.name, client_version, state.version,
                             encode_segment_diff(diff))
         return diff
@@ -309,7 +414,7 @@ class InterWeaveServer(Dispatcher):
             diff = compose_diffs(parts)
         except ServerError:
             return None
-        self.stats.updates_served_from_cache += 1
+        self.stats.updates_from_cache_counter.inc()
         return diff
 
     # -- checkpointing --------------------------------------------------------------------

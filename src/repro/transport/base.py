@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.obs.metrics import get_registry
 
 
 class TransportStats:
@@ -52,6 +53,36 @@ class Channel:
 
     def __init__(self):
         self.stats = TransportStats()
+        metrics = get_registry()
+        self._m_bytes_sent = metrics.counter(
+            "transport.bytes_sent", "request bytes sent by client channels")
+        self._m_bytes_received = metrics.counter(
+            "transport.bytes_received", "reply/push bytes received by channels")
+        self._m_requests = metrics.counter(
+            "transport.requests", "request/reply round trips")
+        self._m_notifications = metrics.counter(
+            "transport.notifications", "server pushes delivered to channels")
+        self._m_rtt = metrics.histogram(
+            "transport.request_seconds", help="request round-trip latency")
+
+    def _record_request(self, sent: int, received: int,
+                        seconds: Optional[float] = None) -> None:
+        """Account one round trip in the channel's stats and the registry."""
+        self.stats.requests += 1
+        self.stats.bytes_sent += sent
+        self.stats.bytes_received += received
+        self._m_requests.inc()
+        self._m_bytes_sent.inc(sent)
+        self._m_bytes_received.inc(received)
+        if seconds is not None:
+            self._m_rtt.observe(seconds)
+
+    def _record_push(self, received: int) -> None:
+        """Account one server push delivered over this channel."""
+        self.stats.notifications += 1
+        self.stats.bytes_received += received
+        self._m_notifications.inc()
+        self._m_bytes_received.inc(received)
 
     def request(self, data: bytes) -> bytes:
         raise NotImplementedError

@@ -13,6 +13,7 @@ latency/bandwidth by advancing simulated time per message.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Optional
 
 from repro.errors import TransportError
@@ -38,10 +39,10 @@ class InProcChannel(Channel):
             raise TransportError("channel is closed")
         if not isinstance(data, (bytes, bytearray)):
             raise TransportError("channels carry bytes only; serialize the message first")
-        self.stats.requests += 1
-        self.stats.bytes_sent += len(data)
+        started = time.perf_counter()
         reply = self._hub.deliver(self._server_name, self._client_id, bytes(data))
-        self.stats.bytes_received += len(reply)
+        self._record_request(len(data), len(reply),
+                             time.perf_counter() - started)
         return reply
 
     def set_notification_handler(self, handler: Callable[[bytes], None]) -> None:
@@ -50,8 +51,7 @@ class InProcChannel(Channel):
     def _push(self, data: bytes) -> bool:
         if self._closed or self._notification_handler is None:
             return False
-        self.stats.notifications += 1
-        self.stats.bytes_received += len(data)
+        self._record_push(len(data))
         self._notification_handler(data)
         return True
 

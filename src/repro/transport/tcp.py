@@ -17,9 +17,11 @@ from __future__ import annotations
 import socket
 import struct
 import threading
+import time
 from typing import Optional
 
-from repro.errors import TransportError
+from repro.errors import TransportError, TransportTimeout
+from repro.obs.metrics import get_registry
 from repro.transport.base import Channel, Dispatcher
 
 _LEN = struct.Struct(">I")
@@ -60,8 +62,20 @@ class TCPChannel(Channel):
     def __init__(self, host: str, port: int, client_id: str, timeout: float = 10.0):
         super().__init__()
         self._client_id = client_id.encode("utf-8")
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except socket.timeout as exc:
+            raise TransportTimeout(
+                f"connect to {host}:{port} timed out after {timeout:g}s") from exc
+        except OSError as exc:
+            raise TransportError(
+                f"connect to {host}:{port} failed: {exc}") from exc
+        # the connect timeout also bounds every subsequent send and recv on
+        # this socket; make that explicit rather than relying on
+        # create_connection leaving it set
+        self._sock.settimeout(timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._timeout = timeout
         self._lock = threading.Lock()
 
     def request(self, data: bytes) -> bytes:
@@ -69,16 +83,19 @@ class TCPChannel(Channel):
             raise TransportError("channels carry bytes only; serialize the message first")
         frame = _LEN.pack(len(self._client_id)) + self._client_id + bytes(data)
         with self._lock:
-            self.stats.requests += 1
-            self.stats.bytes_sent += len(frame)
+            started = time.perf_counter()
             try:
                 _send_frame(self._sock, frame)
                 reply = _recv_frame(self._sock)
+            except socket.timeout as exc:
+                raise TransportTimeout(
+                    f"TCP request timed out after {self._timeout:g}s") from exc
             except OSError as exc:
                 raise TransportError(f"TCP request failed: {exc}") from exc
         if reply is None:
             raise TransportError("server closed the connection")
-        self.stats.bytes_received += len(reply)
+        self._record_request(len(frame), len(reply),
+                             time.perf_counter() - started)
         return reply
 
     def close(self) -> None:
@@ -93,6 +110,15 @@ class TCPServerTransport:
 
     def __init__(self, dispatcher: Dispatcher, host: str = "127.0.0.1", port: int = 0):
         self._dispatcher = dispatcher
+        metrics = get_registry()
+        self._m_connections = metrics.counter(
+            "transport.server.connections", "TCP connections accepted")
+        self._m_requests = metrics.counter(
+            "transport.server.requests", "frames dispatched by the TCP server")
+        self._m_bytes_received = metrics.counter(
+            "transport.server.bytes_received", "request frame bytes received")
+        self._m_bytes_sent = metrics.counter(
+            "transport.server.bytes_sent", "reply frame bytes sent")
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -115,6 +141,7 @@ class TCPServerTransport:
 
     def _serve(self, conn: socket.socket) -> None:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._m_connections.inc()
         try:
             while self._running:
                 frame = _recv_frame(conn)
@@ -123,7 +150,10 @@ class TCPServerTransport:
                 (id_length,) = _LEN.unpack_from(frame, 0)
                 client_id = frame[_LEN.size:_LEN.size + id_length].decode("utf-8")
                 payload = frame[_LEN.size + id_length:]
+                self._m_requests.inc()
+                self._m_bytes_received.inc(len(frame))
                 reply = self._dispatcher.dispatch(client_id, payload)
+                self._m_bytes_sent.inc(len(reply))
                 _send_frame(conn, reply)
         except (OSError, TransportError):
             return

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.errors import WireFormatError
+from repro.obs.metrics import get_registry
 from repro.wire.codec import Reader as _Reader, Writer as _Writer
 
 _U32 = struct.Struct(">I")
@@ -172,10 +173,19 @@ def encode_segment_diff(diff: SegmentDiff) -> bytes:
     out.u32(len(diff.block_diffs))
     for block_diff in diff.block_diffs:
         encode_block_diff(block_diff, out)
-    return out.getvalue()
+    encoded = out.getvalue()
+    metrics = get_registry()
+    metrics.counter("wire.diff.encoded").inc()
+    metrics.counter("wire.diff.encoded_bytes").inc(len(encoded))
+    metrics.counter("wire.diff.runs_encoded").inc(
+        sum(len(bd.runs) for bd in diff.block_diffs))
+    return encoded
 
 
 def decode_segment_diff(data: bytes) -> SegmentDiff:
+    metrics = get_registry()
+    metrics.counter("wire.diff.decoded").inc()
+    metrics.counter("wire.diff.decoded_bytes").inc(len(data))
     reader = _Reader(data)
     segment = reader.text()
     from_version = reader.u32()

@@ -19,6 +19,9 @@ Requests
   the polling side of the adaptive polling/notification protocol).
 - :class:`SubscribeRequest` — toggle server notifications for a segment
   (the notification side of the same protocol).
+- :class:`GetStatsRequest` — introspect a live server: the reply carries
+  a JSON snapshot of the server's metrics registry and segment table
+  (see ``repro.obs`` and ``python -m repro.tools.stats_main``).
 
 Replies mirror requests; :class:`ErrorReply` carries failures.
 """
@@ -213,6 +216,47 @@ class DeleteSegmentReply(Message):
     @classmethod
     def decode_body(cls, reader: Reader) -> "DeleteSegmentReply":
         return cls(reader.boolean())
+
+
+@_register
+@dataclass
+class GetStatsRequest(Message):
+    """Ask the server for a stats snapshot (purely observational: no
+    segment or coherence state changes)."""
+
+    TAG = 7
+    client_id: str = ""
+
+    def encode_body(self, out: Writer) -> None:
+        out.text(self.client_id)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "GetStatsRequest":
+        return cls(reader.text())
+
+
+@_register
+@dataclass
+class GetStatsReply(Message):
+    """The snapshot, as canonical JSON text (sorted keys): a ``server``
+    section (name, segment table) and a ``metrics`` section (the
+    registry snapshot).  JSON keeps the payload schema-free so servers
+    can grow new metrics without a protocol revision."""
+
+    TAG = 71
+    payload: str
+
+    def encode_body(self, out: Writer) -> None:
+        out.text(self.payload)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "GetStatsReply":
+        return cls(reader.text())
+
+    def to_dict(self) -> dict:
+        import json
+
+        return json.loads(self.payload)
 
 
 @_register

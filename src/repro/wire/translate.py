@@ -36,6 +36,7 @@ import numpy as np
 from repro.arch import WIRE_SIZES, Architecture, PrimKind
 from repro.errors import WireFormatError
 from repro.memory.mmu import AddressSpace
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.types import FlatLayout, iter_units
 
 #: Length-header codec for variable-size units (strings and MIPs).
@@ -51,15 +52,22 @@ class TranslationContext:
     non-NULL pointer, which is correct for pointer-free data.
     """
 
-    __slots__ = ("memory", "arch", "pointer_to_mip", "mip_to_pointer")
+    __slots__ = ("memory", "arch", "pointer_to_mip", "mip_to_pointer",
+                 "_m_swizzled", "_m_unswizzled")
 
     def __init__(self, memory: AddressSpace, arch: Architecture,
                  pointer_to_mip: Optional[Callable[[int], str]] = None,
-                 mip_to_pointer: Optional[Callable[[str], int]] = None):
+                 mip_to_pointer: Optional[Callable[[str], int]] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.memory = memory
         self.arch = arch
         self.pointer_to_mip = pointer_to_mip or _reject_pointer
         self.mip_to_pointer = mip_to_pointer or _reject_mip
+        metrics = metrics or get_registry()
+        self._m_swizzled = metrics.counter(
+            "wire.swizzle.pointers_to_mips", "pointers swizzled at collect")
+        self._m_unswizzled = metrics.counter(
+            "wire.swizzle.mips_to_pointers", "MIPs unswizzled at apply")
 
 
 def _reject_pointer(address: int) -> str:
@@ -178,7 +186,11 @@ def _collect_per_unit(ctx, layout, base, prim_start, prim_end) -> bytes:
         elif kind is PrimKind.POINTER:
             pointer = ctx.arch.decode_prim(PrimKind.POINTER,
                                            memory.load(address, run.unit_size))
-            text = b"" if pointer == 0 else ctx.pointer_to_mip(pointer).encode("utf-8")
+            if pointer == 0:
+                text = b""
+            else:
+                text = ctx.pointer_to_mip(pointer).encode("utf-8")
+                ctx._m_swizzled.inc()
             parts.append(_LEN.pack(len(text)))
             parts.append(text)
         else:
@@ -293,7 +305,11 @@ def _apply_per_unit(ctx, layout, base, prim_start, prim_end, data, offset) -> in
             if len(text) != length:
                 raise WireFormatError("wire diff truncated in MIP")
             offset += length
-            pointer = 0 if length == 0 else ctx.mip_to_pointer(text.decode("utf-8"))
+            if length == 0:
+                pointer = 0
+            else:
+                pointer = ctx.mip_to_pointer(text.decode("utf-8"))
+                ctx._m_unswizzled.inc()
             memory.store(address, ctx.arch.encode_prim(PrimKind.POINTER, pointer))
         else:
             width = run.unit_size

@@ -217,6 +217,25 @@ class TestAdaptiveUnsubscribe:
         assert not poller.subscribed
         assert poller.must_contact_server()  # back to polling
 
+    def test_mode_transitions_are_counted(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        poller = AdaptivePoller(can_push=True, metrics=registry)
+        for _ in range(SUBSCRIBE_AFTER):
+            poller.on_validated(1, had_update=False, now=0.0)
+        poller.on_subscribed()
+        from repro.coherence.polling import UNSUBSCRIBE_AFTER
+        for version in range(2, 2 + UNSUBSCRIBE_AFTER):
+            poller.on_notify(version)
+            poller.on_validated(version, had_update=True, now=float(version))
+        poller.on_unsubscribed()
+        counters = registry.snapshot()["counters"]
+        assert counters["poller.subscribes"] == 1
+        assert counters["poller.unsubscribes"] == 1
+        assert counters["poller.invalidations"] == UNSUBSCRIBE_AFTER
+        assert counters["poller.redundant_polls"] == SUBSCRIBE_AFTER
+
     def test_quiet_interval_resets_streak(self):
         poller, threshold = self.subscribe()
         for version in range(2, 1 + threshold):

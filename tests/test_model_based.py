@@ -103,6 +103,8 @@ class ModelWorld:
                 name = self._pick(op[1])
                 values, _ = self.model[name]
                 text = op[2].encode("utf-8")[:12].decode("utf-8", "ignore")
+                # the buffer is NUL-terminated: content stops at the first NUL
+                text = text.split("\x00", 1)[0]
                 self.writer.accessor_for(self.seg_w, f"{name}_label").set(text)
                 self.model[name] = (values, text)
         finally:

@@ -1,10 +1,11 @@
 """Tests for transports: in-process hub and real TCP sockets."""
 
 import threading
+import time
 
 import pytest
 
-from repro.errors import TransportError
+from repro.errors import TransportError, TransportTimeout
 from repro.transport import (
     Dispatcher,
     InProcHub,
@@ -179,3 +180,32 @@ class TestTCP:
                 channel.set_notification_handler(lambda data: None)
         finally:
             channel.close()
+
+    def test_slow_reply_raises_typed_timeout(self):
+        class StalledServer(Dispatcher):
+            def dispatch(self, client_id, data):
+                time.sleep(2.0)
+                return data
+
+        transport = TCPServerTransport(StalledServer())
+        try:
+            channel = TCPChannel("127.0.0.1", transport.port, "c", timeout=0.2)
+            try:
+                with pytest.raises(TransportTimeout) as info:
+                    channel.request(b"ping")
+                # the typed subclass still satisfies generic handlers
+                assert isinstance(info.value, TransportError)
+            finally:
+                channel.close()
+        finally:
+            transport.close()
+
+    def test_connect_refused_raises_transport_error(self):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(TransportError):
+            TCPChannel("127.0.0.1", port, "c", timeout=0.5)
