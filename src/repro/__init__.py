@@ -40,13 +40,25 @@ from repro.client.api import (
 from repro.coherence import delta, diff, full, temporal
 from repro.obs import MetricsRegistry, Tracer, get_registry, set_registry
 from repro.server import InterWeaveServer
-from repro.transport import InProcHub, NetworkModel, TCPChannel, TCPServerTransport
+from repro.transport import (
+    FaultInjectingChannel,
+    FaultPlan,
+    InProcHub,
+    NetworkModel,
+    ReplyCache,
+    RetryingChannel,
+    RetryPolicy,
+    TCPChannel,
+    TCPServerTransport,
+)
 from repro.util.clock import VirtualClock, WallClock
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ClientOptions",
+    "FaultInjectingChannel",
+    "FaultPlan",
     "InProcHub",
     "InterWeaveClient",
     "InterWeaveServer",
@@ -67,6 +79,9 @@ __all__ = [
     "IW_wl_release",
     "MetricsRegistry",
     "NetworkModel",
+    "ReplyCache",
+    "RetryPolicy",
+    "RetryingChannel",
     "Segment",
     "TCPChannel",
     "TCPServerTransport",

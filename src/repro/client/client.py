@@ -124,6 +124,11 @@ class Segment:
         self.poller = AdaptivePoller(can_push, metrics=metrics)
         self.nodiff = NoDiffController()
         self.lock_mode: Optional[int] = None
+        #: write-lease grant from the server: duration and the local clock
+        #: instant it was granted (renewed implicitly by any request we
+        #: send for this segment)
+        self.lease_duration = 0.0
+        self.lease_acquired_at: Optional[float] = None
         self.session_diffed = True
         self.created: List[BlockInfo] = []
         self.freed: List[int] = []
@@ -222,8 +227,18 @@ class InterWeaveClient:
             channel = self.connector(server, self.client_id)
             if channel.can_push:
                 channel.set_notification_handler(self._on_notification)
+            channel.reconnect_listener = functools.partial(
+                self._on_channel_reconnected, server)
             self._channels[server] = channel
         return channel
+
+    def _on_channel_reconnected(self, server: str) -> None:
+        """A channel re-established a lost connection: notifications may
+        have been missed and the server may have forgotten subscriptions,
+        so every segment served over it falls back to polling."""
+        for name, segment in self.segments.items():
+            if self.server_of(name) == server:
+                segment.poller.on_disconnect()
 
     @_locked
     def open_segment(self, name: str, create: bool = True) -> Segment:
@@ -294,6 +309,42 @@ class InterWeaveClient:
         if not isinstance(reply, GetStatsReply):
             raise ServerError(f"unexpected reply {type(reply).__name__}")
         return reply.to_dict()
+
+    @_locked
+    def session_state(self) -> dict:
+        """Introspect this client's sessions: channel health and segment
+        protocol state.
+
+        Purely observational (no server round trips).  ``channels`` maps
+        server name to the transport's :meth:`~repro.transport.Channel.health`
+        snapshot — for TCP channels that includes broken/reconnect/retry
+        state.  ``segments`` maps segment name to its cached version,
+        lock mode, adaptive-poller state, and write-lease status
+        (``lease_remaining`` is computed against this client's clock and
+        is conservative: the server renews the lease on every request the
+        writer sends).
+        """
+        now = self.clock.now()
+        segments = {}
+        for name, segment in self.segments.items():
+            lease_remaining = None
+            if segment.lock_mode == LOCK_WRITE and segment.lease_acquired_at is not None:
+                lease_remaining = max(
+                    0.0, segment.lease_duration - (now - segment.lease_acquired_at))
+            segments[name] = {
+                "version": segment.version,
+                "has_data": segment.has_data,
+                "lock_mode": segment.lock_mode,
+                "subscribed": segment.poller.subscribed,
+                "invalidated": segment.poller.invalidated,
+                "lease_remaining": lease_remaining,
+            }
+        return {
+            "client_id": self.client_id,
+            "channels": {server: channel.health()
+                         for server, channel in self._channels.items()},
+            "segments": segments,
+        }
 
     @_locked
     def close(self) -> None:
@@ -408,6 +459,8 @@ class InterWeaveClient:
                 self._backoff()
             span.set_attr("retries", retries)
             span.set_attr("updated", reply.diff is not None)
+            segment.lease_duration = reply.lease_remaining
+            segment.lease_acquired_at = self.clock.now()
             if reply.diff is not None:
                 self._apply(segment, reply.diff)
             segment.poller.on_validated(reply.version, reply.diff is not None,
@@ -447,6 +500,8 @@ class InterWeaveClient:
         segment.created = []
         segment.freed = []
         segment.lock_mode = None
+        segment.lease_duration = 0.0
+        segment.lease_acquired_at = None
 
     # ------------------------------------------------------------------
     # transactions (the paper's future-work extension)

@@ -117,4 +117,6 @@ def abort(client, segment) -> None:
     client._rpc(segment.channel, LockReleaseRequest(
         segment.name, LOCK_WRITE, client.client_id, None))
     segment.lock_mode = None
+    segment.lease_duration = 0.0
+    segment.lease_acquired_at = None
     segment.poller.on_local_write(segment.version, client.clock.now())

@@ -43,7 +43,8 @@ class AdaptivePoller:
     __slots__ = ("can_push", "subscribed", "invalidated", "_redundant_polls",
                  "_notified_streak", "last_validate_time",
                  "last_known_server_version", "_m_subscribes",
-                 "_m_unsubscribes", "_m_notifies", "_m_redundant")
+                 "_m_unsubscribes", "_m_notifies", "_m_redundant",
+                 "_m_disconnects")
 
     def __init__(self, can_push: bool,
                  metrics: Optional[MetricsRegistry] = None):
@@ -63,6 +64,9 @@ class AdaptivePoller:
             "poller.invalidations", "invalidation pushes received")
         self._m_redundant = metrics.counter(
             "poller.redundant_polls", "validations that found nothing new")
+        self._m_disconnects = metrics.counter(
+            "poller.disconnect_resets",
+            "pollers reset to POLLING after a transport reconnect")
 
     # -- decisions --------------------------------------------------------------
 
@@ -118,6 +122,20 @@ class AdaptivePoller:
         self._notified_streak += 1
         self._m_notifies.inc()
         self.last_known_server_version = max(self.last_known_server_version, server_version)
+
+    def on_disconnect(self) -> None:
+        """The channel lost (and re-established) its connection.
+
+        Invalidations pushed while the link was down are gone, and the
+        server may have forgotten the subscription, so the safe state is
+        the initial one: unsubscribed, invalidated, counters cleared —
+        the next read acquire revalidates against the server.
+        """
+        self.invalidated = True
+        self.subscribed = False
+        self._redundant_polls = 0
+        self._notified_streak = 0
+        self._m_disconnects.inc()
 
     def on_local_write(self, new_version: int, now: float) -> None:
         """Our own write release: we hold the newest version by construction."""

@@ -55,7 +55,25 @@ class TransportError(InterWeaveError):
 
 
 class TransportTimeout(TransportError):
-    """A transport operation exceeded its deadline (connect, send, or recv)."""
+    """A transport operation exceeded its deadline (connect, send, or recv).
+
+    Retryable: the request may or may not have reached the server, so a
+    retry must reuse the request's sequence number (the server's reply
+    cache makes the re-send idempotent).
+    """
+
+
+class TransportDisconnected(TransportError):
+    """The connection was lost (refused, reset, or closed mid-operation).
+
+    Retryable: reconnect and re-send, again relying on sequence-number
+    deduplication for idempotence.
+    """
+
+
+class RetryExhausted(TransportError):
+    """Every attempt allowed by the :class:`~repro.transport.RetryPolicy`
+    failed; ``__cause__`` is the last underlying transport error."""
 
 
 class ServerError(InterWeaveError):

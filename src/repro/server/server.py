@@ -93,6 +93,9 @@ class ServerStats:
             "server.notifications_pushed", "invalidations pushed to subscribers"))
         self.lock_denials_counter = _DualCounter(metrics.counter(
             "server.lock_denials", "write lock requests denied"))
+        self.lease_expiries_counter = _DualCounter(metrics.counter(
+            "server.lease_expiries",
+            "write locks reclaimed from clients whose lease lapsed"))
 
     @property
     def diffs_applied(self) -> int:
@@ -114,12 +117,19 @@ class ServerStats:
     def lock_denials(self) -> int:
         return self.lock_denials_counter.local
 
+    @property
+    def lease_expiries(self) -> int:
+        return self.lease_expiries_counter.local
+
 
 @dataclass
 class _SegmentEntry:
     state: ServerSegment
     coherence: SegmentCoherence = field(default_factory=SegmentCoherence)
     writer: Optional[str] = None
+    #: server-clock instant the writer's lease lapses; meaningless when
+    #: ``writer`` is None
+    writer_expires: float = 0.0
 
 
 class InterWeaveServer(Dispatcher):
@@ -131,10 +141,16 @@ class InterWeaveServer(Dispatcher):
                  diff_cache_bytes: int = 16 * 1024 * 1024,
                  checkpoint_dir: Optional[str] = None,
                  checkpoint_every: int = 0,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 lease_duration: float = 30.0):
+        if lease_duration <= 0:
+            raise ServerError("lease_duration must be positive")
         self.name = name
         self.sink = sink or NullSink()
         self.clock = clock or WallClock()
+        #: seconds a write lock survives without the holder contacting the
+        #: server; a lapsed lease lets another writer reclaim the segment
+        self.lease_duration = lease_duration
         self.segments: Dict[str, _SegmentEntry] = {}
         self.diff_cache = DiffCache(diff_cache_bytes)
         self.metrics = metrics or get_registry()
@@ -211,6 +227,7 @@ class InterWeaveServer(Dispatcher):
         entry = self.segments.get(request.segment)
         if entry is None:
             return DeleteSegmentReply(deleted=False)
+        self._lease_touch(entry, client_id)
         if entry.writer is not None and entry.writer != client_id:
             raise ServerError(
                 f"segment {request.segment!r} is write-locked by another client")
@@ -228,17 +245,39 @@ class InterWeaveServer(Dispatcher):
 
     # -- locking --------------------------------------------------------------------
 
+    def _lease_touch(self, entry: _SegmentEntry, client_id: str) -> None:
+        """Renew or reclaim the segment's write lease.
+
+        Called on every request naming the segment, so lease renewal
+        piggybacks on the writer's ordinary traffic: any request from the
+        current writer restarts the lease clock.  Expiry is enforced
+        lazily — the first request from *another* client after the lease
+        lapses reclaims the lock, so a crashed writer cannot wedge the
+        segment forever.
+        """
+        if entry.writer is None:
+            return
+        if entry.writer == client_id:
+            entry.writer_expires = self.clock.now() + self.lease_duration
+        elif self.clock.now() >= entry.writer_expires:
+            entry.writer = None
+            self.stats.lease_expiries_counter.inc()
+
     def _acquire(self, client_id: str, request: LockAcquireRequest) -> Message:
         # locks never create segments: opening is explicit, and a deleted
         # segment must not resurrect from an orphaned cache's validation
         entry = self._entry(request.segment)
+        self._lease_touch(entry, client_id)
         state = entry.state
         policy = CoherencePolicy(request.coherence_kind, request.coherence_param)
+        lease_remaining = 0.0
         if request.mode == LOCK_WRITE:
             if entry.writer is not None and entry.writer != client_id:
                 self.stats.lock_denials_counter.inc()
                 return LockAcquireReply(granted=False, version=state.version)
             entry.writer = client_id
+            entry.writer_expires = self.clock.now() + self.lease_duration
+            lease_remaining = self.lease_duration
             # a writer must build on the current version, regardless of its
             # coherence model for reads
             diff = self._update_for(state, request.client_version)
@@ -250,7 +289,8 @@ class InterWeaveServer(Dispatcher):
             entry.coherence.on_client_updated(client_id, state.version, policy)
         else:
             self._sync_view(entry, client_id, request, policy)
-        return LockAcquireReply(granted=True, version=state.version, diff=diff)
+        return LockAcquireReply(granted=True, version=state.version,
+                                lease_remaining=lease_remaining, diff=diff)
 
     def _sync_view(self, entry: _SegmentEntry, client_id: str,
                    request: LockAcquireRequest, policy: CoherencePolicy) -> None:
@@ -277,12 +317,17 @@ class InterWeaveServer(Dispatcher):
 
     def _release(self, client_id: str, request: LockReleaseRequest) -> Message:
         entry = self._entry(request.segment)
+        self._lease_touch(entry, client_id)
         state = entry.state
         if request.mode == LOCK_READ:
             return LockReleaseReply(version=state.version)
         if entry.writer != client_id:
+            # either never held, or the lease lapsed and another client's
+            # request reclaimed the lock — applying the diff now could
+            # overwrite a successor writer's changes, so it is rejected
             raise ServerError(
-                f"client {client_id!r} released a write lock it does not hold")
+                f"client {client_id!r} released a write lock it does not hold "
+                f"(never acquired, or its lease expired and was reclaimed)")
         entry.writer = None
         if request.diff is None or (not request.diff.block_diffs
                                     and not request.diff.new_types):
@@ -310,6 +355,7 @@ class InterWeaveServer(Dispatcher):
 
     def _fetch(self, client_id: str, request: FetchRequest) -> Message:
         entry = self._entry(request.segment)
+        self._lease_touch(entry, client_id)
         state = entry.state
         if request.meta_only:
             return FetchReply(version=state.version, diff=state.build_skeleton())
@@ -321,6 +367,7 @@ class InterWeaveServer(Dispatcher):
 
     def _subscribe(self, client_id: str, request: SubscribeRequest) -> Message:
         entry = self._entry(request.segment)
+        self._lease_touch(entry, client_id)
         entry.coherence.subscribe(client_id, request.enable)
         return SubscribeReply(enabled=request.enable)
 
@@ -343,6 +390,8 @@ class InterWeaveServer(Dispatcher):
                 "blocks": len(entry.state.blocks),
                 "prim_units": entry.state.total_prim_units,
                 "writer": entry.writer,
+                "lease_expires": (entry.writer_expires
+                                  if entry.writer is not None else None),
                 "subscribers": sum(
                     1 for view in entry.coherence.views.values()
                     if view.subscribed),

@@ -1,4 +1,6 @@
-"""Transports: byte-accounting in-process channels and real TCP sockets."""
+"""Transports: byte-accounting in-process channels and real TCP sockets,
+plus the fault-tolerance toolkit (retry policies, reply deduplication,
+and deterministic fault injection)."""
 
 from repro.transport.base import (
     Channel,
@@ -6,20 +8,29 @@ from repro.transport.base import (
     NetworkModel,
     NotificationSink,
     NullSink,
+    ReplyCache,
     TransportStats,
 )
+from repro.transport.fault import FaultInjectingChannel, FaultPlan
 from repro.transport.inproc import InProcChannel, InProcHub
+from repro.transport.retry import RetryingChannel, RetryPolicy, is_retryable
 from repro.transport.tcp import TCPChannel, TCPServerTransport
 
 __all__ = [
     "Channel",
     "Dispatcher",
+    "FaultInjectingChannel",
+    "FaultPlan",
     "InProcChannel",
     "InProcHub",
     "NetworkModel",
     "NotificationSink",
     "NullSink",
+    "ReplyCache",
+    "RetryingChannel",
+    "RetryPolicy",
     "TCPChannel",
     "TCPServerTransport",
     "TransportStats",
+    "is_retryable",
 ]

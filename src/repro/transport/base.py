@@ -14,8 +14,11 @@ transports that cannot push (plain request/reply TCP here) simply report
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Callable, Optional
 
+from repro.errors import WireFormatError
 from repro.obs.metrics import get_registry
 
 
@@ -53,6 +56,10 @@ class Channel:
 
     def __init__(self):
         self.stats = TransportStats()
+        #: invoked (with no arguments) after the channel re-establishes a
+        #: lost connection; clients use it to reset per-segment polling
+        #: state, since notifications may have been missed while down
+        self.reconnect_listener: Optional[Callable[[], None]] = None
         metrics = get_registry()
         self._m_bytes_sent = metrics.counter(
             "transport.bytes_sent", "request bytes sent by client channels")
@@ -91,6 +98,22 @@ class Channel:
         """Install the callback for pushed messages (push transports only)."""
         raise NotImplementedError(f"{type(self).__name__} cannot push")
 
+    def health(self) -> dict:
+        """A point-in-time introspection snapshot of this channel.
+
+        Transports extend the base dict with their own fields (broken
+        flag, reconnect counts, endpoint); ``client.session_state()``
+        surfaces it per server.
+        """
+        return {
+            "transport": type(self).__name__,
+            "can_push": self.can_push,
+            "requests": self.stats.requests,
+            "notifications": self.stats.notifications,
+            "bytes_sent": self.stats.bytes_sent,
+            "bytes_received": self.stats.bytes_received,
+        }
+
     def close(self) -> None:
         pass
 
@@ -115,6 +138,82 @@ class Dispatcher:
 
     def dispatch(self, client_id: str, data: bytes) -> bytes:
         raise NotImplementedError
+
+
+class _ReplySession:
+    """One client's request-deduplication state."""
+
+    __slots__ = ("lock", "last_seq", "last_reply")
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.last_seq = 0
+        self.last_reply: Optional[bytes] = None
+
+
+class ReplyCache:
+    """Per-client last-reply cache: at-most-once dispatch under retries.
+
+    Clients stamp every request with a monotonically increasing sequence
+    number and reuse the number when they retry.  The cache serializes a
+    client's dispatches and remembers the reply to its newest sequence
+    number, so a retry of an already-processed request (reply lost in
+    flight, timeout after the server finished) returns the cached reply
+    instead of re-executing a non-idempotent operation such as a write
+    release.
+
+    A sequence number of 0 opts out of deduplication (used by one-shot
+    tools that never retry).  The cache is the durable half of a client
+    session: a server that restarts with a fresh cache loses exactly-once
+    semantics for retries that straddle the restart, so deployments that
+    restart transports in place should carry the cache over (see
+    ``docs/ROBUSTNESS.md``).
+    """
+
+    def __init__(self, max_clients: int = 1024):
+        if max_clients < 1:
+            raise ValueError("max_clients must be >= 1")
+        self._max_clients = max_clients
+        self._lock = threading.Lock()
+        self._sessions: "OrderedDict[str, _ReplySession]" = OrderedDict()
+        self._m_hits = get_registry().counter(
+            "transport.server.dedup_hits",
+            "retried requests answered from the reply cache")
+
+    def _session(self, client_id: str) -> _ReplySession:
+        with self._lock:
+            session = self._sessions.get(client_id)
+            if session is None:
+                session = _ReplySession()
+                self._sessions[client_id] = session
+                while len(self._sessions) > self._max_clients:
+                    self._sessions.popitem(last=False)
+            else:
+                self._sessions.move_to_end(client_id)
+            return session
+
+    def execute(self, client_id: str, seq: int,
+                dispatch: Callable[[], bytes]) -> bytes:
+        """Run ``dispatch`` once per (client, seq), replaying cached replies."""
+        if seq == 0:
+            return dispatch()
+        session = self._session(client_id)
+        with session.lock:
+            if seq == session.last_seq and session.last_reply is not None:
+                self._m_hits.inc()
+                return session.last_reply
+            if seq < session.last_seq:
+                raise WireFormatError(
+                    f"stale sequence number {seq} from {client_id!r} "
+                    f"(newest seen: {session.last_seq})")
+            reply = dispatch()
+            session.last_seq = seq
+            session.last_reply = reply
+            return reply
+
+    def __len__(self):
+        with self._lock:
+            return len(self._sessions)
 
 
 class NetworkModel:

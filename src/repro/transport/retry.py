@@ -1,0 +1,193 @@
+"""Retry policy and a generic retrying channel wrapper.
+
+Transient transport faults (timeouts, resets, a server restarting) are
+part of normal operation for a distributed shared-state system; the
+paper's adaptive protocol already plans for degraded modes, and this
+module supplies the client half of fault tolerance:
+
+- :class:`RetryPolicy` — a typed classification of retryable vs. fatal
+  errors plus an exponential-backoff-with-jitter schedule (seeded, so
+  tests and simulations are deterministic);
+- :class:`RetryingChannel` — wraps any :class:`~repro.transport.Channel`
+  factory and transparently reconnects/retries requests that fail with a
+  retryable error.
+
+Retrying a request is only safe if re-delivery is idempotent.  The TCP
+transport guarantees that with per-client sequence numbers and a
+server-side reply cache (see ``repro.transport.tcp``); in-process
+channels never duplicate delivery, so with them :class:`RetryingChannel`
+is safe for faults injected *before* the request reaches the dispatcher
+(see ``repro.transport.fault``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional
+
+from repro.errors import (
+    RetryExhausted,
+    TransportDisconnected,
+    TransportError,
+    TransportTimeout,
+)
+from repro.obs.metrics import get_registry
+from repro.transport.base import Channel
+
+#: Error types a retry may safely follow (given idempotent re-delivery).
+RETRYABLE_ERRORS = (TransportTimeout, TransportDisconnected)
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Typed classification: may this failure be retried?
+
+    Timeouts and disconnections are transient — the server may be slow,
+    restarting, or the link flaky.  Everything else (wire-format
+    corruption, server rejections, programming errors) is fatal: a retry
+    would re-send the same poison.
+    """
+    return isinstance(error, RETRYABLE_ERRORS)
+
+
+class RetryPolicy:
+    """Exponential backoff with jitter over a bounded attempt budget.
+
+    ``max_attempts`` counts total tries (first send included), so
+    ``max_attempts=1`` disables retry.  Delays grow geometrically from
+    ``base_delay`` by ``multiplier``, capped at ``max_delay``, and are
+    scaled by a uniform ``±jitter`` fraction drawn from a seeded RNG so
+    two policies built with the same seed produce identical schedules.
+    """
+
+    def __init__(self, max_attempts: int = 5, base_delay: float = 0.05,
+                 max_delay: float = 2.0, multiplier: float = 2.0,
+                 jitter: float = 0.1, seed: Optional[int] = None):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    is_retryable = staticmethod(is_retryable)
+
+    def delay_for(self, failures: int) -> Optional[float]:
+        """Backoff before the next try, or None when the budget is spent.
+
+        ``failures`` is the number of attempts that have already failed
+        (0 after the first failure).
+        """
+        if failures + 1 >= self.max_attempts:
+            return None
+        delay = min(self.max_delay, self.base_delay * self.multiplier ** failures)
+        if self.jitter:
+            delay *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return max(0.0, delay)
+
+    def __repr__(self):
+        return (f"RetryPolicy(max_attempts={self.max_attempts}, "
+                f"base_delay={self.base_delay}, max_delay={self.max_delay})")
+
+
+class RetryingChannel(Channel):
+    """Reconnect-and-retry wrapper around a channel factory.
+
+    On a retryable failure the inner channel is closed, the policy's
+    backoff is slept (or advanced on a virtual clock), a fresh channel is
+    obtained from the factory, and the request is re-sent.  Fatal errors
+    and an exhausted budget propagate — the latter as
+    :class:`~repro.errors.RetryExhausted` chaining the last failure.
+
+    Byte/request accounting lives in the inner channel (``stats`` is a
+    read-through property), so the wrapper adds no double counting.
+    """
+
+    def __init__(self, factory: Callable[[], Channel], policy: RetryPolicy,
+                 clock=None):
+        # deliberately no super().__init__(): stats delegate to the inner
+        # channel, and the wrapper keeps only retry/reconnect instruments
+        self._factory = factory
+        self._policy = policy
+        self._clock = clock
+        self._handler = None
+        self.reconnect_listener: Optional[Callable[[], None]] = None
+        self.retries = 0
+        self.reconnects = 0
+        metrics = get_registry()
+        self._m_retries = metrics.counter(
+            "transport.retries", "requests retried after a transient fault")
+        self._m_reconnects = metrics.counter(
+            "transport.reconnects", "channel connections re-established")
+        self._inner = factory()
+
+    @property
+    def can_push(self):  # type: ignore[override]
+        return self._inner.can_push
+
+    @property
+    def stats(self):
+        return self._inner.stats
+
+    def set_notification_handler(self, handler) -> None:
+        self._handler = handler
+        self._inner.set_notification_handler(handler)
+
+    def request(self, data: bytes) -> bytes:
+        failures = 0
+        while True:
+            try:
+                return self._inner.request(data)
+            except TransportError as error:
+                if not is_retryable(error):
+                    raise
+                delay = self._policy.delay_for(failures)
+                if delay is None:
+                    raise RetryExhausted(
+                        f"request failed after {failures + 1} attempts: "
+                        f"{error}") from error
+                failures += 1
+                self.retries += 1
+                self._m_retries.inc()
+                self._sleep(delay)
+                self._reopen()
+
+    def _reopen(self) -> None:
+        try:
+            self._inner.close()
+        except TransportError:
+            pass
+        self._inner = self._factory()
+        if self._handler is not None and self._inner.can_push:
+            self._inner.set_notification_handler(self._handler)
+        self.reconnects += 1
+        self._m_reconnects.inc()
+        if self.reconnect_listener is not None:
+            self.reconnect_listener()
+
+    def _sleep(self, seconds: float) -> None:
+        advance = getattr(self._clock, "advance", None)
+        if advance is not None:
+            advance(seconds)
+        elif seconds > 0:
+            time.sleep(seconds)
+
+    def health(self) -> dict:
+        state = self._inner.health()
+        state.update({
+            "transport": f"Retrying({state.get('transport', '?')})",
+            "retries": self.retries,
+            "reconnects": self.reconnects,
+        })
+        return state
+
+    def close(self) -> None:
+        self._inner.close()

@@ -1,15 +1,27 @@
 """TCP transport: length-prefixed frames over real sockets.
 
-The wire protocol is trivially framed: every message (request or reply) is
-a 4-byte big-endian length followed by that many payload bytes.  A request
-frame is prefixed with the client id (so the server can attribute lock
-state); replies carry the payload alone.
+The wire protocol is trivially framed: every message (request or reply)
+is a 4-byte big-endian length followed by that many payload bytes.  A
+request frame carries a header — client id and a per-client sequence
+number — ahead of the message payload (so the server can attribute lock
+state and deduplicate retries); replies carry the payload alone.
 
 The server runs one thread per connection, which is plenty for the scale
 of this reproduction and keeps the code obvious.  Push notifications are
 not supported over this transport (``can_push = False``); clients fall
 back to polling, exactly the degraded mode the paper's adaptive protocol
 anticipates.
+
+Fault tolerance (see ``docs/ROBUSTNESS.md``):
+
+- a :class:`TCPChannel` given a :class:`~repro.transport.RetryPolicy`
+  reconnects and re-sends after timeouts and disconnections, reusing the
+  request's sequence number;
+- the server answers malformed frames and dispatcher failures with an
+  encoded ``ErrorReply`` and keeps the connection alive;
+- a :class:`~repro.transport.ReplyCache` makes re-sent requests
+  idempotent: a sequence number the server already processed is answered
+  from the cache without re-dispatching.
 """
 
 from __future__ import annotations
@@ -20,11 +32,19 @@ import threading
 import time
 from typing import Optional
 
-from repro.errors import TransportError, TransportTimeout
+from repro.errors import (
+    RetryExhausted,
+    TransportDisconnected,
+    TransportError,
+    TransportTimeout,
+)
 from repro.obs.metrics import get_registry
-from repro.transport.base import Channel, Dispatcher
+from repro.transport.base import Channel, Dispatcher, ReplyCache
+from repro.transport.retry import RetryPolicy
+from repro.wire.messages import ErrorReply, encode_message
 
 _LEN = struct.Struct(">I")
+_SEQ = struct.Struct(">Q")
 _MAX_FRAME = 1 << 30
 
 
@@ -55,70 +75,187 @@ def _recv_frame(sock: socket.socket) -> Optional[bytes]:
 
 
 class TCPChannel(Channel):
-    """A client connection to a TCP server."""
+    """A client connection to a TCP server.
+
+    With a :class:`RetryPolicy`, transient faults (timeouts, resets, a
+    restarting server) trigger reconnection and an idempotent re-send;
+    without one, they surface as typed transport errors and the broken
+    connection is re-established lazily on the next request (never
+    reused, since a timed-out exchange may leave a stale reply in
+    flight).
+    """
 
     can_push = False
 
-    def __init__(self, host: str, port: int, client_id: str, timeout: float = 10.0):
+    def __init__(self, host: str, port: int, client_id: str, timeout: float = 10.0,
+                 retry: Optional[RetryPolicy] = None):
         super().__init__()
+        self._host = host
+        self._port = port
         self._client_id = client_id.encode("utf-8")
+        self._timeout = timeout
+        self._retry = retry
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._ever_connected = False
+        self._closed = False
+        self._next_seq = 0
+        self.reconnects = 0
+        self.retries = 0
+        self.last_error: Optional[str] = None
+        metrics = get_registry()
+        self._m_retries = metrics.counter(
+            "transport.retries", "requests retried after a transient fault")
+        self._m_reconnects = metrics.counter(
+            "transport.reconnects", "channel connections re-established")
+        self._m_reconnect_seconds = metrics.histogram(
+            "transport.reconnect_seconds",
+            help="time spent re-establishing lost connections")
+        self._connect()
+
+    # -- connection management ------------------------------------------------
+
+    def _connect(self) -> None:
+        """(Re)establish the socket; raises typed, retryable errors."""
+        started = time.perf_counter()
         try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
+            sock = socket.create_connection((self._host, self._port),
+                                            timeout=self._timeout)
         except socket.timeout as exc:
             raise TransportTimeout(
-                f"connect to {host}:{port} timed out after {timeout:g}s") from exc
+                f"connect to {self._host}:{self._port} timed out after "
+                f"{self._timeout:g}s") from exc
         except OSError as exc:
-            raise TransportError(
-                f"connect to {host}:{port} failed: {exc}") from exc
-        # the connect timeout also bounds every subsequent send and recv on
-        # this socket; make that explicit rather than relying on
-        # create_connection leaving it set
-        self._sock.settimeout(timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._timeout = timeout
-        self._lock = threading.Lock()
+            raise TransportDisconnected(
+                f"connect to {self._host}:{self._port} failed: {exc}") from exc
+        sock.settimeout(self._timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        if self._ever_connected:
+            self.reconnects += 1
+            self._m_reconnects.inc()
+            self._m_reconnect_seconds.observe(time.perf_counter() - started)
+            if self.reconnect_listener is not None:
+                self.reconnect_listener()
+        self._ever_connected = True
+
+    def _break(self) -> None:
+        """Abandon the connection: a failed exchange may have left an
+        unread reply in flight, so the socket must never be reused."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def break_connection(self) -> None:
+        """Drop the connection (fault-injection hook); the channel
+        reconnects on its next request."""
+        with self._lock:
+            self._break()
+
+    # -- requests -------------------------------------------------------------
 
     def request(self, data: bytes) -> bytes:
         if not isinstance(data, (bytes, bytearray)):
             raise TransportError("channels carry bytes only; serialize the message first")
-        frame = _LEN.pack(len(self._client_id)) + self._client_id + bytes(data)
         with self._lock:
-            started = time.perf_counter()
-            try:
-                _send_frame(self._sock, frame)
-                reply = _recv_frame(self._sock)
-            except socket.timeout as exc:
-                raise TransportTimeout(
-                    f"TCP request timed out after {self._timeout:g}s") from exc
-            except OSError as exc:
-                raise TransportError(f"TCP request failed: {exc}") from exc
-        if reply is None:
-            raise TransportError("server closed the connection")
-        self._record_request(len(frame), len(reply),
-                             time.perf_counter() - started)
-        return reply
+            if self._closed:
+                raise TransportError("channel is closed")
+            self._next_seq += 1
+            frame = (_LEN.pack(len(self._client_id)) + self._client_id
+                     + _SEQ.pack(self._next_seq) + bytes(data))
+            failures = 0
+            while True:
+                started = time.perf_counter()
+                try:
+                    if self._sock is None:
+                        self._connect()
+                    _send_frame(self._sock, frame)
+                    reply = _recv_frame(self._sock)
+                    if reply is None:
+                        raise TransportDisconnected("server closed the connection")
+                except socket.timeout as exc:
+                    error = TransportTimeout(
+                        f"TCP request timed out after {self._timeout:g}s")
+                    error.__cause__ = exc
+                except (TransportTimeout, TransportDisconnected) as exc:
+                    error = exc
+                except OSError as exc:
+                    error = TransportDisconnected(f"TCP request failed: {exc}")
+                    error.__cause__ = exc
+                except TransportError:
+                    # protocol corruption (oversized frame): the stream is
+                    # unrecoverable and a retry would re-read the same bytes
+                    self._break()
+                    raise
+                else:
+                    self._record_request(len(frame), len(reply),
+                                         time.perf_counter() - started)
+                    return reply
+                self._break()
+                self.last_error = str(error)
+                delay = self._retry.delay_for(failures) if self._retry else None
+                if delay is None:
+                    if self._retry is not None and failures:
+                        raise RetryExhausted(
+                            f"request to {self._host}:{self._port} failed after "
+                            f"{failures + 1} attempts: {error}") from error
+                    raise error
+                failures += 1
+                self.retries += 1
+                self._m_retries.inc()
+                if delay > 0:
+                    time.sleep(delay)
+
+    def health(self) -> dict:
+        state = super().health()
+        state.update({
+            "endpoint": f"{self._host}:{self._port}",
+            "connected": self._sock is not None,
+            "reconnects": self.reconnects,
+            "retries": self.retries,
+            "last_error": self.last_error,
+            "next_seq": self._next_seq,
+        })
+        return state
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        with self._lock:
+            self._closed = True
+            self._break()
 
 
 class TCPServerTransport:
-    """Accepts connections and feeds requests to a :class:`Dispatcher`."""
+    """Accepts connections and feeds requests to a :class:`Dispatcher`.
 
-    def __init__(self, dispatcher: Dispatcher, host: str = "127.0.0.1", port: int = 0):
+    A shared :class:`ReplyCache` may be passed in so a restarted
+    transport keeps deduplicating retries that straddle the restart;
+    by default each transport owns a fresh cache.
+    """
+
+    def __init__(self, dispatcher: Dispatcher, host: str = "127.0.0.1",
+                 port: int = 0, reply_cache: Optional[ReplyCache] = None):
         self._dispatcher = dispatcher
+        self.reply_cache = reply_cache if reply_cache is not None else ReplyCache()
         metrics = get_registry()
         self._m_connections = metrics.counter(
             "transport.server.connections", "TCP connections accepted")
+        self._m_open = metrics.gauge(
+            "transport.server.open_connections", "TCP connections currently open")
         self._m_requests = metrics.counter(
             "transport.server.requests", "frames dispatched by the TCP server")
         self._m_bytes_received = metrics.counter(
             "transport.server.bytes_received", "request frame bytes received")
         self._m_bytes_sent = metrics.counter(
             "transport.server.bytes_sent", "reply frame bytes sent")
+        self._m_frame_errors = metrics.counter(
+            "transport.server.frame_errors",
+            "malformed frames answered with ErrorReply")
+        self._m_dispatch_errors = metrics.counter(
+            "transport.server.dispatch_errors",
+            "dispatcher exceptions answered with ErrorReply")
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -126,6 +263,8 @@ class TCPServerTransport:
         self.host, self.port = self._listener.getsockname()
         self._running = True
         self._threads = []
+        self._conn_lock = threading.Lock()
+        self._conns = set()
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
 
@@ -135,37 +274,109 @@ class TCPServerTransport:
                 conn, _addr = self._listener.accept()
             except OSError:
                 return
+            with self._conn_lock:
+                if not self._running:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                    return
+                self._conns.add(conn)
+                self._m_open.set(len(self._conns))
             thread = threading.Thread(target=self._serve, args=(conn,), daemon=True)
             thread.start()
+            # reap finished connection threads so churn cannot grow the
+            # list without bound
+            self._threads = [t for t in self._threads if t.is_alive()]
             self._threads.append(thread)
 
     def _serve(self, conn: socket.socket) -> None:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # accepted sockets must carry SO_REUSEADDR themselves, or their
+        # FIN_WAIT/TIME_WAIT remnants block a restarted transport from
+        # rebinding the port while old clients are still attached
+        conn.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._m_connections.inc()
         try:
             while self._running:
-                frame = _recv_frame(conn)
+                try:
+                    frame = _recv_frame(conn)
+                except TransportError:
+                    return  # oversized frame: framing is lost, drop the link
                 if frame is None:
                     return
-                (id_length,) = _LEN.unpack_from(frame, 0)
-                client_id = frame[_LEN.size:_LEN.size + id_length].decode("utf-8")
-                payload = frame[_LEN.size + id_length:]
-                self._m_requests.inc()
-                self._m_bytes_received.inc(len(frame))
-                reply = self._dispatcher.dispatch(client_id, payload)
-                self._m_bytes_sent.inc(len(reply))
-                _send_frame(conn, reply)
-        except (OSError, TransportError):
+                _send_frame(conn, self._handle_frame(frame))
+        except OSError:
             return
         finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
+                self._m_open.set(len(self._conns))
             try:
                 conn.close()
             except OSError:
                 pass
 
+    def _handle_frame(self, frame: bytes) -> bytes:
+        """Decode one request frame and dispatch it.
+
+        A malformed header (short client-id prefix, bad UTF-8, missing
+        sequence number) or a dispatcher exception must not kill the
+        connection thread: both are answered with an encoded ErrorReply
+        so the client sees a typed failure and the connection survives.
+        """
+        try:
+            (id_length,) = _LEN.unpack_from(frame, 0)
+            header_end = _LEN.size + id_length + _SEQ.size
+            if header_end > len(frame):
+                raise TransportError(
+                    f"request header claims {id_length} id bytes but the "
+                    f"frame holds {len(frame)}")
+            client_id = frame[_LEN.size:_LEN.size + id_length].decode("utf-8")
+            (seq,) = _SEQ.unpack_from(frame, _LEN.size + id_length)
+            payload = frame[header_end:]
+        except (struct.error, UnicodeDecodeError, TransportError) as exc:
+            self._m_frame_errors.inc()
+            return encode_message(ErrorReply(f"malformed request frame: {exc}"))
+        self._m_requests.inc()
+        self._m_bytes_received.inc(len(frame))
+        try:
+            reply = self.reply_cache.execute(
+                client_id, seq,
+                lambda: self._dispatcher.dispatch(client_id, payload))
+        except Exception as exc:  # noqa: BLE001 — any dispatcher bug
+            self._m_dispatch_errors.inc()
+            reply = encode_message(ErrorReply(f"request failed: {exc}"))
+        self._m_bytes_sent.inc(len(reply))
+        return reply
+
     def close(self) -> None:
         self._running = False
+        # shutdown() wakes the thread blocked in accept(); close() alone
+        # leaves the in-flight syscall holding the listening socket open,
+        # which keeps the port bound after this method returns
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:
             pass
+        with self._conn_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+            self._m_open.set(0)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._accept_thread.join(timeout=1.0)
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+        self._threads = []

@@ -300,15 +300,20 @@ class LockAcquireReply(Message):
     TAG = 65
     granted: bool
     version: int = 0  # current segment version at the server
+    #: seconds of write-lock lease granted (0 on reads and denials); the
+    #: server renews the lease on every request the writer sends for the
+    #: segment and may reclaim the lock once the lease lapses
+    lease_remaining: float = 0.0
     diff: Optional[SegmentDiff] = None  # update, when the cache is stale
 
     def encode_body(self, out: Writer) -> None:
-        out.boolean(self.granted).u32(self.version)
+        out.boolean(self.granted).u32(self.version).f64(self.lease_remaining)
         _encode_optional_diff(out, self.diff)
 
     @classmethod
     def decode_body(cls, reader: Reader) -> "LockAcquireReply":
-        return cls(reader.boolean(), reader.u32(), _decode_optional_diff(reader))
+        return cls(reader.boolean(), reader.u32(), reader.f64(),
+                   _decode_optional_diff(reader))
 
 
 @_register

@@ -201,3 +201,70 @@ def test_soak_with_temporal_reader():
     # and correctness still holds once the viewer goes strict
     viewer.set_coherence(seg, full())
     soak.check_reader(viewer)
+
+
+def test_tcp_soak_server_restart_mid_workload():
+    """Kill and restart the real TCP server mid-workload; a client with a
+    RetryPolicy completes every acquire/release with no lost updates.
+
+    The InterWeaveServer object (segment state, lock table) survives the
+    restarts — only the transport dies — and the restarted transport
+    inherits the old ReplyCache so retries that straddle a restart stay
+    idempotent.  One restart happens *inside* a write critical section.
+    """
+    from repro.transport import RetryPolicy, TCPChannel, TCPServerTransport
+
+    server = InterWeaveServer("s")
+    transports = [TCPServerTransport(server)]
+    port = transports[0].port
+
+    def connect(server_name, client_id):
+        assert server_name == "s"
+        return TCPChannel(
+            "127.0.0.1", port, client_id, timeout=5.0,
+            retry=RetryPolicy(max_attempts=8, base_delay=0.05,
+                              max_delay=0.5, seed=2003))
+
+    def restart():
+        old = transports[-1]
+        old.close()
+        transports.append(TCPServerTransport(server, port=port,
+                                             reply_cache=old.reply_cache))
+
+    client = InterWeaveClient("w", X86_32, connect,
+                              options=ClientOptions(enable_notifications=False))
+    try:
+        seg = client.open_segment("s/counter")
+        client.wl_acquire(seg)
+        client.malloc(seg, INT, name="hits").set(0)
+        client.wl_release(seg)
+
+        rounds = 30
+        for number in range(1, rounds + 1):
+            if number in (10, 20):
+                restart()  # between critical sections
+            client.wl_acquire(seg)
+            if number == 15:
+                restart()  # while holding the write lock
+            counter = client.accessor_for(seg, "hits")
+            counter.set(counter.get() + 1)
+            client.wl_release(seg)
+
+        assert client.accessor_for(seg, "hits").get() == rounds
+        state = client.session_state()
+        assert state["channels"]["s"]["reconnects"] >= 3
+
+        # no lost updates: a fresh client over a fresh connection agrees
+        reader = InterWeaveClient(
+            "r", SPARC_V9, connect,
+            options=ClientOptions(enable_notifications=False))
+        try:
+            replica = reader.open_segment("s/counter")
+            reader.rl_acquire(replica)
+            assert reader.accessor_for(replica, "hits").get() == rounds
+            reader.rl_release(replica)
+        finally:
+            reader.close()
+    finally:
+        client.close()
+        transports[-1].close()

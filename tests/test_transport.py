@@ -1,5 +1,7 @@
 """Tests for transports: in-process hub and real TCP sockets."""
 
+import socket
+import struct
 import threading
 import time
 
@@ -14,6 +16,7 @@ from repro.transport import (
     TCPServerTransport,
 )
 from repro.util.clock import VirtualClock
+from repro.wire.messages import ErrorReply, decode_message
 
 
 class EchoServer(Dispatcher):
@@ -201,11 +204,150 @@ class TestTCP:
             transport.close()
 
     def test_connect_refused_raises_transport_error(self):
-        import socket
-
         probe = socket.socket()
         probe.bind(("127.0.0.1", 0))
         port = probe.getsockname()[1]
         probe.close()
         with pytest.raises(TransportError):
             TCPChannel("127.0.0.1", port, "c", timeout=0.5)
+
+
+_LEN = struct.Struct(">I")
+_SEQ = struct.Struct(">Q")
+
+
+def _raw_exchange(sock, frame):
+    """Send one pre-built frame and read back the reply payload."""
+    sock.sendall(_LEN.pack(len(frame)) + frame)
+    (length,) = _LEN.unpack(sock.recv(4, socket.MSG_WAITALL))
+    return sock.recv(length, socket.MSG_WAITALL)
+
+
+class TestTCPFaultPaths:
+    """The server must answer bad input with ErrorReply, not die."""
+
+    @pytest.fixture
+    def server(self):
+        dispatcher = EchoServer()
+        transport = TCPServerTransport(dispatcher)
+        yield transport, dispatcher
+        transport.close()
+
+    def test_malformed_frame_answered_and_connection_survives(self, server):
+        transport, dispatcher = server
+        sock = socket.create_connection(("127.0.0.1", transport.port),
+                                        timeout=2.0)
+        try:
+            # header claims a 100-byte client id but the frame is 9 bytes:
+            # before the fix this struct/bounds error killed the thread
+            reply = decode_message(_raw_exchange(sock, _LEN.pack(100) + b"short"))
+            assert isinstance(reply, ErrorReply)
+            assert "malformed" in reply.message
+            # same connection, now a valid frame: the link must still work
+            good = _LEN.pack(1) + b"c" + _SEQ.pack(1) + b"ping"
+            assert _raw_exchange(sock, good) == b"echo:ping"
+            assert dispatcher.seen == [("c", b"ping")]
+        finally:
+            sock.close()
+
+    def test_bad_utf8_client_id_answered(self, server):
+        transport, dispatcher = server
+        sock = socket.create_connection(("127.0.0.1", transport.port),
+                                        timeout=2.0)
+        try:
+            frame = _LEN.pack(2) + b"\xff\xfe" + _SEQ.pack(1) + b"x"
+            reply = decode_message(_raw_exchange(sock, frame))
+            assert isinstance(reply, ErrorReply)
+            assert dispatcher.seen == []
+        finally:
+            sock.close()
+
+    def test_dispatcher_exception_answered_and_connection_survives(self):
+        class Flaky(Dispatcher):
+            def __init__(self):
+                self.calls = 0
+
+            def dispatch(self, client_id, data):
+                self.calls += 1
+                if data == b"boom":
+                    raise ValueError("dispatcher bug")
+                return b"ok:" + data
+
+        dispatcher = Flaky()
+        transport = TCPServerTransport(dispatcher)
+        channel = TCPChannel("127.0.0.1", transport.port, "c")
+        try:
+            reply = decode_message(channel.request(b"boom"))
+            assert isinstance(reply, ErrorReply)
+            assert "dispatcher bug" in reply.message
+            # the connection thread survived the exception
+            assert channel.request(b"fine") == b"ok:fine"
+            assert dispatcher.calls == 2
+        finally:
+            channel.close()
+            transport.close()
+
+    def test_timed_out_socket_is_never_reused(self):
+        """After a timeout the reply is still in flight; reusing the
+        socket would hand request N's reply to request N+1."""
+
+        class SlowFirst(Dispatcher):
+            def __init__(self):
+                self.calls = 0
+
+            def dispatch(self, client_id, data):
+                self.calls += 1
+                if self.calls == 1:
+                    time.sleep(1.0)
+                return b"echo:" + data
+
+        transport = TCPServerTransport(SlowFirst())
+        # the timeout must outlast the remainder of the first dispatch:
+        # the server serializes one client's requests (reply-cache session
+        # lock), so request "b" queues behind the sleeping dispatch of "a"
+        channel = TCPChannel("127.0.0.1", transport.port, "c", timeout=0.6)
+        try:
+            with pytest.raises(TransportTimeout):
+                channel.request(b"a")
+            assert not channel.health()["connected"]
+            # the retry reconnects; the stale "echo:a" died with the socket
+            assert channel.request(b"b") == b"echo:b"
+        finally:
+            channel.close()
+            transport.close()
+
+    def test_close_reaps_threads_and_closes_connections(self):
+        dispatcher = EchoServer()
+        transport = TCPServerTransport(dispatcher)
+        channels = [TCPChannel("127.0.0.1", transport.port, f"c{i}")
+                    for i in range(4)]
+        try:
+            for i, channel in enumerate(channels):
+                channel.request(f"m{i}".encode())
+            transport.close()
+            assert transport._threads == []
+            assert transport._conns == set()
+            # live clients see a typed disconnect, not a hang
+            with pytest.raises(TransportError):
+                channels[0].request(b"after")
+        finally:
+            for channel in channels:
+                channel.close()
+
+    def test_port_is_released_synchronously_on_close(self):
+        dispatcher = EchoServer()
+        first = TCPServerTransport(dispatcher)
+        port = first.port
+        channel = TCPChannel("127.0.0.1", port, "c")
+        channel.request(b"x")
+        first.close()
+        # a restarted server must be able to rebind at once, even with
+        # the old client's half-closed socket still lingering
+        second = TCPServerTransport(dispatcher, port=port,
+                                    reply_cache=first.reply_cache)
+        try:
+            channel.break_connection()
+            assert channel.request(b"y") == b"echo:y"
+        finally:
+            channel.close()
+            second.close()
