@@ -14,9 +14,12 @@ transports that cannot push (plain request/reply TCP here) simply report
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import OrderedDict
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
+
+_log = logging.getLogger(__name__)
 
 from repro.errors import WireFormatError
 from repro.obs.metrics import get_registry
@@ -162,6 +165,14 @@ class ReplyCache:
     instead of re-executing a non-idempotent operation such as a write
     release.
 
+    Sessions are keyed by ``(client_id, nonce)``: each channel draws a
+    random session nonce at construction, so a fresh channel reusing a
+    client id (a CLI tool run twice, a reconnect wrapper recreating its
+    inner channel) starts its own sequence space instead of colliding
+    with the previous channel's — without the nonce the new channel's
+    restarted sequence would either replay a stale cached reply or be
+    rejected outright.
+
     A sequence number of 0 opts out of deduplication (used by one-shot
     tools that never retry).  The cache is the durable half of a client
     session: a server that restarts with a fresh cache loses exactly-once
@@ -175,29 +186,55 @@ class ReplyCache:
             raise ValueError("max_clients must be >= 1")
         self._max_clients = max_clients
         self._lock = threading.Lock()
-        self._sessions: "OrderedDict[str, _ReplySession]" = OrderedDict()
-        self._m_hits = get_registry().counter(
+        self._sessions: "OrderedDict[Tuple[str, int], _ReplySession]" = OrderedDict()
+        metrics = get_registry()
+        self._m_hits = metrics.counter(
             "transport.server.dedup_hits",
             "retried requests answered from the reply cache")
+        self._m_evictions = metrics.counter(
+            "transport.server.dedup_evictions",
+            "dedup sessions evicted by the LRU bound (at-most-once lost)")
 
-    def _session(self, client_id: str) -> _ReplySession:
+    def _session(self, client_id: str, nonce: int) -> _ReplySession:
+        key = (client_id, nonce)
         with self._lock:
-            session = self._sessions.get(client_id)
+            session = self._sessions.get(key)
             if session is None:
                 session = _ReplySession()
-                self._sessions[client_id] = session
-                while len(self._sessions) > self._max_clients:
-                    self._sessions.popitem(last=False)
+                self._sessions[key] = session
+                self._evict_locked()
             else:
-                self._sessions.move_to_end(client_id)
+                self._sessions.move_to_end(key)
             return session
 
+    def _evict_locked(self) -> None:
+        """Enforce the LRU bound; caller holds ``self._lock``.
+
+        Evicting a session forfeits its at-most-once guarantee — a later
+        retry from that client will re-dispatch — so the loss is counted
+        and logged rather than silent, and a session whose lock is held
+        (a dispatch is running under it right now) is never evicted.
+        """
+        while len(self._sessions) > self._max_clients:
+            for key, session in self._sessions.items():
+                if not session.lock.locked():
+                    del self._sessions[key]
+                    self._m_evictions.inc()
+                    _log.warning(
+                        "reply-cache session %r evicted (LRU bound %d): "
+                        "a retry from this client will re-dispatch",
+                        key, self._max_clients)
+                    break
+            else:
+                return  # every session is mid-dispatch; overflow briefly
+
     def execute(self, client_id: str, seq: int,
-                dispatch: Callable[[], bytes]) -> bytes:
-        """Run ``dispatch`` once per (client, seq), replaying cached replies."""
+                dispatch: Callable[[], bytes], nonce: int = 0) -> bytes:
+        """Run ``dispatch`` once per (client, nonce, seq), replaying
+        cached replies for retries within the same session."""
         if seq == 0:
             return dispatch()
-        session = self._session(client_id)
+        session = self._session(client_id, nonce)
         with session.lock:
             if seq == session.last_seq and session.last_reply is not None:
                 self._m_hits.inc()

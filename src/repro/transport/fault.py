@@ -74,8 +74,10 @@ class FaultInjectingChannel(Channel):
     """
 
     def __init__(self, inner: Channel, plan: FaultPlan, clock=None):
-        super().__init__()
+        # _inner must exist before super().__init__(): the base class
+        # assigns reconnect_listener, which delegates to the inner channel
         self._inner = inner
+        super().__init__()
         self._plan = plan
         self._clock = clock
         self.stats = inner.stats  # the wrapper moves no bytes of its own
@@ -92,6 +94,17 @@ class FaultInjectingChannel(Channel):
     @property
     def can_push(self):  # type: ignore[override]
         return self._inner.can_push
+
+    @property
+    def reconnect_listener(self):  # type: ignore[override]
+        """Delegated to the inner channel: it is the one that actually
+        reconnects, while clients install their poller-reset callback on
+        the outermost wrapper."""
+        return self._inner.reconnect_listener
+
+    @reconnect_listener.setter
+    def reconnect_listener(self, callback: Optional[Callable[[], None]]) -> None:
+        self._inner.reconnect_listener = callback
 
     def set_notification_handler(self, handler: Callable[[bytes], None]) -> None:
         self._inner.set_notification_handler(handler)

@@ -119,7 +119,7 @@ class RetryingChannel(Channel):
         self._policy = policy
         self._clock = clock
         self._handler = None
-        self.reconnect_listener: Optional[Callable[[], None]] = None
+        self._listener: Optional[Callable[[], None]] = None
         self.retries = 0
         self.reconnects = 0
         metrics = get_registry()
@@ -128,6 +128,7 @@ class RetryingChannel(Channel):
         self._m_reconnects = metrics.counter(
             "transport.reconnects", "channel connections re-established")
         self._inner = factory()
+        self._broken = False
 
     @property
     def can_push(self):  # type: ignore[override]
@@ -137,6 +138,18 @@ class RetryingChannel(Channel):
     def stats(self):
         return self._inner.stats
 
+    @property
+    def reconnect_listener(self) -> Optional[Callable[[], None]]:
+        """The poller-reset callback; installing it on the wrapper also
+        installs it on the inner channel, so a transport that reconnects
+        internally (TCP with its own retry policy) still fires it."""
+        return self._listener
+
+    @reconnect_listener.setter
+    def reconnect_listener(self, callback: Optional[Callable[[], None]]) -> None:
+        self._listener = callback
+        self._inner.reconnect_listener = callback
+
     def set_notification_handler(self, handler) -> None:
         self._handler = handler
         self._inner.set_notification_handler(handler)
@@ -145,10 +158,16 @@ class RetryingChannel(Channel):
         failures = 0
         while True:
             try:
+                if self._broken:
+                    # inside the try: the factory's own connect can fail
+                    # with a retryable error (server still down), which
+                    # must consume a retry and back off, not propagate
+                    self._reopen()
                 return self._inner.request(data)
             except TransportError as error:
                 if not is_retryable(error):
                     raise
+                self._broken = True
                 delay = self._policy.delay_for(failures)
                 if delay is None:
                     raise RetryExhausted(
@@ -158,7 +177,6 @@ class RetryingChannel(Channel):
                 self.retries += 1
                 self._m_retries.inc()
                 self._sleep(delay)
-                self._reopen()
 
     def _reopen(self) -> None:
         try:
@@ -166,12 +184,14 @@ class RetryingChannel(Channel):
         except TransportError:
             pass
         self._inner = self._factory()
+        self._broken = False
+        self._inner.reconnect_listener = self._listener
         if self._handler is not None and self._inner.can_push:
             self._inner.set_notification_handler(self._handler)
         self.reconnects += 1
         self._m_reconnects.inc()
-        if self.reconnect_listener is not None:
-            self.reconnect_listener()
+        if self._listener is not None:
+            self._listener()
 
     def _sleep(self, seconds: float) -> None:
         advance = getattr(self._clock, "advance", None)

@@ -2,9 +2,11 @@
 
 The wire protocol is trivially framed: every message (request or reply)
 is a 4-byte big-endian length followed by that many payload bytes.  A
-request frame carries a header — client id and a per-client sequence
-number — ahead of the message payload (so the server can attribute lock
-state and deduplicate retries); replies carry the payload alone.
+request frame carries a header — client id, a random per-channel session
+nonce, and a per-channel sequence number — ahead of the message payload
+(so the server can attribute lock state and deduplicate retries without
+confusing two channels that reuse a client id); replies carry the
+payload alone.
 
 The server runs one thread per connection, which is plenty for the scale
 of this reproduction and keeps the code obvious.  Push notifications are
@@ -26,6 +28,7 @@ Fault tolerance (see ``docs/ROBUSTNESS.md``):
 
 from __future__ import annotations
 
+import os
 import socket
 import struct
 import threading
@@ -99,6 +102,11 @@ class TCPChannel(Channel):
         self._sock: Optional[socket.socket] = None
         self._ever_connected = False
         self._closed = False
+        self._close_event = threading.Event()
+        # random session nonce: keys the server's reply-cache session, so
+        # a fresh channel reusing a client id never collides with the
+        # previous channel's sequence space
+        self._nonce = int.from_bytes(os.urandom(8), "big")
         self._next_seq = 0
         self.reconnects = 0
         self.retries = 0
@@ -115,7 +123,7 @@ class TCPChannel(Channel):
 
     # -- connection management ------------------------------------------------
 
-    def _connect(self) -> None:
+    def _connect(self) -> socket.socket:
         """(Re)establish the socket; raises typed, retryable errors."""
         started = time.perf_counter()
         try:
@@ -138,22 +146,29 @@ class TCPChannel(Channel):
             if self.reconnect_listener is not None:
                 self.reconnect_listener()
         self._ever_connected = True
+        return sock
 
     def _break(self) -> None:
         """Abandon the connection: a failed exchange may have left an
-        unread reply in flight, so the socket must never be reused."""
-        if self._sock is not None:
+        unread reply in flight, so the socket must never be reused.
+
+        Deliberately lock-free (``request()`` holds ``self._lock`` for
+        its whole retry loop): closing the socket out from under a
+        blocked send/recv makes it fail with ``OSError``, which the
+        retry loop turns into a typed error.
+        """
+        sock, self._sock = self._sock, None
+        if sock is not None:
             try:
-                self._sock.close()
+                sock.close()
             except OSError:
                 pass
-            self._sock = None
 
     def break_connection(self) -> None:
         """Drop the connection (fault-injection hook); the channel
-        reconnects on its next request."""
-        with self._lock:
-            self._break()
+        reconnects on its next request.  Can sever an in-flight
+        request from another thread."""
+        self._break()
 
     # -- requests -------------------------------------------------------------
 
@@ -165,15 +180,19 @@ class TCPChannel(Channel):
                 raise TransportError("channel is closed")
             self._next_seq += 1
             frame = (_LEN.pack(len(self._client_id)) + self._client_id
-                     + _SEQ.pack(self._next_seq) + bytes(data))
+                     + _SEQ.pack(self._nonce) + _SEQ.pack(self._next_seq)
+                     + bytes(data))
             failures = 0
             while True:
+                if self._closed:
+                    raise TransportError("channel is closed")
                 started = time.perf_counter()
                 try:
-                    if self._sock is None:
-                        self._connect()
-                    _send_frame(self._sock, frame)
-                    reply = _recv_frame(self._sock)
+                    sock = self._sock
+                    if sock is None:
+                        sock = self._connect()
+                    _send_frame(sock, frame)
+                    reply = _recv_frame(sock)
                     if reply is None:
                         raise TransportDisconnected("server closed the connection")
                 except socket.timeout as exc:
@@ -196,6 +215,8 @@ class TCPChannel(Channel):
                     return reply
                 self._break()
                 self.last_error = str(error)
+                if self._closed:
+                    raise TransportError("channel is closed") from error
                 delay = self._retry.delay_for(failures) if self._retry else None
                 if delay is None:
                     if self._retry is not None and failures:
@@ -206,8 +227,10 @@ class TCPChannel(Channel):
                 failures += 1
                 self.retries += 1
                 self._m_retries.inc()
-                if delay > 0:
-                    time.sleep(delay)
+                # waiting on the close event (not time.sleep) lets a
+                # concurrent close() abort the backoff immediately
+                if delay > 0 and self._close_event.wait(delay):
+                    raise TransportError("channel is closed") from error
 
     def health(self) -> dict:
         state = super().health()
@@ -217,14 +240,19 @@ class TCPChannel(Channel):
             "reconnects": self.reconnects,
             "retries": self.retries,
             "last_error": self.last_error,
+            "session_nonce": self._nonce,
             "next_seq": self._next_seq,
         })
         return state
 
     def close(self) -> None:
-        with self._lock:
-            self._closed = True
-            self._break()
+        # lock-free on purpose: request() holds self._lock across its
+        # whole retry loop (backoff sleeps included), so close() must
+        # interrupt from outside — the event aborts a pending backoff
+        # and breaking the socket fails a blocked send/recv
+        self._closed = True
+        self._close_event.set()
+        self._break()
 
 
 class TCPServerTransport:
@@ -321,19 +349,21 @@ class TCPServerTransport:
         """Decode one request frame and dispatch it.
 
         A malformed header (short client-id prefix, bad UTF-8, missing
-        sequence number) or a dispatcher exception must not kill the
-        connection thread: both are answered with an encoded ErrorReply
-        so the client sees a typed failure and the connection survives.
+        nonce or sequence number) or a dispatcher exception must not kill
+        the connection thread: both are answered with an encoded
+        ErrorReply so the client sees a typed failure and the connection
+        survives.
         """
         try:
             (id_length,) = _LEN.unpack_from(frame, 0)
-            header_end = _LEN.size + id_length + _SEQ.size
+            header_end = _LEN.size + id_length + 2 * _SEQ.size
             if header_end > len(frame):
                 raise TransportError(
                     f"request header claims {id_length} id bytes but the "
                     f"frame holds {len(frame)}")
             client_id = frame[_LEN.size:_LEN.size + id_length].decode("utf-8")
-            (seq,) = _SEQ.unpack_from(frame, _LEN.size + id_length)
+            (nonce,) = _SEQ.unpack_from(frame, _LEN.size + id_length)
+            (seq,) = _SEQ.unpack_from(frame, _LEN.size + id_length + _SEQ.size)
             payload = frame[header_end:]
         except (struct.error, UnicodeDecodeError, TransportError) as exc:
             self._m_frame_errors.inc()
@@ -343,7 +373,8 @@ class TCPServerTransport:
         try:
             reply = self.reply_cache.execute(
                 client_id, seq,
-                lambda: self._dispatcher.dispatch(client_id, payload))
+                lambda: self._dispatcher.dispatch(client_id, payload),
+                nonce=nonce)
         except Exception as exc:  # noqa: BLE001 — any dispatcher bug
             self._m_dispatch_errors.inc()
             reply = encode_message(ErrorReply(f"request failed: {exc}"))

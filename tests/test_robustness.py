@@ -6,6 +6,7 @@ runs are reproducible; changing the seed explores new interleavings.
 
 import os
 import threading
+import time
 
 import pytest
 
@@ -36,6 +37,7 @@ from repro.transport import (
     TCPServerTransport,
     is_retryable,
 )
+from repro.obs.metrics import get_registry
 from repro.types import INT, ArrayDescriptor
 from repro.wire.messages import FetchRequest
 
@@ -155,6 +157,25 @@ class TestFaultInjection:
         plan = dict(drop_request=0.3, drop_reply=0.1, disconnect=0.1)
         assert run(FaultPlan(seed=SEED, **plan)) == run(FaultPlan(seed=SEED, **plan))
 
+    def test_reconnect_listener_reaches_inner_channel(self):
+        """The client installs its poller-reset callback on the outermost
+        wrapper; the inner TCP channel is what actually reconnects, so
+        the wrapper must delegate the listener, not shadow it."""
+        transport = TCPServerTransport(EchoServer())
+        inner = TCPChannel("127.0.0.1", transport.port, "c", timeout=2.0)
+        channel = FaultInjectingChannel(inner, FaultPlan(seed=SEED))
+        fired = []
+        channel.reconnect_listener = lambda: fired.append(1)
+        try:
+            assert inner.reconnect_listener is not None
+            channel.request(b"a")
+            inner.break_connection()
+            channel.request(b"b")  # the inner channel reconnects internally
+            assert fired == [1]
+        finally:
+            channel.close()
+            transport.close()
+
     def test_delay_advances_virtual_clock(self):
         clock = VirtualClock()
         hub = InProcHub()
@@ -229,6 +250,38 @@ class TestRetryingChannel:
             channel.request(b"x")
         assert len(fired) == channel.reconnects > 0
 
+    def test_reopen_connect_failure_is_retried(self):
+        """While the server is down, the factory's own connect fails too;
+        each refusal must consume a retry and back off — the restart is
+        ridden out inside request(), not surfaced to the caller."""
+        dispatcher = EchoServer()
+        transport = TCPServerTransport(dispatcher)
+        port = transport.port
+        policy = RetryPolicy(max_attempts=30, base_delay=0.05, max_delay=0.1,
+                             jitter=0.0)
+        channel = RetryingChannel(
+            lambda: TCPChannel("127.0.0.1", port, "c", timeout=1.0), policy)
+        restarted = []
+        try:
+            assert channel.request(b"one") == b"echo:one"
+            cache = transport.reply_cache
+            transport.close()
+
+            def restart():
+                time.sleep(0.3)
+                restarted.append(TCPServerTransport(
+                    dispatcher, port=port, reply_cache=cache))
+
+            thread = threading.Thread(target=restart)
+            thread.start()
+            assert channel.request(b"two") == b"echo:two"
+            thread.join()
+            assert channel.reconnects >= 1
+        finally:
+            channel.close()
+            for late in restarted:
+                late.close()
+
 
 # ---------------------------------------------------------------------------
 # reply cache (sequence-number deduplication)
@@ -275,6 +328,38 @@ class TestReplyCache:
         for i in range(10):
             cache.execute(f"c{i}", 1, lambda: b"r")
         assert len(cache) == 4
+
+    def test_nonce_separates_sessions(self):
+        cache = ReplyCache()
+        assert cache.execute("c", 1, lambda: b"old", nonce=1) == b"old"
+        # a fresh channel reusing the client id restarts at seq 1: with
+        # its own nonce that is a new session, not a replay
+        assert cache.execute("c", 1, lambda: b"new", nonce=2) == b"new"
+        # and the original session still deduplicates its own retries
+        assert cache.execute("c", 1, lambda: b"boom", nonce=1) == b"old"
+
+    def test_eviction_is_observable(self):
+        evictions = get_registry().counter("transport.server.dedup_evictions")
+        before = evictions.value
+        cache = ReplyCache(max_clients=2)
+        for i in range(5):
+            cache.execute(f"c{i}", 1, lambda: b"r")
+        assert len(cache) == 2
+        assert evictions.value - before == 3
+
+    def test_busy_session_is_not_evicted(self):
+        cache = ReplyCache(max_clients=1)
+
+        def dispatch():
+            # while this runs, the "busy" session's lock is held; filling
+            # the cache from another client must evict the newcomer, not
+            # the session that is mid-dispatch
+            cache.execute("other", 1, lambda: b"x")
+            return b"r"
+
+        assert cache.execute("busy", 1, dispatch) == b"r"
+        # the busy session survived eviction: its retry still replays
+        assert cache.execute("busy", 1, lambda: b"boom") == b"r"
 
     def test_dispatch_error_is_not_cached(self):
         cache = ReplyCache()
@@ -327,6 +412,58 @@ class TestTCPRetry:
             finally:
                 channel.close()
         finally:
+            transport.close()
+
+    def test_fresh_channel_reusing_client_id_is_not_replayed(self):
+        """repro-stats hardcodes client_id='stats-cli': a second run must
+        get its own reply, not the first run's cached one — the random
+        session nonce keeps the two channels' sequence spaces apart."""
+        dispatcher = EchoServer()
+        transport = TCPServerTransport(dispatcher)
+        try:
+            first = TCPChannel("127.0.0.1", transport.port, "stats-cli",
+                               timeout=2.0)
+            assert first.request(b"one") == b"echo:one"
+            first.close()
+            second = TCPChannel("127.0.0.1", transport.port, "stats-cli",
+                                timeout=2.0)
+            try:
+                assert second.request(b"two") == b"echo:two"
+                assert dispatcher.dispatched == 2
+            finally:
+                second.close()
+        finally:
+            transport.close()
+
+    def test_close_interrupts_retry_backoff(self):
+        """close() must abort a pending backoff at once, not wait out the
+        schedule (request() holds the channel lock the whole time)."""
+        transport = TCPServerTransport(EchoServer())
+        policy = RetryPolicy(max_attempts=50, base_delay=30.0, jitter=0.0)
+        channel = TCPChannel("127.0.0.1", transport.port, "c", timeout=0.5,
+                             retry=policy)
+        errors = []
+        try:
+            assert channel.request(b"one") == b"echo:one"
+            transport.close()
+
+            def worker():
+                try:
+                    channel.request(b"two")
+                except TransportError as exc:
+                    errors.append(exc)
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            time.sleep(0.3)  # let the attempt fail and enter the 30 s backoff
+            started = time.perf_counter()
+            channel.close()
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+            assert time.perf_counter() - started < 5.0
+            assert errors and "closed" in str(errors[0])
+        finally:
+            channel.close()
             transport.close()
 
     def test_break_connection_recovers_without_policy(self):

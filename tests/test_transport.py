@@ -244,7 +244,7 @@ class TestTCPFaultPaths:
             assert isinstance(reply, ErrorReply)
             assert "malformed" in reply.message
             # same connection, now a valid frame: the link must still work
-            good = _LEN.pack(1) + b"c" + _SEQ.pack(1) + b"ping"
+            good = _LEN.pack(1) + b"c" + _SEQ.pack(7) + _SEQ.pack(1) + b"ping"
             assert _raw_exchange(sock, good) == b"echo:ping"
             assert dispatcher.seen == [("c", b"ping")]
         finally:
@@ -255,7 +255,7 @@ class TestTCPFaultPaths:
         sock = socket.create_connection(("127.0.0.1", transport.port),
                                         timeout=2.0)
         try:
-            frame = _LEN.pack(2) + b"\xff\xfe" + _SEQ.pack(1) + b"x"
+            frame = _LEN.pack(2) + b"\xff\xfe" + _SEQ.pack(7) + _SEQ.pack(1) + b"x"
             reply = decode_message(_raw_exchange(sock, frame))
             assert isinstance(reply, ErrorReply)
             assert dispatcher.seen == []
