@@ -12,10 +12,21 @@ The same per-client view records subscriptions for the notification half
 of the adaptive polling/notification protocol: after every new version the
 server evaluates each subscriber's policy and pushes an invalidation to
 those whose bound broke.
+
+Thread-safety: requests on one segment run under that segment's
+reader-writer lock, so several *validations* (read-side) execute at once.
+Each one only mutates its own client's view, but view creation inserts
+into the shared table, and the write-side paths (`on_new_version`,
+`stale_subscribers`) iterate it — a plain dict would intermittently raise
+"dictionary changed size during iteration".  A small internal lock guards
+table membership and iteration snapshots; per-view field updates need no
+lock because a view is only written by its own client's requests (read
+side) or under the segment write lock (write side).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -41,19 +52,28 @@ class SegmentCoherence:
 
     def __init__(self):
         self.views: Dict[str, ClientView] = {}
+        #: guards table membership and iteration (see module docstring)
+        self._lock = threading.Lock()
 
     def view(self, client_id: str) -> ClientView:
         view = self.views.get(client_id)
         if view is None:
-            view = ClientView(client_id)
-            self.views[client_id] = view
+            with self._lock:
+                view = self.views.get(client_id)
+                if view is None:
+                    view = ClientView(client_id)
+                    self.views[client_id] = view
         return view
+
+    def _snapshot(self) -> list:
+        with self._lock:
+            return list(self.views.values())
 
     # -- events ------------------------------------------------------------------
 
     def on_new_version(self, modified_units: int) -> None:
         """A write committed: advance every client's conservative counter."""
-        for view in self.views.values():
+        for view in self._snapshot():
             view.modified_units += modified_units
 
     def on_client_updated(self, client_id: str, version: int,
@@ -71,7 +91,11 @@ class SegmentCoherence:
         view.notified = False
 
     def drop_client(self, client_id: str) -> None:
-        self.views.pop(client_id, None)
+        with self._lock:
+            self.views.pop(client_id, None)
+
+    def subscriber_count(self) -> int:
+        return sum(1 for view in self._snapshot() if view.subscribed)
 
     # -- the decision ----------------------------------------------------------------
 
@@ -103,7 +127,7 @@ class SegmentCoherence:
         """Subscribed clients whose bound just broke and who have not been
         notified yet.  ``superseded_time_of(version)`` resolves times."""
         broken = []
-        for view in self.views.values():
+        for view in self._snapshot():
             if not view.subscribed or view.notified:
                 continue
             if self.is_stale(view, current_version, total_units, now,

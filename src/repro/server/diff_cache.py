@@ -7,10 +7,18 @@ pair without re-collecting — the common case being one client's write diff
 (a = b-1) forwarded verbatim to every other full-coherence reader.
 
 The cache is LRU-bounded by total payload bytes.
+
+The cache is shared by every segment the server hosts, and with
+per-segment dispatch locking (see ``repro.server.server``) requests on
+*different* segments hit it concurrently — so it carries its own lock.
+All operations are short (dict lookups and byte-count arithmetic; payloads
+are never copied), so one plain mutex is cheap even on the read path, and
+the ``hits``/``misses`` tallies stay exact instead of racing.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional, Tuple
 
@@ -18,55 +26,74 @@ Key = Tuple[str, int, int]  # (segment, from_version, to_version)
 
 
 class DiffCache:
-    """LRU cache of encoded segment diffs, bounded by byte budget."""
+    """LRU cache of encoded segment diffs, bounded by byte budget.
+
+    Thread-safe: callers may ``get``/``put``/``invalidate_segment``
+    concurrently from any number of dispatch threads.
+    """
 
     def __init__(self, capacity_bytes: int = 16 * 1024 * 1024):
         if capacity_bytes < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity_bytes = capacity_bytes
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[Key, bytes]" = OrderedDict()
         self._bytes = 0
-        self.hits = 0
-        self.misses = 0
+        self._hits = 0
+        self._misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def used_bytes(self) -> int:
-        return self._bytes
+        with self._lock:
+            return self._bytes
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
 
     def get(self, segment: str, from_version: int, to_version: int) -> Optional[bytes]:
         key = (segment, from_version, to_version)
-        encoded = self._entries.get(key)
-        if encoded is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return encoded
+        with self._lock:
+            encoded = self._entries.get(key)
+            if encoded is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return encoded
 
     def put(self, segment: str, from_version: int, to_version: int,
             encoded: bytes) -> None:
         if len(encoded) > self.capacity_bytes:
             return  # would evict everything for one oversized entry
         key = (segment, from_version, to_version)
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._bytes -= len(old)
-        self._entries[key] = encoded
-        self._bytes += len(encoded)
-        while self._bytes > self.capacity_bytes:
-            _, evicted = self._entries.popitem(last=False)
-            self._bytes -= len(evicted)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+            self._entries[key] = encoded
+            self._bytes += len(encoded)
+            while self._bytes > self.capacity_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= len(evicted)
 
     def invalidate_segment(self, segment: str) -> None:
         """Drop every entry for one segment (used on checkpoint restore)."""
-        stale = [key for key in self._entries if key[0] == segment]
-        for key in stale:
-            self._bytes -= len(self._entries.pop(key))
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == segment]
+            for key in stale:
+                self._bytes -= len(self._entries.pop(key))
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0

@@ -72,7 +72,18 @@ class ServerBlock:
 
 
 class ServerSegment:
-    """One segment's authoritative copy plus all server bookkeeping."""
+    """One segment's authoritative copy plus all server bookkeeping.
+
+    Not internally synchronized.  The server serializes access through the
+    per-segment reader-writer lock: every mutator (``apply_client_diff``,
+    ``install_types``, ``compact``) runs under the segment *write* lock,
+    and the read-side entry points (``build_update``, ``build_skeleton``,
+    ``read_block_wire``, the size properties) may run concurrently with
+    each other under the *read* lock.  The split is sound because MIP
+    interning (``_mip_to_slot``, the only mutation beyond the obvious
+    ones) happens exclusively while *applying* diffs — collection only
+    resolves existing slots through ``_slot_to_mip``, which is read-only.
+    """
 
     def __init__(self, name: str, heap: Optional[Heap] = None):
         self.name = name
@@ -139,21 +150,65 @@ class ServerSegment:
                                       else self.version, serial))
 
     def apply_client_diff(self, diff: SegmentDiff, now: float = 0.0) -> int:
-        """Apply a write-release diff; returns the new segment version."""
+        """Apply a write-release diff; returns the new segment version.
+
+        A diff that fails mid-apply (corrupt payload, unknown serial) must
+        not leave the segment unserviceable: the structural rollback below
+        removes the version marker and any blocks the failed apply created,
+        so the *next* release applies cleanly at the same version number.
+        The cheap structural errors are detected up front, before any
+        mutation, which keeps the common corruption cases side-effect free;
+        only data-level failures deep inside a run reach the rollback path.
+        """
         if diff.from_version != self.version:
             raise ServerError(
                 f"segment {self.name!r}: diff against version {diff.from_version}, "
                 f"server at {self.version} (writer lock protocol violated)")
+        self._validate_client_diff(diff)
         new_version = self.version + 1
         self.install_types(diff.new_types, at_version=new_version)
         self.version_list.append_marker(new_version)
-        for block_diff in diff.block_diffs:
-            self._apply_block_diff(block_diff, new_version)
+        created = []
+        try:
+            for block_diff in diff.block_diffs:
+                self._apply_block_diff(block_diff, new_version, created)
+        except Exception:
+            self.version_list.remove_marker(new_version)
+            for serial in created:
+                block = self.blocks.pop(serial, None)
+                if block is not None:
+                    self.heap.free(block.info)
+                    self.version_list.remove(serial)
+            raise
         self.version = new_version
         self.version_times[new_version] = now
         return new_version
 
-    def _apply_block_diff(self, block_diff: BlockDiff, new_version: int) -> None:
+    def _validate_client_diff(self, diff: SegmentDiff) -> None:
+        """Reject structurally impossible diffs before mutating anything."""
+        new_types = {serial for serial, _ in diff.new_types}
+        live = set(self.blocks)
+        for block_diff in diff.block_diffs:
+            serial = block_diff.serial
+            if block_diff.freed:
+                if serial not in live:
+                    raise ServerError(
+                        f"segment {self.name!r}: free of unknown block {serial}")
+                live.discard(serial)
+                continue
+            if serial not in live:
+                if not block_diff.is_new:
+                    raise ServerError(
+                        f"segment {self.name!r}: diff for unknown block {serial}")
+                if (block_diff.type_serial not in new_types
+                        and not self.registry.contains_serial(block_diff.type_serial)):
+                    raise ServerError(
+                        f"segment {self.name!r}: block {serial} uses unknown "
+                        f"type serial {block_diff.type_serial}")
+                live.add(serial)
+
+    def _apply_block_diff(self, block_diff: BlockDiff, new_version: int,
+                          created: Optional[list] = None) -> None:
         serial = block_diff.serial
         if block_diff.freed:
             block = self.blocks.pop(serial, None)
@@ -174,6 +229,8 @@ class ServerSegment:
                                       version=new_version)
             block = ServerBlock(info, descriptor.prim_count, new_version)
             self.blocks[serial] = block
+            if created is not None:
+                created.append(serial)
         layout = flat_layout(block.info.descriptor, SERVER_ARCH)
         from repro.wire.translate import apply_runs
 

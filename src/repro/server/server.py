@@ -9,13 +9,25 @@ and periodically checkpoints segments to persistent storage.
 The server is a :class:`~repro.transport.Dispatcher`: it consumes encoded
 request messages and produces encoded replies, so the same object serves
 in-process hubs and TCP transports unchanged.
+
+Concurrency model (see the "Locking model" section of docs/PROTOCOL.md):
+``dispatch`` is fully thread-safe and holds **no global lock**.  A short
+table lock guards the segment dictionary; each segment carries its own
+writer-preferring :class:`~repro.util.rwlock.ReaderWriterLock`, so
+fetches and read-lock validations on one segment run concurrently with
+each other and with all traffic on other segments, while write acquires,
+releases (diff application), and deletes serialize only against their own
+segment.  Invalidation pushes happen *after* the segment lock is
+released, so a slow subscriber link never stalls unrelated requests.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -27,6 +39,7 @@ from repro.server.diff_cache import DiffCache
 from repro.server.segment_state import ServerSegment
 from repro.transport.base import Dispatcher, NotificationSink, NullSink
 from repro.util.clock import Clock, WallClock
+from repro.util.rwlock import ReaderWriterLock
 from repro.wire import SegmentDiff, encode_segment_diff
 from repro.wire.messages import (
     LOCK_READ,
@@ -52,6 +65,8 @@ from repro.wire.messages import (
     encode_message,
 )
 
+_log = logging.getLogger(__name__)
+
 
 class _DualCounter:
     """A per-server tally that also feeds a process-wide aggregate.
@@ -59,17 +74,21 @@ class _DualCounter:
     Several servers can share one process (and one registry); experiments
     assert on a *specific* server's counts, so those stay local, while
     every increment also lands in the registry counter that snapshots and
-    ``GetStats`` export.
+    ``GetStats`` export.  Increments come from concurrent dispatch
+    threads, so the local tally takes a lock too — experiments assert
+    exact values.
     """
 
-    __slots__ = ("local", "aggregate")
+    __slots__ = ("local", "aggregate", "_lock")
 
     def __init__(self, aggregate):
         self.local = 0
         self.aggregate = aggregate
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.local += amount
+        with self._lock:
+            self.local += amount
         self.aggregate.inc(amount)
 
 
@@ -130,10 +149,26 @@ class _SegmentEntry:
     #: server-clock instant the writer's lease lapses; meaningless when
     #: ``writer`` is None
     writer_expires: float = 0.0
+    #: serializes server threads touching this segment: handlers that only
+    #: read segment state (fetch, read validation) hold the read side,
+    #: mutators (write acquire, release, delete) hold the write side
+    lock: ReaderWriterLock = field(default_factory=ReaderWriterLock)
+    #: leaf lock for the (writer, writer_expires) pair — lease renewal and
+    #: lazy expiry run on the *read* side too, where segment readers
+    #: overlap; never acquire any other lock while holding it
+    meta: threading.Lock = field(default_factory=threading.Lock)
+    #: set (under the write lock) when the segment is removed from the
+    #: table; a request that looked the entry up just before the delete
+    #: finds the flag after acquiring the lock and fails as "no segment"
+    deleted: bool = False
 
 
 class InterWeaveServer(Dispatcher):
-    """Serves a set of segments to InterWeave clients."""
+    """Serves a set of segments to InterWeave clients.
+
+    ``dispatch`` may be called concurrently from any number of transport
+    threads; see the module docstring for the locking model.
+    """
 
     def __init__(self, name: str = "server",
                  sink: Optional[NotificationSink] = None,
@@ -159,16 +194,67 @@ class InterWeaveServer(Dispatcher):
             "server.requests", "protocol requests dispatched")
         self._m_errors = self.metrics.counter(
             "server.errors", "requests answered with ErrorReply")
+        self._m_internal_errors = self.metrics.counter(
+            "server.internal_errors",
+            "non-protocol exceptions caught in dispatch (server bugs, "
+            "payloads the codec could not type)")
         self._m_dispatch = self.metrics.histogram(
             "server.dispatch_seconds", help="request handling latency")
         self._m_segments = self.metrics.gauge(
             "server.segments", "segments currently served")
+        self._m_table_wait = self.metrics.histogram(
+            "server.lock.table_wait_seconds",
+            help="time spent waiting for the segment-table lock")
+        self._m_read_wait = self.metrics.histogram(
+            "server.lock.read_wait_seconds",
+            help="time spent waiting for a per-segment read lock")
+        self._m_write_wait = self.metrics.histogram(
+            "server.lock.write_wait_seconds",
+            help="time spent waiting for a per-segment write lock")
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
         #: metadata compaction cadence (versions) and history depth
         self.compact_every = 256
         self.compact_keep_back = 128
-        self._lock = threading.RLock()
+        #: guards the ``segments`` table only — held for dict operations,
+        #: never while acquiring a segment lock or doing segment work
+        self._table_lock = threading.Lock()
+
+    # -- locking helpers ----------------------------------------------------------
+
+    @contextmanager
+    def _table(self):
+        started = time.perf_counter()
+        self._table_lock.acquire()
+        self._m_table_wait.observe(time.perf_counter() - started)
+        try:
+            yield
+        finally:
+            self._table_lock.release()
+
+    @contextmanager
+    def _read_locked(self, entry: _SegmentEntry, require_live: bool = True):
+        started = time.perf_counter()
+        entry.lock.acquire_read()
+        self._m_read_wait.observe(time.perf_counter() - started)
+        try:
+            if require_live and entry.deleted:
+                raise ServerError(f"no segment named {entry.state.name!r}")
+            yield
+        finally:
+            entry.lock.release_read()
+
+    @contextmanager
+    def _write_locked(self, entry: _SegmentEntry, require_live: bool = True):
+        started = time.perf_counter()
+        entry.lock.acquire_write()
+        self._m_write_wait.observe(time.perf_counter() - started)
+        try:
+            if require_live and entry.deleted:
+                raise ServerError(f"no segment named {entry.state.name!r}")
+            yield
+        finally:
+            entry.lock.release_write()
 
     # -- dispatcher entry point ---------------------------------------------------
 
@@ -177,11 +263,21 @@ class InterWeaveServer(Dispatcher):
         self._m_requests.inc()
         try:
             request = decode_message(data)
-            with self._lock:
-                reply = self._handle(client_id, request)
+            reply = self._handle(client_id, request)
         except InterWeaveError as exc:
             self._m_errors.inc()
             reply = ErrorReply(str(exc))
+        except Exception as exc:  # noqa: BLE001 — must answer, not unwind
+            # A corrupt payload the codec could not type, or a server-side
+            # bug: either way the client must receive a typed ErrorReply on
+            # every transport (an in-process channel would otherwise leak
+            # the raw exception straight out of ``request()``).
+            self._m_errors.inc()
+            self._m_internal_errors.inc()
+            _log.exception("unhandled exception dispatching request from %r",
+                           client_id)
+            reply = ErrorReply(
+                f"internal server error: {type(exc).__name__}: {exc}")
         self._m_dispatch.observe(time.perf_counter() - started)
         return encode_message(reply)
 
@@ -204,44 +300,59 @@ class InterWeaveServer(Dispatcher):
 
     # -- segment management -----------------------------------------------------------
 
-    def _entry(self, segment_name: str, create: bool = False) -> _SegmentEntry:
-        entry = self.segments.get(segment_name)
+    def _entry(self, segment_name: str) -> _SegmentEntry:
+        with self._table():
+            entry = self.segments.get(segment_name)
         if entry is None:
-            if not create:
-                raise ServerError(f"no segment named {segment_name!r}")
-            entry = _SegmentEntry(ServerSegment(segment_name))
-            self.segments[segment_name] = entry
-            self._m_segments.set(len(self.segments))
+            raise ServerError(f"no segment named {segment_name!r}")
         return entry
 
     def add_segment(self, state: ServerSegment) -> None:
         """Install a pre-built segment (e.g. restored from a checkpoint)."""
-        if state.name in self.segments:
-            raise ServerError(f"segment {state.name!r} already exists")
-        self.segments[state.name] = _SegmentEntry(state)
-        self._m_segments.set(len(self.segments))
+        with self._table():
+            if state.name in self.segments:
+                raise ServerError(f"segment {state.name!r} already exists")
+            self.segments[state.name] = _SegmentEntry(state)
+            self._m_segments.set(len(self.segments))
         self.diff_cache.invalidate_segment(state.name)
 
     def _delete_segment(self, client_id: str,
                         request: DeleteSegmentRequest) -> Message:
-        entry = self.segments.get(request.segment)
+        with self._table():
+            entry = self.segments.get(request.segment)
         if entry is None:
             return DeleteSegmentReply(deleted=False)
-        self._lease_touch(entry, client_id)
-        if entry.writer is not None and entry.writer != client_id:
-            raise ServerError(
-                f"segment {request.segment!r} is write-locked by another client")
-        del self.segments[request.segment]
-        self._m_segments.set(len(self.segments))
+        with self._write_locked(entry, require_live=False):
+            if entry.deleted:
+                # lost the race with another delete of the same segment
+                return DeleteSegmentReply(deleted=False)
+            self._lease_touch(entry, client_id)
+            with entry.meta:
+                blocked = (entry.writer is not None
+                           and entry.writer != client_id)
+            if blocked:
+                raise ServerError(
+                    f"segment {request.segment!r} is write-locked by another client")
+            entry.deleted = True
+            with self._table():
+                if self.segments.get(request.segment) is entry:
+                    del self.segments[request.segment]
+                    self._m_segments.set(len(self.segments))
         self.diff_cache.invalidate_segment(request.segment)
         return DeleteSegmentReply(deleted=True)
 
     def _open_segment(self, request: OpenSegmentRequest) -> Message:
-        existed = request.segment in self.segments
-        if not existed and not request.create:
-            raise ServerError(f"no segment named {request.segment!r}")
-        entry = self._entry(request.segment, create=True)
-        return OpenSegmentReply(existed=existed, version=entry.state.version)
+        with self._table():
+            entry = self.segments.get(request.segment)
+            existed = entry is not None
+            if entry is None:
+                if not request.create:
+                    raise ServerError(f"no segment named {request.segment!r}")
+                entry = _SegmentEntry(ServerSegment(request.segment))
+                self.segments[request.segment] = entry
+                self._m_segments.set(len(self.segments))
+        with self._read_locked(entry):
+            return OpenSegmentReply(existed=existed, version=entry.state.version)
 
     # -- locking --------------------------------------------------------------------
 
@@ -253,44 +364,69 @@ class InterWeaveServer(Dispatcher):
         current writer restarts the lease clock.  Expiry is enforced
         lazily — the first request from *another* client after the lease
         lapses reclaims the lock, so a crashed writer cannot wedge the
-        segment forever.
+        segment forever.  Runs under the segment read *or* write lock;
+        ``entry.meta`` makes the check-and-reclaim atomic when several
+        readers race it.
         """
-        if entry.writer is None:
-            return
-        if entry.writer == client_id:
-            entry.writer_expires = self.clock.now() + self.lease_duration
-        elif self.clock.now() >= entry.writer_expires:
+        with entry.meta:
+            if entry.writer is None:
+                return
+            if entry.writer == client_id:
+                entry.writer_expires = self.clock.now() + self.lease_duration
+                return
+            if self.clock.now() < entry.writer_expires:
+                return
             entry.writer = None
-            self.stats.lease_expiries_counter.inc()
+        self.stats.lease_expiries_counter.inc()
 
     def _acquire(self, client_id: str, request: LockAcquireRequest) -> Message:
         # locks never create segments: opening is explicit, and a deleted
         # segment must not resurrect from an orphaned cache's validation
         entry = self._entry(request.segment)
+        policy = CoherencePolicy(request.coherence_kind, request.coherence_param)
+        if request.mode == LOCK_WRITE:
+            with self._write_locked(entry):
+                return self._acquire_write(entry, client_id, request, policy)
+        with self._read_locked(entry):
+            return self._acquire_read(entry, client_id, request, policy)
+
+    def _acquire_write(self, entry: _SegmentEntry, client_id: str,
+                       request: LockAcquireRequest,
+                       policy: CoherencePolicy) -> Message:
         self._lease_touch(entry, client_id)
         state = entry.state
-        policy = CoherencePolicy(request.coherence_kind, request.coherence_param)
-        lease_remaining = 0.0
-        if request.mode == LOCK_WRITE:
-            if entry.writer is not None and entry.writer != client_id:
-                self.stats.lock_denials_counter.inc()
-                return LockAcquireReply(granted=False, version=state.version)
-            entry.writer = client_id
-            entry.writer_expires = self.clock.now() + self.lease_duration
-            lease_remaining = self.lease_duration
-            # a writer must build on the current version, regardless of its
-            # coherence model for reads
-            diff = self._update_for(state, request.client_version)
-        else:
-            diff = None
-            if self._is_stale(entry, client_id, request, policy):
-                diff = self._update_for(state, request.client_version)
+        with entry.meta:
+            denied = entry.writer is not None and entry.writer != client_id
+            if not denied:
+                entry.writer = client_id
+                entry.writer_expires = self.clock.now() + self.lease_duration
+        if denied:
+            self.stats.lock_denials_counter.inc()
+            return LockAcquireReply(granted=False, version=state.version)
+        # a writer must build on the current version, regardless of its
+        # coherence model for reads
+        diff = self._update_for(state, request.client_version)
         if diff is not None:
             entry.coherence.on_client_updated(client_id, state.version, policy)
         else:
             self._sync_view(entry, client_id, request, policy)
         return LockAcquireReply(granted=True, version=state.version,
-                                lease_remaining=lease_remaining, diff=diff)
+                                lease_remaining=self.lease_duration, diff=diff)
+
+    def _acquire_read(self, entry: _SegmentEntry, client_id: str,
+                      request: LockAcquireRequest,
+                      policy: CoherencePolicy) -> Message:
+        self._lease_touch(entry, client_id)
+        state = entry.state
+        diff = None
+        if self._is_stale(entry, client_id, request, policy):
+            diff = self._update_for(state, request.client_version)
+        if diff is not None:
+            entry.coherence.on_client_updated(client_id, state.version, policy)
+        else:
+            self._sync_view(entry, client_id, request, policy)
+        return LockAcquireReply(granted=True, version=state.version,
+                                lease_remaining=0.0, diff=diff)
 
     def _sync_view(self, entry: _SegmentEntry, client_id: str,
                    request: LockAcquireRequest, policy: CoherencePolicy) -> None:
@@ -317,59 +453,71 @@ class InterWeaveServer(Dispatcher):
 
     def _release(self, client_id: str, request: LockReleaseRequest) -> Message:
         entry = self._entry(request.segment)
-        self._lease_touch(entry, client_id)
-        state = entry.state
-        if request.mode == LOCK_READ:
-            return LockReleaseReply(version=state.version)
-        if entry.writer != client_id:
-            # either never held, or the lease lapsed and another client's
-            # request reclaimed the lock — applying the diff now could
-            # overwrite a successor writer's changes, so it is rejected
-            raise ServerError(
-                f"client {client_id!r} released a write lock it does not hold "
-                f"(never acquired, or its lease expired and was reclaimed)")
-        entry.writer = None
-        if request.diff is None or (not request.diff.block_diffs
-                                    and not request.diff.new_types):
-            return LockReleaseReply(version=state.version)
-        diff = request.diff
-        modified_units = sum(bd.covered_units() for bd in diff.block_diffs)
-        new_version = state.apply_client_diff(diff, now=self.clock.now())
-        self.stats.diffs_applied_counter.inc()
-        entry.coherence.on_new_version(modified_units)
-        entry.coherence.on_client_updated(client_id, new_version,
-                                          entry.coherence.view(client_id).policy)
-        # cache the received diff for forwarding to other clients
-        for block_diff in diff.block_diffs:
-            block_diff.version = new_version
-        diff.to_version = new_version
-        self.diff_cache.put(state.name, diff.from_version, new_version,
-                            encode_segment_diff(diff))
-        self._notify_stale_subscribers(entry)
-        self._maybe_checkpoint(state)
-        if new_version % self.compact_every == 0:
-            state.compact(keep_back=self.compact_keep_back)
-        return LockReleaseReply(version=new_version)
+        pending = None
+        with self._write_locked(entry):
+            self._lease_touch(entry, client_id)
+            state = entry.state
+            if request.mode == LOCK_READ:
+                return LockReleaseReply(version=state.version)
+            with entry.meta:
+                holder = entry.writer
+            if holder != client_id:
+                # either never held, or the lease lapsed and another client's
+                # request reclaimed the lock — applying the diff now could
+                # overwrite a successor writer's changes, so it is rejected
+                raise ServerError(
+                    f"client {client_id!r} released a write lock it does not hold "
+                    f"(never acquired, or its lease expired and was reclaimed)")
+            with entry.meta:
+                entry.writer = None
+            if request.diff is None or (not request.diff.block_diffs
+                                        and not request.diff.new_types):
+                return LockReleaseReply(version=state.version)
+            diff = request.diff
+            modified_units = sum(bd.covered_units() for bd in diff.block_diffs)
+            new_version = state.apply_client_diff(diff, now=self.clock.now())
+            self.stats.diffs_applied_counter.inc()
+            entry.coherence.on_new_version(modified_units)
+            entry.coherence.on_client_updated(client_id, new_version,
+                                              entry.coherence.view(client_id).policy)
+            # cache the received diff for forwarding to other clients
+            for block_diff in diff.block_diffs:
+                block_diff.version = new_version
+            diff.to_version = new_version
+            self.diff_cache.put(state.name, diff.from_version, new_version,
+                                encode_segment_diff(diff))
+            pending = self._stale_notifications(entry)
+            self._maybe_checkpoint(state)
+            if new_version % self.compact_every == 0:
+                state.compact(keep_back=self.compact_keep_back)
+            reply = LockReleaseReply(version=new_version)
+        # pushes run outside the segment lock: a slow subscriber link must
+        # not stall other clients' traffic on this segment
+        self._push_notifications(pending)
+        return reply
 
     # -- fetch / subscribe ---------------------------------------------------------------
 
     def _fetch(self, client_id: str, request: FetchRequest) -> Message:
         entry = self._entry(request.segment)
-        self._lease_touch(entry, client_id)
-        state = entry.state
-        if request.meta_only:
-            return FetchReply(version=state.version, diff=state.build_skeleton())
-        diff = self._update_for(state, request.client_version)
-        if diff is not None:
-            view = entry.coherence.view(client_id)
-            entry.coherence.on_client_updated(client_id, state.version, view.policy)
-        return FetchReply(version=state.version, diff=diff)
+        with self._read_locked(entry):
+            self._lease_touch(entry, client_id)
+            state = entry.state
+            if request.meta_only:
+                return FetchReply(version=state.version, diff=state.build_skeleton())
+            diff = self._update_for(state, request.client_version)
+            if diff is not None:
+                view = entry.coherence.view(client_id)
+                entry.coherence.on_client_updated(client_id, state.version,
+                                                  view.policy)
+            return FetchReply(version=state.version, diff=diff)
 
     def _subscribe(self, client_id: str, request: SubscribeRequest) -> Message:
         entry = self._entry(request.segment)
-        self._lease_touch(entry, client_id)
-        entry.coherence.subscribe(client_id, request.enable)
-        return SubscribeReply(enabled=request.enable)
+        with self._read_locked(entry):
+            self._lease_touch(entry, client_id)
+            entry.coherence.subscribe(client_id, request.enable)
+            return SubscribeReply(enabled=request.enable)
 
     # -- introspection ---------------------------------------------------------------
 
@@ -383,35 +531,72 @@ class InterWeaveServer(Dispatcher):
         ``metrics`` section — the full registry snapshot, which in a
         process co-hosting clients also carries their client-side
         metrics (MMU faults, diff collection, transport bytes).
+
+        Reads each segment under its read lock (briefly, one at a time —
+        the world is never stopped).  Lease expiry is lazy, so a lapsed
+        lease is reported the way ``_lease_touch`` would decide it: the
+        writer shows as ``null`` with ``lease_expired`` set, not as a
+        live writer holding a dead lock.
         """
-        segments = {
-            name: {
-                "version": entry.state.version,
-                "blocks": len(entry.state.blocks),
-                "prim_units": entry.state.total_prim_units,
-                "writer": entry.writer,
-                "lease_expires": (entry.writer_expires
-                                  if entry.writer is not None else None),
-                "subscribers": sum(
-                    1 for view in entry.coherence.views.values()
-                    if view.subscribed),
-            }
-            for name, entry in self.segments.items()
-        }
+        with self._table():
+            entries = dict(self.segments)
+        now = self.clock.now()
+        segments = {}
+        for name, entry in entries.items():
+            with self._read_locked(entry, require_live=False):
+                if entry.deleted:
+                    continue
+                with entry.meta:
+                    writer = entry.writer
+                    expires = entry.writer_expires
+                expired = writer is not None and now >= expires
+                segments[name] = {
+                    "version": entry.state.version,
+                    "blocks": len(entry.state.blocks),
+                    "prim_units": entry.state.total_prim_units,
+                    "writer": None if expired else writer,
+                    "lease_expires": (expires if writer is not None and not expired
+                                      else None),
+                    "lease_expired": expired,
+                    "subscribers": entry.coherence.subscriber_count(),
+                }
         return {
             "server": {"name": self.name, "segments": segments},
             "metrics": self.metrics.snapshot(),
         }
 
-    def _notify_stale_subscribers(self, entry: _SegmentEntry) -> None:
+    def _stale_notifications(self, entry: _SegmentEntry):
+        """Decide who gets an invalidation; called under the write lock.
+
+        Returns the work for :meth:`_push_notifications` to do after the
+        lock is dropped.  The message is identical for every subscriber,
+        so it is encoded exactly once, outside the per-subscriber loop.
+        """
         state = entry.state
         stale = entry.coherence.stale_subscribers(
             state.version, state.total_prim_units, self.clock.now(),
             lambda version: state.version_times.get(version + 1))
-        for view in stale:
-            message = encode_message(NotifyInvalidate(state.name, state.version))
+        if not stale:
+            return None
+        message = encode_message(NotifyInvalidate(state.name, state.version))
+        return state.version, stale, message
+
+    def _push_notifications(self, pending) -> None:
+        """Deliver invalidations decided by :meth:`_stale_notifications`.
+
+        Runs with no segment lock held: pushing is I/O toward clients and
+        must not serialize against segment traffic.
+        """
+        if pending is None:
+            return
+        version, views, message = pending
+        for view in views:
             if self.sink.push(view.client_id, message):
-                view.notified = True
+                # between the lock release and this push the client may
+                # have validated; marking it notified then would swallow
+                # the *next* invalidation it actually needs
+                if view.version < version:
+                    view.notified = True
                 self.stats.notifications_pushed_counter.inc()
 
     # -- update construction -----------------------------------------------------------
@@ -469,9 +654,14 @@ class InterWeaveServer(Dispatcher):
     # -- checkpointing --------------------------------------------------------------------
 
     def _maybe_checkpoint(self, state: ServerSegment) -> None:
+        """Periodic checkpoint, called from ``_release`` with the segment
+        write lock already held (the rwlock is not reentrant, so this must
+        not go through :meth:`checkpoint_segment`)."""
         if (self.checkpoint_dir and self.checkpoint_every
                 and state.version % self.checkpoint_every == 0):
-            self.checkpoint_segment(state.name)
+            from repro.server.checkpoint import write_checkpoint
+
+            write_checkpoint(state, self.checkpoint_dir)
 
     def checkpoint_segment(self, segment_name: str) -> str:
         """Checkpoint one segment now; returns the file path."""
@@ -480,4 +670,5 @@ class InterWeaveServer(Dispatcher):
         from repro.server.checkpoint import write_checkpoint
 
         entry = self._entry(segment_name)
-        return write_checkpoint(entry.state, self.checkpoint_dir)
+        with self._read_locked(entry):
+            return write_checkpoint(entry.state, self.checkpoint_dir)

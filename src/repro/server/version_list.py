@@ -70,6 +70,21 @@ class VersionList:
         self._append(node)
         self.marker_version_tree[version] = node
 
+    def remove_marker(self, version: int) -> bool:
+        """Unlink one marker (rollback of a failed diff apply).
+
+        Blocks already moved behind the marker stay where they are — their
+        subblock versions were not bumped past the segment version, so
+        update construction remains correct.
+        """
+        try:
+            node = self.marker_version_tree[version]
+        except KeyError:
+            return False
+        self._unlink(node)
+        del self.marker_version_tree[version]
+        return True
+
     def touch(self, serial: int, block) -> None:
         """Record that ``block`` was modified in the newest version: move it
         (or insert it) at the tail, after the newest marker."""

@@ -137,7 +137,17 @@ class NullSink(NotificationSink):
 
 
 class Dispatcher:
-    """Server-side interface: handle one encoded request, return the reply."""
+    """Server-side interface: handle one encoded request, return the reply.
+
+    Contract: ``dispatch`` must be thread-safe and must always return an
+    encoded reply — transports call it concurrently (the TCP server runs
+    one thread per connection, and several in-process clients may share a
+    hub from different threads), and a raised exception would tear down
+    the calling connection (TCP) or leak straight into the client's
+    ``request()`` call (in-process) instead of producing a typed
+    ``ErrorReply``.  Implementations answer malformed or unprocessable
+    requests with an encoded ``ErrorReply`` rather than raising.
+    """
 
     def dispatch(self, client_id: str, data: bytes) -> bytes:
         raise NotImplementedError

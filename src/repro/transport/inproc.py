@@ -100,6 +100,9 @@ class InProcHub(NotificationSink):
     # -- internals -------------------------------------------------------------------
 
     def deliver(self, server_name: str, client_id: str, data: bytes) -> bytes:
+        # runs in the requesting client's thread: there is no server loop
+        # in between, so the Dispatcher contract (thread-safe, never
+        # raises) is what keeps concurrent in-process clients correct
         dispatcher = self._servers.get(server_name)
         if dispatcher is None:
             raise TransportError(f"no server named {server_name!r}")

@@ -258,6 +258,11 @@ class TCPChannel(Channel):
 class TCPServerTransport:
     """Accepts connections and feeds requests to a :class:`Dispatcher`.
 
+    One thread per connection: frames from different clients reach the
+    dispatcher concurrently, relying on the Dispatcher thread-safety
+    contract.  Requests from a *single* connection stay serialized by the
+    reply cache's per-session lock.
+
     A shared :class:`ReplyCache` may be passed in so a restarted
     transport keeps deduplicating retries that straddle the restart;
     by default each transport owns a fresh cache.

@@ -24,6 +24,7 @@ class ReaderWriterLock:
     def __init__(self):
         self._cond = threading.Condition()
         self._readers = 0
+        self._max_readers = 0
         self._writer = False
         self._writers_waiting = 0
 
@@ -36,6 +37,8 @@ class ReaderWriterLock:
                 if not _wait(self._cond, deadline):
                     return False
             self._readers += 1
+            if self._readers > self._max_readers:
+                self._max_readers = self._readers
             return True
 
     def release_read(self) -> None:
@@ -91,6 +94,11 @@ class ReaderWriterLock:
     @property
     def readers(self) -> int:
         return self._readers
+
+    @property
+    def max_readers(self) -> int:
+        """High-water mark of simultaneous readers (proves real overlap)."""
+        return self._max_readers
 
     @property
     def has_writer(self) -> bool:

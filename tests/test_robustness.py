@@ -575,6 +575,25 @@ class TestLeases:
         writer.wl_release(seg)
 
 
+    def test_lapsed_lease_reported_expired_in_stats_snapshot(self):
+        """Expiry is lazy, but introspection must not show a dead writer
+        as live: a lapsed lease reads as writer=None with the expired
+        marker set, matching what _lease_touch would decide."""
+        harness = LeaseHarness(lease_duration=5.0)
+        writer = harness.client("w")
+        seg = writer.open_segment("s/x")
+        writer.wl_acquire(seg)
+        info = harness.server.stats_snapshot()["server"]["segments"]["s/x"]
+        assert info["writer"] == "w"
+        assert info["lease_expired"] is False
+        harness.clock.advance(6.0)  # lease lapses; nobody has contacted yet
+        assert harness.server.segments["s/x"].writer == "w"  # still lazy
+        info = harness.server.stats_snapshot()["server"]["segments"]["s/x"]
+        assert info["writer"] is None
+        assert info["lease_expires"] is None
+        assert info["lease_expired"] is True
+
+
 # ---------------------------------------------------------------------------
 # client session introspection
 # ---------------------------------------------------------------------------

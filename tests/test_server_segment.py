@@ -227,3 +227,49 @@ class TestAccounting:
         state.apply_client_diff(SegmentDiff("host/data", 1, 0, [
             BlockDiff(serial=1, runs=[DiffRun(0, 1, wire_ints(5))])]), now=12.5)
         assert state.version_times[2] == 12.5
+
+
+class TestFailedApplyAtomicity:
+    def test_rejected_diff_leaves_no_dangling_marker(self):
+        """A failed apply must roll its version marker back: with the
+        marker left linked, the next apply died on "marker versions must
+        increase" and the segment was permanently wedged."""
+        state, _ = make_segment_with_array(8)
+        bad = SegmentDiff("host/data", 1, 0, [
+            BlockDiff(serial=2, is_new=True, type_serial=999,  # unregistered
+                      runs=[DiffRun(0, 1, wire_ints(1))])])
+        with pytest.raises(ServerError):
+            state.apply_client_diff(bad)
+        assert state.version == 1
+        good = SegmentDiff("host/data", 1, 0, [
+            BlockDiff(serial=1, runs=[DiffRun(0, 1, wire_ints(42))])])
+        state.apply_client_diff(good)
+        assert state.version == 2
+        assert state.read_block_wire(1) == wire_ints(42, 1, 2, 3, 4, 5, 6, 7)
+
+    def test_bad_entry_rejects_the_whole_batch(self):
+        """Validation runs before any mutation, so a diff that is half
+        valid changes nothing at all."""
+        state, _ = make_segment_with_array(8)
+        mixed = SegmentDiff("host/data", 1, 0, [
+            BlockDiff(serial=1, runs=[DiffRun(0, 2, wire_ints(-1, -2))]),
+            BlockDiff(serial=77, runs=[DiffRun(0, 1, wire_ints(1))]),  # unknown
+        ])
+        with pytest.raises(ServerError):
+            state.apply_client_diff(mixed)
+        assert state.version == 1
+        assert state.read_block_wire(1) == wire_ints(*range(8))
+        assert list(state.blocks[1].subblock_versions) == [1]
+
+    def test_free_then_recreate_in_one_diff_still_validates(self):
+        """The validator tracks liveness through the diff itself: freeing
+        a block and creating a new one in the same batch is legal."""
+        state, type_serial = make_segment_with_array(8)
+        diff = SegmentDiff("host/data", 1, 0, [
+            BlockDiff(serial=1, freed=True),
+            BlockDiff(serial=2, is_new=True, type_serial=type_serial,
+                      runs=[DiffRun(0, 8, wire_ints(*range(10, 18)))]),
+        ])
+        state.apply_client_diff(diff)
+        assert 1 not in state.blocks
+        assert state.read_block_wire(2) == wire_ints(*range(10, 18))
