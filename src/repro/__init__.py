@@ -44,8 +44,11 @@ from repro.transport import (
     FaultInjectingChannel,
     FaultPlan,
     InProcHub,
+    MultiplexingChannel,
+    MuxConnectionPool,
     NetworkModel,
     ReplyCache,
+    ReplyFuture,
     RetryingChannel,
     RetryPolicy,
     TCPChannel,
@@ -78,8 +81,11 @@ __all__ = [
     "IW_wl_acquire",
     "IW_wl_release",
     "MetricsRegistry",
+    "MultiplexingChannel",
+    "MuxConnectionPool",
     "NetworkModel",
     "ReplyCache",
+    "ReplyFuture",
     "RetryPolicy",
     "RetryingChannel",
     "Segment",

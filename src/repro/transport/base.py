@@ -17,12 +17,49 @@ from __future__ import annotations
 import logging
 import threading
 from collections import OrderedDict
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 _log = logging.getLogger(__name__)
 
-from repro.errors import WireFormatError
+from repro.errors import TransportTimeout, WireFormatError
 from repro.obs.metrics import get_registry
+
+
+class ReplyFuture:
+    """Completion handle for one pipelined request.
+
+    Returned by :meth:`Channel.submit`.  ``result()`` blocks until the
+    reply arrives (or the request fails) and then returns the reply
+    bytes or raises the typed transport error — the same contract as
+    :meth:`Channel.request`, deferred.
+    """
+
+    __slots__ = ("_event", "_reply", "_error")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._reply: Optional[bytes] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def resolve(self, reply: bytes) -> None:
+        self._reply = reply
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> bytes:
+        if not self._event.wait(timeout):
+            raise TransportTimeout(
+                f"no reply within {timeout:g}s" if timeout is not None
+                else "no reply")
+        if self._error is not None:
+            raise self._error
+        return self._reply
 
 
 class TransportStats:
@@ -97,6 +134,23 @@ class Channel:
     def request(self, data: bytes) -> bytes:
         raise NotImplementedError
 
+    def submit(self, data: bytes) -> ReplyFuture:
+        """Start one request and return a :class:`ReplyFuture` for it.
+
+        Pipelining hook: transports that can keep several requests in
+        flight on one connection (:class:`~repro.transport.mux.MultiplexingChannel`)
+        override this to return before the reply arrives.  The default
+        completes synchronously via :meth:`request`, so every channel —
+        in-process, serial TCP, wrappers — accepts pipelined callers
+        with unchanged semantics (depth 1).
+        """
+        future = ReplyFuture()
+        try:
+            future.resolve(self.request(data))
+        except Exception as exc:  # noqa: BLE001 — deliver through the future
+            future.fail(exc)
+        return future
+
     def set_notification_handler(self, handler: Callable[[bytes], None]) -> None:
         """Install the callback for pushed messages (push transports only)."""
         raise NotImplementedError(f"{type(self).__name__} cannot push")
@@ -154,26 +208,50 @@ class Dispatcher:
 
 
 class _ReplySession:
-    """One client's request-deduplication state."""
+    """One client channel's request-deduplication state.
 
-    __slots__ = ("lock", "last_seq", "last_reply")
+    ``replies`` retains the last ``window`` dispatched replies (keyed by
+    sequence number), ``pending`` tracks dispatches currently running,
+    and ``horizon`` is the highest sequence number ever evicted from
+    ``replies`` — anything at or below it may have been forgotten, so a
+    repeat is rejected as stale rather than silently re-dispatched.
+    """
+
+    __slots__ = ("lock", "replies", "pending", "horizon", "last_seq")
 
     def __init__(self):
         self.lock = threading.Lock()
+        self.replies: "OrderedDict[int, bytes]" = OrderedDict()
+        self.pending: Dict[int, threading.Event] = {}
+        self.horizon = 0
         self.last_seq = 0
-        self.last_reply: Optional[bytes] = None
+
+    def busy(self) -> bool:
+        """Is a dispatch for this session running right now?"""
+        return bool(self.pending) or self.lock.locked()
 
 
 class ReplyCache:
-    """Per-client last-reply cache: at-most-once dispatch under retries.
+    """Per-client reply window: at-most-once dispatch under retries.
 
     Clients stamp every request with a monotonically increasing sequence
-    number and reuse the number when they retry.  The cache serializes a
-    client's dispatches and remembers the reply to its newest sequence
-    number, so a retry of an already-processed request (reply lost in
-    flight, timeout after the server finished) returns the cached reply
-    instead of re-executing a non-idempotent operation such as a write
-    release.
+    number and reuse the number when they retry.  The cache remembers,
+    per session, the replies to the last ``window`` sequence numbers, so
+    a retry of an already-processed request (reply lost in flight,
+    timeout after the server finished) returns the cached reply instead
+    of re-executing a non-idempotent operation such as a write release.
+
+    Pipelining (see ``docs/PROTOCOL.md`` §6) shapes the semantics:
+
+    - sequence numbers above the retention horizon that have not been
+      seen yet are dispatched **concurrently and in any order** — a
+      multiplexed channel keeps many in flight at once, and the executor
+      may start them out of order;
+    - a retry that races its own original (the original is still
+      dispatching) waits for that dispatch and replays its reply rather
+      than double-dispatching;
+    - only sequence numbers at or below the horizon — evicted from the
+      window, necessarily acknowledged long ago — are rejected as stale.
 
     Sessions are keyed by ``(client_id, nonce)``: each channel draws a
     random session nonce at construction, so a fresh channel reusing a
@@ -188,13 +266,17 @@ class ReplyCache:
     session: a server that restarts with a fresh cache loses exactly-once
     semantics for retries that straddle the restart, so deployments that
     restart transports in place should carry the cache over (see
-    ``docs/ROBUSTNESS.md``).
+    ``docs/ROBUSTNESS.md``).  Clients must keep their in-flight window
+    smaller than ``window`` or retries can fall off the retention edge.
     """
 
-    def __init__(self, max_clients: int = 1024):
+    def __init__(self, max_clients: int = 1024, window: int = 256):
         if max_clients < 1:
             raise ValueError("max_clients must be >= 1")
+        if window < 1:
+            raise ValueError("window must be >= 1")
         self._max_clients = max_clients
+        self._window = window
         self._lock = threading.Lock()
         self._sessions: "OrderedDict[Tuple[str, int], _ReplySession]" = OrderedDict()
         metrics = get_registry()
@@ -222,12 +304,12 @@ class ReplyCache:
 
         Evicting a session forfeits its at-most-once guarantee — a later
         retry from that client will re-dispatch — so the loss is counted
-        and logged rather than silent, and a session whose lock is held
-        (a dispatch is running under it right now) is never evicted.
+        and logged rather than silent, and a session with a dispatch
+        running right now is never evicted.
         """
         while len(self._sessions) > self._max_clients:
             for key, session in self._sessions.items():
-                if not session.lock.locked():
+                if not session.busy():
                     del self._sessions[key]
                     self._m_evictions.inc()
                     _log.warning(
@@ -241,22 +323,60 @@ class ReplyCache:
     def execute(self, client_id: str, seq: int,
                 dispatch: Callable[[], bytes], nonce: int = 0) -> bytes:
         """Run ``dispatch`` once per (client, nonce, seq), replaying
-        cached replies for retries within the same session."""
+        cached replies for retries within the same session.
+
+        Distinct in-window sequence numbers dispatch concurrently (no
+        per-session serialization): pipelined channels rely on it.  A
+        retry of a sequence number whose original dispatch is still
+        running blocks until that dispatch finishes and shares its
+        reply.  Deadlock-freedom with a bounded dispatch pool rests on
+        FIFO task start order: a duplicate is always submitted after its
+        original, so by the time the duplicate runs its original is
+        either finished or running on another worker — a blocked waiter
+        therefore always has a progressing partner.
+        """
         if seq == 0:
             return dispatch()
         session = self._session(client_id, nonce)
-        with session.lock:
-            if seq == session.last_seq and session.last_reply is not None:
-                self._m_hits.inc()
-                return session.last_reply
-            if seq < session.last_seq:
-                raise WireFormatError(
-                    f"stale sequence number {seq} from {client_id!r} "
-                    f"(newest seen: {session.last_seq})")
+        while True:
+            with session.lock:
+                cached = session.replies.get(seq)
+                if cached is not None:
+                    self._m_hits.inc()
+                    return cached
+                racing = session.pending.get(seq)
+                if racing is None:
+                    if seq <= session.horizon:
+                        raise WireFormatError(
+                            f"stale sequence number {seq} from {client_id!r} "
+                            f"(retention horizon {session.horizon}, newest "
+                            f"seen {session.last_seq})")
+                    event = threading.Event()
+                    session.pending[seq] = event
+                    break
+            # a retry raced its original mid-dispatch: wait for the
+            # original and replay its reply (loop re-checks the cache)
+            racing.wait()
+        try:
             reply = dispatch()
-            session.last_seq = seq
-            session.last_reply = reply
-            return reply
+        except BaseException:
+            # a failed dispatch is not cached (the transport answers the
+            # client with an ErrorReply); a retry may re-dispatch
+            with session.lock:
+                session.pending.pop(seq, None)
+            event.set()
+            raise
+        with session.lock:
+            session.pending.pop(seq, None)
+            session.replies[seq] = reply
+            if seq > session.last_seq:
+                session.last_seq = seq
+            while len(session.replies) > self._window:
+                evicted, _ = session.replies.popitem(last=False)
+                if evicted > session.horizon:
+                    session.horizon = evicted
+        event.set()
+        return reply
 
     def __len__(self):
         with self._lock:

@@ -132,6 +132,44 @@ class FaultInjectingChannel(Channel):
             return reply[:rng.randrange(1, len(reply))]
         return reply
 
+    def submit(self, data: bytes):
+        """Pipelined submit with fault injection.
+
+        A fault that would raise from :meth:`request` instead returns an
+        already-failed future — modelling the waiter's eventual fate: a
+        dropped request or reply never produces a matching reply frame,
+        so the waiter would time out.  ``drop_reply`` still delivers the
+        request to the inner channel first (the server *did* process
+        it), which is what makes retry-dedup tests honest.  Truncation
+        is not injected on this path (the reply bytes are owned by the
+        inner channel's reader thread once submitted).
+        """
+        from repro.transport.base import ReplyFuture
+
+        plan = self._plan
+        rng = plan.rng
+        if plan.disconnect and rng.random() < plan.disconnect:
+            self._m_disconnects.inc()
+            self._break_inner()
+            failed = ReplyFuture()
+            failed.fail(TransportDisconnected("injected: connection dropped"))
+            return failed
+        if plan.delay_probability and rng.random() < plan.delay_probability:
+            self._m_delays.inc()
+            self._sleep(plan.delay)
+        if plan.drop_request and rng.random() < plan.drop_request:
+            self._m_drops.inc()
+            failed = ReplyFuture()
+            failed.fail(TransportTimeout("injected: request dropped before delivery"))
+            return failed
+        future = self._inner.submit(data)
+        if plan.drop_reply and rng.random() < plan.drop_reply:
+            self._m_drops.inc()
+            failed = ReplyFuture()
+            failed.fail(TransportTimeout("injected: reply dropped in flight"))
+            return failed
+        return future
+
     def _break_inner(self) -> None:
         breaker: Optional[Callable[[], None]] = getattr(
             self._inner, "break_connection", None)

@@ -9,6 +9,12 @@ adaptive polling/notification protocol uses.
 
 An optional :class:`NetworkModel` + virtual clock pair simulates link
 latency/bandwidth by advancing simulated time per message.
+
+Pipelining: in-process dispatch is synchronous (the dispatcher runs in
+the requesting thread), so the inherited :meth:`Channel.submit` — which
+completes its future before returning — is already the right semantics;
+there is no wire to keep busy.  Concurrency comes from calling threads,
+exactly as with a real socket.
 """
 
 from __future__ import annotations

@@ -154,6 +154,21 @@ class RetryingChannel(Channel):
         self._handler = handler
         self._inner.set_notification_handler(handler)
 
+    def submit(self, data: bytes):
+        """Pipelined submits delegate to the inner channel unretried.
+
+        A future-based retry loop would have to block on each future to
+        observe its failure, defeating the pipelining; channels that
+        retry internally (TCP or multiplexing channels built with a
+        :class:`RetryPolicy`) give pipelined submits fault tolerance,
+        while this wrapper's own loop protects :meth:`request` callers.
+        After a reconnect, a multiplexed inner channel re-sends only the
+        unacknowledged in-flight window, and the server's
+        :class:`~repro.transport.ReplyCache` deduplicates any request
+        that was actually processed (see ``docs/ROBUSTNESS.md``).
+        """
+        return self._inner.submit(data)
+
     def request(self, data: bytes) -> bytes:
         failures = 0
         while True:

@@ -5,13 +5,23 @@ is a 4-byte big-endian length followed by that many payload bytes.  A
 request frame carries a header — client id, a random per-channel session
 nonce, and a per-channel sequence number — ahead of the message payload
 (so the server can attribute lock state and deduplicate retries without
-confusing two channels that reuse a client id); replies carry the
-payload alone.
+confusing two channels that reuse a client id).  A reply frame echoes
+the request's nonce and sequence number in a 16-byte header ahead of the
+message, so replies can be matched to requests by sequence number rather
+than by arrival order: many requests may be in flight on one socket and
+replies may return out of order (see ``MultiplexingChannel`` in
+``repro.transport.mux``).  The reserved pair ``(0, 0)`` marks a reply to
+a frame whose header could not be parsed and is therefore unattributable.
 
-The server runs one thread per connection, which is plenty for the scale
-of this reproduction and keeps the code obvious.  Push notifications are
-not supported over this transport (``can_push = False``); clients fall
-back to polling, exactly the degraded mode the paper's adaptive protocol
+The server runs one *reader* thread per connection, hands each decoded
+frame to a shared dispatch pool, and funnels replies through a
+per-connection *writer* thread, so a slow dispatch never blocks faster
+replies on the same socket.  The writer coalesces replies that queue up
+while a previous send is on the wire into a single ``sendmsg`` — small
+frames batch naturally under load while a lone reply still goes out
+immediately (``TCP_NODELAY`` stays set).  Push notifications are not
+supported over this transport (``can_push = False``); clients fall back
+to polling, exactly the degraded mode the paper's adaptive protocol
 anticipates.
 
 Fault tolerance (see ``docs/ROBUSTNESS.md``):
@@ -23,17 +33,20 @@ Fault tolerance (see ``docs/ROBUSTNESS.md``):
   encoded ``ErrorReply`` and keeps the connection alive;
 - a :class:`~repro.transport.ReplyCache` makes re-sent requests
   idempotent: a sequence number the server already processed is answered
-  from the cache without re-dispatching.
+  from the cache without re-dispatching, and a duplicate racing its
+  original dispatch waits and shares the reply.
 """
 
 from __future__ import annotations
 
+import logging
 import os
+import queue
 import socket
 import struct
 import threading
 import time
-from typing import Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.errors import (
     RetryExhausted,
@@ -46,13 +59,44 @@ from repro.transport.base import Channel, Dispatcher, ReplyCache
 from repro.transport.retry import RetryPolicy
 from repro.wire.messages import ErrorReply, encode_message
 
+_log = logging.getLogger("repro.transport.tcp")
+
 _LEN = struct.Struct(">I")
 _SEQ = struct.Struct(">Q")
 _MAX_FRAME = 1 << 30
+#: a reply payload leads with the echoed (nonce, seq) pair
+_REPLY_HEADER = 2 * _SEQ.size
+#: cap on reply frames coalesced into one sendmsg (keeps the iovec and
+#: the latency of any single batch bounded; well under IOV_MAX)
+_MAX_REPLY_BATCH = 32
+
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
+
+
+def _sendmsg_all(sock: socket.socket, buffers: Iterable[bytes]) -> None:
+    """Send every buffer completely, without concatenating them first.
+
+    ``sendmsg`` gathers the buffers into one syscall (and usually one
+    TCP segment for small frames); a partial send resumes from the
+    offset reached.  Falls back to per-buffer ``sendall`` where
+    ``sendmsg`` is unavailable.
+    """
+    if not _HAS_SENDMSG:
+        for buf in buffers:
+            sock.sendall(buf)
+        return
+    views: List[memoryview] = [memoryview(b) for b in buffers if len(b)]
+    while views:
+        sent = sock.sendmsg(views)
+        while views and sent >= len(views[0]):
+            sent -= len(views[0])
+            views.pop(0)
+        if sent:
+            views[0] = views[0][sent:]
 
 
 def _send_frame(sock: socket.socket, payload: bytes) -> None:
-    sock.sendall(_LEN.pack(len(payload)) + payload)
+    _sendmsg_all(sock, (_LEN.pack(len(payload)), payload))
 
 
 def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
@@ -77,15 +121,44 @@ def _recv_frame(sock: socket.socket) -> Optional[bytes]:
     return _recv_exact(sock, length)
 
 
+def split_reply_frame(frame: bytes) -> Tuple[int, int, bytes]:
+    """Split a reply frame into ``(nonce, seq, message)``.
+
+    Raises :class:`TransportError` if the frame is too short to carry
+    the 16-byte reply header.
+    """
+    if len(frame) < _REPLY_HEADER:
+        raise TransportError(
+            f"reply frame of {len(frame)} bytes is shorter than its "
+            f"{_REPLY_HEADER}-byte header")
+    (nonce,) = _SEQ.unpack_from(frame, 0)
+    (seq,) = _SEQ.unpack_from(frame, _SEQ.size)
+    return nonce, seq, frame[_REPLY_HEADER:]
+
+
+def request_frame_buffers(client_id: bytes, nonce: int, seq: int,
+                          data: bytes) -> Tuple[bytes, bytes, bytes]:
+    """Build the three wire buffers of a request frame.
+
+    Returned as separate buffers (length prefix, header, payload) so the
+    payload — often a large diff — is never copied into a joined frame;
+    send with :func:`_sendmsg_all`.
+    """
+    header = (_LEN.pack(len(client_id)) + client_id
+              + _SEQ.pack(nonce) + _SEQ.pack(seq))
+    return _LEN.pack(len(header) + len(data)), header, data
+
+
 class TCPChannel(Channel):
-    """A client connection to a TCP server.
+    """A client connection to a TCP server, one request at a time.
 
     With a :class:`RetryPolicy`, transient faults (timeouts, resets, a
     restarting server) trigger reconnection and an idempotent re-send;
     without one, they surface as typed transport errors and the broken
     connection is re-established lazily on the next request (never
     reused, since a timed-out exchange may leave a stale reply in
-    flight).
+    flight).  For pipelined requests over one socket, see
+    :class:`repro.transport.MultiplexingChannel`.
     """
 
     can_push = False
@@ -172,6 +245,22 @@ class TCPChannel(Channel):
 
     # -- requests -------------------------------------------------------------
 
+    def _match_reply(self, frame: bytes, seq: int) -> bytes:
+        """Validate a reply frame's echoed (nonce, seq) header.
+
+        With one request outstanding, the reply must carry this exact
+        exchange's identity — or ``(0, 0)``, the server's marker for an
+        answer to an unparseable frame.  Anything else means the stream
+        is desynchronized (a stale reply from a previous exchange leaked
+        through), which is unrecoverable on this socket.
+        """
+        nonce, r_seq, message = split_reply_frame(frame)
+        if (nonce, r_seq) != (self._nonce, seq) and (nonce, r_seq) != (0, 0):
+            raise TransportError(
+                f"reply for (nonce={nonce:#x}, seq={r_seq}) arrived while "
+                f"waiting for seq {seq}: reply stream desynchronized")
+        return message
+
     def request(self, data: bytes) -> bytes:
         if not isinstance(data, (bytes, bytearray)):
             raise TransportError("channels carry bytes only; serialize the message first")
@@ -179,9 +268,10 @@ class TCPChannel(Channel):
             if self._closed:
                 raise TransportError("channel is closed")
             self._next_seq += 1
-            frame = (_LEN.pack(len(self._client_id)) + self._client_id
-                     + _SEQ.pack(self._nonce) + _SEQ.pack(self._next_seq)
-                     + bytes(data))
+            seq = self._next_seq
+            buffers = request_frame_buffers(
+                self._client_id, self._nonce, seq, bytes(data))
+            sent_bytes = sum(len(b) for b in buffers) - _LEN.size
             failures = 0
             while True:
                 if self._closed:
@@ -191,10 +281,11 @@ class TCPChannel(Channel):
                     sock = self._sock
                     if sock is None:
                         sock = self._connect()
-                    _send_frame(sock, frame)
-                    reply = _recv_frame(sock)
-                    if reply is None:
+                    _sendmsg_all(sock, buffers)
+                    reply_frame = _recv_frame(sock)
+                    if reply_frame is None:
                         raise TransportDisconnected("server closed the connection")
+                    reply = self._match_reply(reply_frame, seq)
                 except socket.timeout as exc:
                     error = TransportTimeout(
                         f"TCP request timed out after {self._timeout:g}s")
@@ -205,12 +296,13 @@ class TCPChannel(Channel):
                     error = TransportDisconnected(f"TCP request failed: {exc}")
                     error.__cause__ = exc
                 except TransportError:
-                    # protocol corruption (oversized frame): the stream is
-                    # unrecoverable and a retry would re-read the same bytes
+                    # protocol corruption (oversized frame, desynchronized
+                    # reply stream): the stream is unrecoverable and a
+                    # retry would re-read the same bytes
                     self._break()
                     raise
                 else:
-                    self._record_request(len(frame), len(reply),
+                    self._record_request(sent_bytes, len(reply_frame),
                                          time.perf_counter() - started)
                     return reply
                 self._break()
@@ -255,13 +347,60 @@ class TCPChannel(Channel):
         self._break()
 
 
+class _DispatchPool:
+    """A fixed pool of daemon worker threads with FIFO start order.
+
+    FIFO matters for correctness, not just fairness: the reply cache's
+    duplicate-coalescing waits on the original dispatch, and its
+    no-deadlock argument requires that a duplicate never *starts* before
+    its original has (see ``ReplyCache.execute``).  A plain FIFO queue
+    drained by identical workers guarantees exactly that.
+
+    Workers are daemon threads and ``close()`` does not join them: a
+    dispatch wedged in a hung handler must not block server shutdown or
+    interpreter exit.
+    """
+
+    def __init__(self, workers: int):
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._threads = []
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"repro-dispatch-{index}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def submit(self, task) -> None:
+        self._queue.put(task)
+
+    def _worker(self) -> None:
+        while True:
+            task = self._queue.get()
+            if task is None:
+                return
+            try:
+                task()
+            except Exception:  # noqa: BLE001 — a task bug must not kill the worker
+                _log.exception("dispatch task failed")
+
+    def close(self) -> None:
+        for _ in self._threads:
+            self._queue.put(None)
+
+
 class TCPServerTransport:
     """Accepts connections and feeds requests to a :class:`Dispatcher`.
 
-    One thread per connection: frames from different clients reach the
-    dispatcher concurrently, relying on the Dispatcher thread-safety
-    contract.  Requests from a *single* connection stay serialized by the
-    reply cache's per-session lock.
+    One *reader* thread per connection decodes frames and submits them
+    to a shared dispatch pool, so requests from one connection — a
+    pipelined client has many in flight — dispatch concurrently, relying
+    on the Dispatcher thread-safety contract.  Replies funnel through a
+    per-connection *writer* thread: a slow dispatch never blocks faster
+    replies on the same socket, and replies that queue up while a send
+    is on the wire coalesce into one ``sendmsg`` batch.  Retried
+    sequence numbers stay idempotent through the :class:`ReplyCache`,
+    which also makes a duplicate racing its original dispatch wait and
+    share the reply instead of re-dispatching.
 
     A shared :class:`ReplyCache` may be passed in so a restarted
     transport keeps deduplicating retries that straddle the restart;
@@ -269,9 +408,11 @@ class TCPServerTransport:
     """
 
     def __init__(self, dispatcher: Dispatcher, host: str = "127.0.0.1",
-                 port: int = 0, reply_cache: Optional[ReplyCache] = None):
+                 port: int = 0, reply_cache: Optional[ReplyCache] = None,
+                 dispatch_workers: int = 8, max_inflight: int = 64):
         self._dispatcher = dispatcher
         self.reply_cache = reply_cache if reply_cache is not None else ReplyCache()
+        self._max_inflight = max_inflight
         metrics = get_registry()
         self._m_connections = metrics.counter(
             "transport.server.connections", "TCP connections accepted")
@@ -289,6 +430,13 @@ class TCPServerTransport:
         self._m_dispatch_errors = metrics.counter(
             "transport.server.dispatch_errors",
             "dispatcher exceptions answered with ErrorReply")
+        self._m_reply_batch = metrics.histogram(
+            "transport.server.reply_batch_frames",
+            help="reply frames coalesced into each sendmsg batch")
+        self._m_reply_queue_wait = metrics.histogram(
+            "transport.server.reply_queue_wait_seconds",
+            help="time replies spent queued behind the per-connection writer")
+        self._pool = _DispatchPool(dispatch_workers)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -330,6 +478,14 @@ class TCPServerTransport:
         # rebinding the port while old clients are still attached
         conn.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._m_connections.inc()
+        out_queue: "queue.Queue" = queue.Queue()
+        writer = threading.Thread(
+            target=self._write_loop, args=(conn, out_queue), daemon=True)
+        writer.start()
+        # bounds dispatches in flight for this connection: a client that
+        # floods frames faster than the dispatcher drains them stalls in
+        # the kernel send buffer instead of growing the queue unboundedly
+        inflight = threading.BoundedSemaphore(self._max_inflight)
         try:
             while self._running:
                 try:
@@ -338,10 +494,20 @@ class TCPServerTransport:
                     return  # oversized frame: framing is lost, drop the link
                 if frame is None:
                     return
-                _send_frame(conn, self._handle_frame(frame))
+                while not inflight.acquire(timeout=0.1):
+                    if not self._running:
+                        return
+                self._pool.submit(
+                    lambda f=frame: self._dispatch_to_queue(f, out_queue, inflight))
         except OSError:
             return
         finally:
+            # replies still in flight when the reader exits are for a
+            # client that is gone (or a transport shutting down): the
+            # sentinel lets the writer drain what is already queued,
+            # then closing the socket unblocks it if the peer stalled
+            out_queue.put(None)
+            writer.join(timeout=5.0)
             with self._conn_lock:
                 self._conns.discard(conn)
                 self._m_open.set(len(self._conns))
@@ -350,14 +516,66 @@ class TCPServerTransport:
             except OSError:
                 pass
 
-    def _handle_frame(self, frame: bytes) -> bytes:
-        """Decode one request frame and dispatch it.
+    def _dispatch_to_queue(self, frame: bytes, out_queue: "queue.Queue",
+                           inflight: threading.BoundedSemaphore) -> None:
+        """Pool task: dispatch one frame and queue its reply."""
+        try:
+            nonce, seq, reply = self._handle_frame(frame)
+            out_queue.put((nonce, seq, reply, time.perf_counter()))
+        finally:
+            inflight.release()
+
+    def _write_loop(self, conn: socket.socket, out_queue: "queue.Queue") -> None:
+        """Per-connection writer: drain replies, batching opportunistically.
+
+        Blocks for the first reply, then drains whatever else queued up
+        (bounded by ``_MAX_REPLY_BATCH``) into one gathered ``sendmsg``.
+        The "flush window" is thus the duration of the previous send: a
+        lone reply goes out immediately with no added latency, while a
+        backlog amortizes syscalls and wakeups.  Exits on the ``None``
+        sentinel (after flushing replies queued ahead of it) or on a
+        dead socket.
+        """
+        while True:
+            item = out_queue.get()
+            if item is None:
+                return
+            batch = [item]
+            finished = False
+            while len(batch) < _MAX_REPLY_BATCH:
+                try:
+                    nxt = out_queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    finished = True
+                    break
+                batch.append(nxt)
+            now = time.perf_counter()
+            buffers = []
+            for nonce, seq, reply, enqueued in batch:
+                self._m_reply_queue_wait.observe(now - enqueued)
+                buffers.append(_LEN.pack(_REPLY_HEADER + len(reply)))
+                buffers.append(_SEQ.pack(nonce))
+                buffers.append(_SEQ.pack(seq))
+                buffers.append(reply)
+            self._m_reply_batch.observe(len(batch))
+            try:
+                _sendmsg_all(conn, buffers)
+            except OSError:
+                return
+            if finished:
+                return
+
+    def _handle_frame(self, frame: bytes) -> Tuple[int, int, bytes]:
+        """Decode one request frame, dispatch it, return (nonce, seq, reply).
 
         A malformed header (short client-id prefix, bad UTF-8, missing
         nonce or sequence number) or a dispatcher exception must not kill
-        the connection thread: both are answered with an encoded
-        ErrorReply so the client sees a typed failure and the connection
-        survives.
+        the connection: both are answered with an encoded ErrorReply so
+        the client sees a typed failure and the connection survives.  A
+        reply to an unparseable header carries the reserved ``(0, 0)``
+        identity, since the request's own could not be read.
         """
         try:
             (id_length,) = _LEN.unpack_from(frame, 0)
@@ -372,7 +590,7 @@ class TCPServerTransport:
             payload = frame[header_end:]
         except (struct.error, UnicodeDecodeError, TransportError) as exc:
             self._m_frame_errors.inc()
-            return encode_message(ErrorReply(f"malformed request frame: {exc}"))
+            return 0, 0, encode_message(ErrorReply(f"malformed request frame: {exc}"))
         self._m_requests.inc()
         self._m_bytes_received.inc(len(frame))
         try:
@@ -384,7 +602,7 @@ class TCPServerTransport:
             self._m_dispatch_errors.inc()
             reply = encode_message(ErrorReply(f"request failed: {exc}"))
         self._m_bytes_sent.inc(len(reply))
-        return reply
+        return nonce, seq, reply
 
     def close(self) -> None:
         self._running = False
@@ -416,3 +634,4 @@ class TCPServerTransport:
         for thread in self._threads:
             thread.join(timeout=1.0)
         self._threads = []
+        self._pool.close()

@@ -305,11 +305,25 @@ class TestReplyCache:
         assert cache.execute("c", 1, lambda: b"r1") == b"r1"
         assert cache.execute("c", 2, lambda: b"r2") == b"r2"
 
-    def test_stale_sequence_rejected(self):
+    def test_out_of_order_in_window_dispatches(self):
+        # pipelined channels may complete sequence numbers out of order;
+        # any unseen seq inside the retention window must dispatch
         cache = ReplyCache()
-        cache.execute("c", 5, lambda: b"r5")
+        assert cache.execute("c", 5, lambda: b"r5") == b"r5"
+        assert cache.execute("c", 4, lambda: b"r4") == b"r4"
+        assert cache.execute("c", 4, lambda: b"boom") == b"r4"  # replay
+
+    def test_stale_sequence_rejected(self):
+        # a seq evicted past the retention horizon cannot be replayed
+        # *or* re-dispatched: it is answered with a typed error
+        cache = ReplyCache(window=4)
+        for seq in range(1, 10):
+            cache.execute("c", seq, lambda s=seq: b"r%d" % s)
+        # seqs 1..5 were evicted (window holds 6..9); 5 is the horizon
         with pytest.raises(WireFormatError):
-            cache.execute("c", 4, lambda: b"r4")
+            cache.execute("c", 3, lambda: b"r3")
+        # in-window seqs still replay from cache
+        assert cache.execute("c", 7, lambda: b"boom") == b"r7"
 
     def test_sequence_zero_opts_out(self):
         cache = ReplyCache()

@@ -216,11 +216,21 @@ _LEN = struct.Struct(">I")
 _SEQ = struct.Struct(">Q")
 
 
-def _raw_exchange(sock, frame):
-    """Send one pre-built frame and read back the reply payload."""
+def _raw_exchange(sock, frame, expect=None):
+    """Send one pre-built frame and read back the reply message.
+
+    Replies lead with a 16-byte (nonce, seq) echo header; ``expect``
+    asserts its value — ``(0, 0)`` marks an unattributable reply to a
+    frame whose header could not be parsed.
+    """
     sock.sendall(_LEN.pack(len(frame)) + frame)
     (length,) = _LEN.unpack(sock.recv(4, socket.MSG_WAITALL))
-    return sock.recv(length, socket.MSG_WAITALL)
+    reply = sock.recv(length, socket.MSG_WAITALL)
+    assert len(reply) >= 16
+    if expect is not None:
+        assert (_SEQ.unpack_from(reply, 0)[0],
+                _SEQ.unpack_from(reply, 8)[0]) == expect
+    return reply[16:]
 
 
 class TestTCPFaultPaths:
@@ -240,12 +250,13 @@ class TestTCPFaultPaths:
         try:
             # header claims a 100-byte client id but the frame is 9 bytes:
             # before the fix this struct/bounds error killed the thread
-            reply = decode_message(_raw_exchange(sock, _LEN.pack(100) + b"short"))
+            reply = decode_message(
+                _raw_exchange(sock, _LEN.pack(100) + b"short", expect=(0, 0)))
             assert isinstance(reply, ErrorReply)
             assert "malformed" in reply.message
             # same connection, now a valid frame: the link must still work
             good = _LEN.pack(1) + b"c" + _SEQ.pack(7) + _SEQ.pack(1) + b"ping"
-            assert _raw_exchange(sock, good) == b"echo:ping"
+            assert _raw_exchange(sock, good, expect=(7, 1)) == b"echo:ping"
             assert dispatcher.seen == [("c", b"ping")]
         finally:
             sock.close()
