@@ -55,8 +55,6 @@ from __future__ import annotations
 
 import json
 import os
-import queue
-import socket
 import struct
 import sys
 import threading
@@ -66,7 +64,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import pytest
 
-from common import make_world
+from common import LatencyRelay, make_world
 
 from repro import ClientOptions, InterWeaveClient, InterWeaveServer, temporal
 from repro.arch import X86_32
@@ -173,85 +171,6 @@ def test_write_empty(benchmark, transport, request):
 # =============================================================================
 # pipelining comparison: serial vs multiplexed over a simulated link
 # =============================================================================
-
-class LatencyRelay:
-    """A TCP proxy that delays every chunk by a fixed one-way latency.
-
-    The socket-level analogue of ``NetworkModel``: bytes arrive
-    ``delay`` seconds after they were sent, but back-to-back frames stay
-    back-to-back — latency is added, bandwidth is not restricted, and
-    pipelined frames share one delay window.  Each accepted connection
-    is forwarded to the target with an independent reader/writer thread
-    pair per direction, so delaying one chunk never delays reading the
-    next.
-    """
-
-    def __init__(self, host: str, port: int, delay: float):
-        self.delay = delay
-        self._target = (host, port)
-        self._listener = socket.socket()
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind(("127.0.0.1", 0))
-        self._listener.listen(8)
-        self.port = self._listener.getsockname()[1]
-        self._sockets = []
-        threading.Thread(target=self._accept, daemon=True,
-                         name="relay-accept").start()
-
-    def _accept(self) -> None:
-        while True:
-            try:
-                conn, _ = self._listener.accept()
-            except OSError:
-                return
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            upstream = socket.create_connection(self._target)
-            upstream.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self._sockets += [conn, upstream]
-            self._pump(conn, upstream)
-            self._pump(upstream, conn)
-
-    def _pump(self, src: socket.socket, dst: socket.socket) -> None:
-        chunks: "queue.Queue" = queue.Queue()
-
-        def reader() -> None:
-            while True:
-                try:
-                    data = src.recv(65536)
-                except OSError:
-                    data = b""
-                chunks.put((time.perf_counter() + self.delay, data))
-                if not data:
-                    return
-
-        def writer() -> None:
-            while True:
-                due, data = chunks.get()
-                wait = due - time.perf_counter()
-                if wait > 0:
-                    time.sleep(wait)
-                if not data:
-                    try:
-                        dst.shutdown(socket.SHUT_WR)
-                    except OSError:
-                        pass
-                    return
-                try:
-                    dst.sendall(data)
-                except OSError:
-                    return
-
-        for target in (reader, writer):
-            threading.Thread(target=target, daemon=True,
-                             name=f"relay-{target.__name__}").start()
-
-    def close(self) -> None:
-        for sock in [self._listener] + self._sockets:
-            try:
-                sock.close()
-            except OSError:
-                pass
-
 
 def _encode_read_validate_pairs(port: int):
     """Seed THREADS private segments; return (acquire, release) frames.

@@ -39,6 +39,7 @@ from repro.client.api import (
 )
 from repro.coherence import delta, diff, full, temporal
 from repro.obs import MetricsRegistry, Tracer, get_registry, set_registry
+from repro.proxy import CachingProxy
 from repro.server import InterWeaveServer
 from repro.transport import (
     FaultInjectingChannel,
@@ -59,6 +60,7 @@ from repro.util.clock import VirtualClock, WallClock
 __version__ = "1.0.0"
 
 __all__ = [
+    "CachingProxy",
     "ClientOptions",
     "FaultInjectingChannel",
     "FaultPlan",

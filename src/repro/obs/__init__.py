@@ -20,6 +20,7 @@ from repro.obs.export import (
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
+    DualCounter,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -31,6 +32,7 @@ from repro.obs.tracing import NullTracer, Span, TraceEvent, Tracer
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DualCounter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

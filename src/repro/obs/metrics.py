@@ -63,6 +63,30 @@ class Counter:
         return f"Counter({self.name!r}={self._value})"
 
 
+class DualCounter:
+    """A per-instance tally that also feeds a process-wide aggregate.
+
+    Several servers (or a server and a caching proxy) can share one
+    process and one registry; experiments assert on a *specific*
+    instance's counts, so those stay local, while every increment also
+    lands in the registry counter that snapshots and ``GetStats``
+    export.  Increments come from concurrent dispatch threads, so the
+    local tally takes a lock too — experiments assert exact values.
+    """
+
+    __slots__ = ("local", "aggregate", "_lock")
+
+    def __init__(self, aggregate: Counter):
+        self.local = 0
+        self.aggregate = aggregate
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.local += amount
+        self.aggregate.inc(amount)
+
+
 class Gauge:
     """A value that can move both ways (queue depths, modes, sizes)."""
 

@@ -28,14 +28,50 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.errors import ServerError
-from repro.wire import BlockDiff, DiffRun, SegmentDiff
+from repro.wire import BlockDiff, DiffRun, SegmentDiff, decode_segment_diff
 
 
 def _covers(newer: DiffRun, older: DiffRun) -> bool:
     return (newer.prim_start <= older.prim_start
             and newer.prim_start + newer.prim_count
             >= older.prim_start + older.prim_count)
+
+
+def _surviving_runs(accumulated: List[DiffRun],
+                    incoming: List[DiffRun]) -> List[DiffRun]:
+    """Accumulated runs not fully covered by any single incoming run.
+
+    A run survives unless some newer run spans its whole range.  The
+    pairwise scan is O(n*m); for the large diffs relaxed coherence
+    produces, sort the incoming runs by start once and keep a running
+    maximum of their ends — among incoming runs starting at or before an
+    old run, one covers it iff that prefix's max end reaches the old
+    run's end.  searchsorted finds the prefix for all old runs at once.
+    """
+    if not accumulated or not incoming:
+        return list(accumulated)
+    if len(accumulated) * len(incoming) <= 64:
+        # tiny diffs (the common single-counter case): the array setup
+        # costs more than the scan it replaces
+        return [run for run in accumulated
+                if not any(_covers(newer, run) for newer in incoming)]
+    starts = np.fromiter((run.prim_start for run in incoming),
+                         np.int64, len(incoming))
+    ends = starts + np.fromiter((run.prim_count for run in incoming),
+                                np.int64, len(incoming))
+    order = np.argsort(starts, kind="stable")
+    starts = starts[order]
+    prefix_max_end = np.maximum.accumulate(ends[order])
+    old_starts = np.fromiter((run.prim_start for run in accumulated),
+                             np.int64, len(accumulated))
+    old_ends = old_starts + np.fromiter((run.prim_count for run in accumulated),
+                                        np.int64, len(accumulated))
+    prefix = np.searchsorted(starts, old_starts, side="right") - 1
+    covered = (prefix >= 0) & (prefix_max_end[np.maximum(prefix, 0)] >= old_ends)
+    return [run for run, dead in zip(accumulated, covered.tolist()) if not dead]
 
 
 def _merge_block(accumulated: Optional[BlockDiff], incoming: BlockDiff) -> BlockDiff:
@@ -51,8 +87,7 @@ def _merge_block(accumulated: Optional[BlockDiff], incoming: BlockDiff) -> Block
         return BlockDiff(serial=incoming.serial, runs=list(incoming.runs),
                          is_new=incoming.is_new, type_serial=incoming.type_serial,
                          name=incoming.name, version=incoming.version)
-    surviving = [run for run in accumulated.runs
-                 if not any(_covers(newer, run) for newer in incoming.runs)]
+    surviving = _surviving_runs(accumulated.runs, incoming.runs)
     return BlockDiff(
         serial=accumulated.serial,
         runs=surviving + list(incoming.runs),
@@ -92,3 +127,37 @@ def compose_diffs(parts: List[SegmentDiff]) -> SegmentDiff:
         block_diffs=[merged_blocks[serial] for serial in order],
         new_types=sorted(types.items()),
     )
+
+
+def compose_from_cache(cache, segment: str, from_version: int,
+                       to_version: int,
+                       max_span: int = 64) -> Optional[SegmentDiff]:
+    """Stitch cached diffs into one ``from_version -> to_version`` update.
+
+    Walks the cache greedily (longest cached step first) and composes the
+    chain; returns None when no complete chain exists, when the range is
+    wider than ``max_span`` (probing a long chain costs more than the
+    caller's fallback), or when a serial was freed and re-created within
+    the range.  Used by the origin server (falling back to a rebuild from
+    subblock versions) and by the caching proxy (falling back to
+    forwarding the request upstream).
+    """
+    if to_version - from_version > max_span:
+        return None
+    parts = []
+    at = from_version
+    while at < to_version:
+        step = None
+        for to in range(to_version, at, -1):
+            encoded = cache.get(segment, at, to)
+            if encoded is not None:
+                step = decode_segment_diff(encoded)
+                break
+        if step is None:
+            return None  # chain broken
+        parts.append(step)
+        at = step.to_version
+    try:
+        return compose_diffs(parts)
+    except ServerError:
+        return None

@@ -22,6 +22,8 @@ import threading
 from collections import OrderedDict
 from typing import Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry, get_registry
+
 Key = Tuple[str, int, int]  # (segment, from_version, to_version)
 
 
@@ -30,9 +32,15 @@ class DiffCache:
 
     Thread-safe: callers may ``get``/``put``/``invalidate_segment``
     concurrently from any number of dispatch threads.
+
+    Hit/miss tallies are kept per cache (experiments assert on one
+    server's cache) and dual-recorded into ``diff_cache.hits`` /
+    ``diff_cache.misses`` registry counters so the stats CLI and
+    benchmark sidecars see them alongside every other subsystem.
     """
 
-    def __init__(self, capacity_bytes: int = 16 * 1024 * 1024):
+    def __init__(self, capacity_bytes: int = 16 * 1024 * 1024,
+                 metrics: Optional[MetricsRegistry] = None):
         if capacity_bytes < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity_bytes = capacity_bytes
@@ -41,6 +49,13 @@ class DiffCache:
         self._bytes = 0
         self._hits = 0
         self._misses = 0
+        registry = metrics or get_registry()
+        self._m_hits = registry.counter(
+            "diff_cache.hits", "encoded diffs served from a diff cache")
+        self._m_misses = registry.counter(
+            "diff_cache.misses", "diff cache lookups that found nothing")
+        self._m_evictions = registry.counter(
+            "diff_cache.evictions", "entries evicted by the byte budget")
 
     def __len__(self) -> int:
         with self._lock:
@@ -53,11 +68,13 @@ class DiffCache:
 
     @property
     def hits(self) -> int:
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
-        return self._misses
+        with self._lock:
+            return self._misses
 
     def get(self, segment: str, from_version: int, to_version: int) -> Optional[bytes]:
         key = (segment, from_version, to_version)
@@ -65,16 +82,21 @@ class DiffCache:
             encoded = self._entries.get(key)
             if encoded is None:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return encoded
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        if encoded is None:
+            self._m_misses.inc()
+            return None
+        self._m_hits.inc()
+        return encoded
 
     def put(self, segment: str, from_version: int, to_version: int,
             encoded: bytes) -> None:
         if len(encoded) > self.capacity_bytes:
             return  # would evict everything for one oversized entry
         key = (segment, from_version, to_version)
+        evictions = 0
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
@@ -84,6 +106,9 @@ class DiffCache:
             while self._bytes > self.capacity_bytes:
                 _, evicted = self._entries.popitem(last=False)
                 self._bytes -= len(evicted)
+                evictions += 1
+        if evictions:
+            self._m_evictions.inc(evictions)
 
     def invalidate_segment(self, segment: str) -> None:
         """Drop every entry for one segment (used on checkpoint restore)."""

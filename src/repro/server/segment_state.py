@@ -31,6 +31,7 @@ from repro.arch import Architecture
 from repro.errors import ServerError, WireFormatError
 from repro.memory import AddressSpace, Heap, SegmentHeap
 from repro.types import TypeRegistry, flat_layout
+from repro.types.layout import merge_run_arrays
 from repro.wire import (
     BlockDiff,
     DiffRun,
@@ -39,6 +40,7 @@ from repro.wire import (
     apply_range,
     collect_range,
 )
+from repro.wire.translate import apply_runs, collect_runs
 
 #: The synthetic architecture server images are laid out in: big-endian and
 #: byte-packed, so fixed-size data is stored directly in wire format.
@@ -232,8 +234,6 @@ class ServerSegment:
             if created is not None:
                 created.append(serial)
         layout = flat_layout(block.info.descriptor, SERVER_ARCH)
-        from repro.wire.translate import apply_runs
-
         if not apply_runs(self._tctx, layout, block.info.address, block_diff.runs):
             for run in block_diff.runs:
                 end = apply_range(self._tctx, layout, block.info.address,
@@ -315,14 +315,10 @@ class ServerSegment:
             stale = np.flatnonzero(block.subblock_versions > client_version)
             if stale.size == 0:
                 return None
-            from repro.types.layout import merge_run_arrays
-
             starts, ends = merge_run_arrays(stale * SUBBLOCK_UNITS,
                                             (stale + 1) * SUBBLOCK_UNITS)
             ends = np.minimum(ends, block.prim_count)
         counts = ends - starts
-        from repro.wire.translate import collect_runs
-
         buffers = collect_runs(self._tctx, layout, block.info.address,
                                starts, counts)
         diff_runs = [

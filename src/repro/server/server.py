@@ -33,7 +33,7 @@ from typing import Dict, Optional
 
 from repro.coherence import CoherencePolicy
 from repro.errors import InterWeaveError, ServerError
-from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.metrics import DualCounter, MetricsRegistry, get_registry
 from repro.server.coherence import SegmentCoherence
 from repro.server.diff_cache import DiffCache
 from repro.server.segment_state import ServerSegment
@@ -68,30 +68,6 @@ from repro.wire.messages import (
 _log = logging.getLogger(__name__)
 
 
-class _DualCounter:
-    """A per-server tally that also feeds a process-wide aggregate.
-
-    Several servers can share one process (and one registry); experiments
-    assert on a *specific* server's counts, so those stay local, while
-    every increment also lands in the registry counter that snapshots and
-    ``GetStats`` export.  Increments come from concurrent dispatch
-    threads, so the local tally takes a lock too — experiments assert
-    exact values.
-    """
-
-    __slots__ = ("local", "aggregate", "_lock")
-
-    def __init__(self, aggregate):
-        self.local = 0
-        self.aggregate = aggregate
-        self._lock = threading.Lock()
-
-    def inc(self, amount: int = 1) -> None:
-        with self._lock:
-            self.local += amount
-        self.aggregate.inc(amount)
-
-
 class ServerStats:
     """Counters exposed for the experiments.
 
@@ -101,18 +77,18 @@ class ServerStats:
     """
 
     def __init__(self, metrics: MetricsRegistry):
-        self.diffs_applied_counter = _DualCounter(metrics.counter(
+        self.diffs_applied_counter = DualCounter(metrics.counter(
             "server.diffs_applied", "client write diffs applied"))
-        self.updates_built_counter = _DualCounter(metrics.counter(
+        self.updates_built_counter = DualCounter(metrics.counter(
             "server.updates_built", "update diffs rebuilt from subblock versions"))
-        self.updates_from_cache_counter = _DualCounter(metrics.counter(
+        self.updates_from_cache_counter = DualCounter(metrics.counter(
             "server.updates_served_from_cache",
             "update diffs served or composed from the diff cache"))
-        self.notifications_pushed_counter = _DualCounter(metrics.counter(
+        self.notifications_pushed_counter = DualCounter(metrics.counter(
             "server.notifications_pushed", "invalidations pushed to subscribers"))
-        self.lock_denials_counter = _DualCounter(metrics.counter(
+        self.lock_denials_counter = DualCounter(metrics.counter(
             "server.lock_denials", "write lock requests denied"))
-        self.lease_expiries_counter = _DualCounter(metrics.counter(
+        self.lease_expiries_counter = DualCounter(metrics.counter(
             "server.lease_expiries",
             "write locks reclaimed from clients whose lease lapsed"))
 
@@ -187,8 +163,8 @@ class InterWeaveServer(Dispatcher):
         #: server; a lapsed lease lets another writer reclaim the segment
         self.lease_duration = lease_duration
         self.segments: Dict[str, _SegmentEntry] = {}
-        self.diff_cache = DiffCache(diff_cache_bytes)
         self.metrics = metrics or get_registry()
+        self.diff_cache = DiffCache(diff_cache_bytes, metrics=self.metrics)
         self.stats = ServerStats(self.metrics)
         self._m_requests = self.metrics.counter(
             "server.requests", "protocol requests dispatched")
@@ -626,28 +602,12 @@ class InterWeaveServer(Dispatcher):
         """Stitch cached diffs into a multi-version update, if a complete
         chain exists — this keeps relaxed-coherence updates as precise as
         the writers' original diffs."""
-        from repro.server.compose import compose_diffs
-        from repro.wire import decode_segment_diff
+        from repro.server.compose import compose_from_cache
 
-        if state.version - client_version > 64:
-            return None  # probing a long chain costs more than rebuilding
-        parts = []
-        at = client_version
-        while at < state.version:
-            step = None
-            for to in range(state.version, at, -1):
-                encoded = self.diff_cache.get(state.name, at, to)
-                if encoded is not None:
-                    step = decode_segment_diff(encoded)
-                    break
-            if step is None:
-                return None  # chain broken: rebuild from subblock versions
-            parts.append(step)
-            at = step.to_version
-        try:
-            diff = compose_diffs(parts)
-        except ServerError:
-            return None
+        diff = compose_from_cache(self.diff_cache, state.name,
+                                  client_version, state.version)
+        if diff is None:
+            return None  # chain broken: rebuild from subblock versions
         self.stats.updates_from_cache_counter.inc()
         return diff
 

@@ -1,0 +1,91 @@
+"""Stand-alone caching proxy over TCP.
+
+Usage::
+
+    python -m repro.tools.proxy_main --origin-host H --origin-port P
+        [--name NAME] [--host H] [--port P] [--max-staleness S]
+
+Runs a :class:`~repro.proxy.CachingProxy` behind a
+:class:`~repro.transport.TCPServerTransport`.  Downstream clients
+connect with :class:`~repro.transport.TCPChannel` (or a multiplexed
+channel) exactly as they would to a server; upstream the proxy shares
+one multiplexed connection to the origin
+(:class:`~repro.transport.MuxConnectionPool`) across all forwarded
+traffic.  Plain TCP cannot push, so freshness comes from the
+``--max-staleness`` window (see ``docs/PROTOCOL.md`` §"Relay tier").
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro.proxy import CachingProxy
+from repro.transport import MuxConnectionPool, RetryPolicy, TCPServerTransport
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-proxy",
+        description="Relay InterWeave segments from an origin server.")
+    parser.add_argument("--name", default="server",
+                        help="server name clients address (segment names are "
+                             "name/path; must match the origin's naming)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="address to listen on for downstream clients")
+    parser.add_argument("--port", type=int, default=0,
+                        help="downstream TCP port (0 = pick a free one)")
+    parser.add_argument("--origin-host", required=True,
+                        help="origin server address")
+    parser.add_argument("--origin-port", type=int, required=True,
+                        help="origin server port")
+    parser.add_argument("--max-staleness", type=float, default=0.05,
+                        help="seconds the relay may serve coherence decisions "
+                             "without contacting the origin")
+    parser.add_argument("--diff-cache-mb", type=int, default=16,
+                        help="relay diff cache capacity in MiB")
+    parser.add_argument("--upstream-timeout", type=float, default=10.0,
+                        help="origin request timeout in seconds")
+    return parser
+
+
+def serve(args, ready_event: "threading.Event" = None,
+          stop_event: "threading.Event" = None) -> int:
+    """Run the proxy until ``stop_event`` (or SIGINT).  Returns 0."""
+    pool = MuxConnectionPool(
+        {args.name: (args.origin_host, args.origin_port)},
+        timeout=args.upstream_timeout, retry=RetryPolicy())
+    proxy = CachingProxy(
+        args.name, connector=pool.connect,
+        diff_cache_bytes=args.diff_cache_mb * 1024 * 1024,
+        max_staleness=args.max_staleness)
+    transport = TCPServerTransport(proxy, host=args.host, port=args.port)
+    print(f"[repro-proxy] {args.name!r} listening on "
+          f"{transport.host}:{transport.port}, origin at "
+          f"{args.origin_host}:{args.origin_port}", flush=True)
+    if ready_event is not None:
+        ready_event.ready_port = transport.port  # type: ignore[attr-defined]
+        ready_event.set()
+    stop = stop_event or threading.Event()
+    try:
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+    except ValueError:
+        pass  # not the main thread (tests)
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        transport.close()
+        proxy.close()
+        pool.close()
+    return 0
+
+
+def main(argv=None) -> int:
+    return serve(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,11 @@
 """Tests for cached-diff composition (multi-version updates)."""
 
+import random
+
 import pytest
 
 from repro.errors import ServerError
-from repro.server.compose import compose_diffs
+from repro.server.compose import _covers, _surviving_runs, compose_diffs
 from repro.wire import BlockDiff, DiffRun, SegmentDiff
 
 
@@ -71,6 +73,53 @@ class TestRunMerging:
         ])
         (block,) = result.block_diffs
         assert len(block.runs) == 2
+
+
+class TestSurvivingRunsSweep:
+    """The sorted-interval sweep must be indistinguishable from the
+    naive O(n*m) pairwise scan it replaced."""
+
+    @staticmethod
+    def naive(accumulated, incoming):
+        return [run for run in accumulated
+                if not any(_covers(newer, run) for newer in incoming)]
+
+    @staticmethod
+    def random_runs(rng, count, span=5000, max_width=40):
+        return [DiffRun(rng.randrange(span), rng.randrange(1, max_width), b"")
+                for _ in range(count)]
+
+    def test_many_runs_matches_naive(self):
+        rng = random.Random(2003)
+        for _ in range(10):
+            accumulated = self.random_runs(rng, 250)
+            incoming = self.random_runs(rng, 250)
+            assert (_surviving_runs(accumulated, incoming)
+                    == self.naive(accumulated, incoming))
+
+    def test_duplicate_starts_and_exact_spans(self):
+        """Adversarial shapes for the prefix-max trick: several incoming
+        runs sharing a start (the widest must win for all of them) and
+        old runs exactly coinciding with incoming ones."""
+        rng = random.Random(7)
+        accumulated = self.random_runs(rng, 100, span=50, max_width=8)
+        incoming = [DiffRun(run.prim_start, run.prim_count, b"")
+                    for run in accumulated[::2]]
+        incoming += [DiffRun(10, width, b"") for width in (1, 9, 3)]
+        assert (_surviving_runs(accumulated, incoming)
+                == self.naive(accumulated, incoming))
+
+    def test_small_inputs_use_the_same_semantics(self):
+        rng = random.Random(11)
+        accumulated = self.random_runs(rng, 6, span=30, max_width=6)
+        incoming = self.random_runs(rng, 6, span=30, max_width=6)
+        assert (_surviving_runs(accumulated, incoming)
+                == self.naive(accumulated, incoming))
+
+    def test_empty_sides(self):
+        runs = [DiffRun(0, 4, b"abcd")]
+        assert _surviving_runs([], runs) == []
+        assert _surviving_runs(runs, []) == runs
 
 
 class TestLifecycle:
@@ -158,3 +207,72 @@ class TestServerIntegration:
         # and the composed diff is single-unit precise, not subblock-sized
         received = reader._channels["h"].stats.bytes_received - received_before
         assert received < 200
+
+    def test_freed_then_recreated_falls_back_to_rebuild(self):
+        """A serial freed and re-created inside the client's catch-up
+        range cannot be expressed as one composed diff: the server's
+        validation path must detect that, fall back to rebuilding from
+        subblock versions, and still produce a correct update."""
+        import struct
+
+        from repro import InterWeaveServer
+        from repro.types import INT, TypeRegistry
+        from repro.wire.messages import (
+            COHERENCE_FULL,
+            LOCK_READ,
+            LOCK_WRITE,
+            LockAcquireReply,
+            LockAcquireRequest,
+            LockReleaseRequest,
+            OpenSegmentRequest,
+            decode_message,
+            encode_message,
+        )
+
+        server = InterWeaveServer("h")
+        registry = TypeRegistry()
+        type_serial = registry.register(INT)
+        encoded_int = registry.encoded(type_serial)
+
+        def rpc(client_id, message):
+            return decode_message(
+                server.dispatch(client_id, encode_message(message)))
+
+        def write(version, blocks, types=()):
+            rpc("w", LockAcquireRequest("h/s", LOCK_WRITE, "w", version))
+            rpc("w", LockReleaseRequest("h/s", LOCK_WRITE, "w", SegmentDiff(
+                "h/s", version, version + 1, blocks, list(types))))
+
+        rpc("w", OpenSegmentRequest("h/s", create=True, client_id="w"))
+        write(0, [BlockDiff(serial=1, is_new=True, type_serial=type_serial,
+                            name="a",
+                            runs=[DiffRun(0, 1, struct.pack(">i", 7))])],
+              types=[(type_serial, encoded_int)])
+
+        # a reader caches version 1
+        first = rpc("r", LockAcquireRequest("h/s", LOCK_READ, "r", 0,
+                                            COHERENCE_FULL))
+        assert isinstance(first, LockAcquireReply) and first.version == 1
+        rpc("r", LockReleaseRequest("h/s", LOCK_READ, "r", None))
+
+        # the same serial is freed (v2) then re-created (v3)
+        write(1, [BlockDiff(serial=1, freed=True)])
+        write(2, [BlockDiff(serial=1, is_new=True, type_serial=type_serial,
+                            name="a",
+                            runs=[DiffRun(0, 1, struct.pack(">i", 9))])])
+
+        built_before = server.stats.updates_built
+        cached_before = server.stats.updates_served_from_cache
+        reply = rpc("r", LockAcquireRequest("h/s", LOCK_READ, "r", 1,
+                                            COHERENCE_FULL))
+        assert isinstance(reply, LockAcquireReply) and reply.granted
+        # the composed chain was rejected; the rebuild served instead
+        assert server.stats.updates_built == built_before + 1
+        assert server.stats.updates_served_from_cache == cached_before
+        update = reply.diff
+        assert (update.from_version, update.to_version) == (1, 3)
+        by_shape = {(bd.freed, bd.is_new): bd for bd in update.block_diffs}
+        assert (True, False) in by_shape  # the tombstone reaches the reader
+        recreated = by_shape[(False, True)]
+        assert recreated.serial == 1
+        assert recreated.runs[0].data == struct.pack(">i", 9)

@@ -72,3 +72,29 @@ class TestEviction:
         cache.get("s", 1, 2)
         cache.get("s", 9, 9)
         assert cache.hit_rate == 0.5
+
+
+class TestMetrics:
+    def test_hits_misses_and_evictions_reach_the_registry(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = DiffCache(8, metrics=registry)
+        cache.get("s", 1, 2)  # miss
+        cache.put("s", 1, 2, b"aaaa")
+        cache.get("s", 1, 2)  # hit
+        cache.put("s", 2, 3, b"bbbb")
+        cache.put("s", 3, 4, b"cccc")  # evicts the LRU entry
+        counters = registry.snapshot()["counters"]
+        assert counters["diff_cache.hits"] == 1
+        assert counters["diff_cache.misses"] == 1
+        assert counters["diff_cache.evictions"] == 1
+        # the local tallies agree with the registry
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_no_registry_still_counts_locally(self):
+        cache = DiffCache(1024)
+        cache.get("s", 1, 2)
+        cache.put("s", 1, 2, b"x")
+        cache.get("s", 1, 2)
+        assert cache.hits == 1 and cache.misses == 1

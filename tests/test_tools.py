@@ -55,6 +55,65 @@ class TestServerTool:
         assert args.checkpoint_every == 16
 
 
+class TestProxyTool:
+    def test_serve_relays_an_origin(self):
+        from repro.tools import proxy_main, server_main
+
+        origin_args = server_main.build_parser().parse_args(
+            ["--name", "tool", "--port", "0"])
+        origin_ready, origin_stop = threading.Event(), threading.Event()
+        origin_thread = threading.Thread(
+            target=server_main.serve,
+            args=(origin_args, origin_ready, origin_stop), daemon=True)
+        origin_thread.start()
+        assert origin_ready.wait(5)
+
+        proxy_args = proxy_main.build_parser().parse_args([
+            "--name", "tool", "--port", "0",
+            "--origin-host", "127.0.0.1",
+            "--origin-port", str(origin_ready.ready_port)])
+        proxy_ready, proxy_stop = threading.Event(), threading.Event()
+        proxy_thread = threading.Thread(
+            target=proxy_main.serve,
+            args=(proxy_args, proxy_ready, proxy_stop), daemon=True)
+        proxy_thread.start()
+        assert proxy_ready.wait(5)
+        try:
+            def connector(server_name, client_id):
+                return TCPChannel("127.0.0.1", proxy_ready.ready_port,
+                                  client_id)
+
+            writer = InterWeaveClient("w", X86_32, connector)
+            seg = writer.open_segment("tool/data")
+            writer.wl_acquire(seg)
+            writer.malloc(seg, INT, name="v").set(42)
+            writer.wl_release(seg)
+
+            reader = InterWeaveClient("r", SPARC_V9, connector)
+            seg_r = reader.open_segment("tool/data", create=False)
+            reader.rl_acquire(seg_r)
+            assert reader.accessor_for(seg_r, "v").get() == 42
+            reader.rl_release(seg_r)
+            # the stats RPC is answered by the relay itself
+            stats = reader.server_stats("tool")
+            assert stats["proxy"]["origin"] == "tool"
+            assert stats["proxy"]["hits"] >= 1
+        finally:
+            proxy_stop.set()
+            proxy_thread.join(timeout=5)
+            origin_stop.set()
+            origin_thread.join(timeout=5)
+
+    def test_parser_defaults(self):
+        from repro.tools.proxy_main import build_parser
+
+        args = build_parser().parse_args(
+            ["--origin-host", "127.0.0.1", "--origin-port", "9"])
+        assert args.name == "server"
+        assert args.max_staleness == pytest.approx(0.05)
+        assert args.diff_cache_mb == 16
+
+
 class TestInspectTool:
     def test_describe_checkpoint(self, tmp_path, capsys):
         from repro.tools.inspect_main import main
