@@ -1,0 +1,385 @@
+#!/usr/bin/env python3
+"""Multi-origin sharding: write throughput vs origin count (not a paper
+figure).
+
+The paper scales InterWeave by partitioning the segment namespace across
+servers by URL prefix.  ``repro.cluster`` replaces that static rule with
+a segment directory (consistent hashing + pins) and live migration, so
+one namespace can spread over any number of origins.  This benchmark
+prices the part that matters: **aggregate write throughput scales with
+the origin count**, because independent segments stop queueing behind
+one server's dispatch capacity.
+
+Each origin is wrapped in a :class:`MeteredDispatcher` that serializes
+its requests and charges ``SERVICE_TIME`` per request with a real
+``time.sleep`` — the single-core CI box cannot run four origins on four
+cores, but sleeps release the GIL, so K metered origins genuinely serve
+K requests concurrently and the measured scaling is honest wall-clock
+queueing behavior, not a simulation artifact.
+
+Workload: ``SEGMENTS`` independent segments, pinned round-robin across
+the origins through the directory; one writer thread per segment
+(``wl_acquire`` / set an int / ``wl_release``) plus one reader thread
+per segment (validating reads, notifications disabled so every
+validation reaches an origin).  The run repeats for 1, 2, and 4 origins;
+the acceptance bar (asserted by the pytest entries below) is >= 1.7x
+aggregate write throughput at 4 origins vs 1.
+
+A second scenario re-checks the tentpole safety claim under load: a hot
+segment migrates between origins while writers hammer it.  Every commit
+must survive (final origin version == successful write sections) and no
+client operation may fail — redirect chasing and write-denial retries
+are invisible to the workload.
+
+Results land in ``BENCH_cluster.json`` at the repo root plus a metrics
+sidecar in ``benchmarks/out/``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+
+or as a test::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cluster.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro import (
+    ClientOptions,
+    ClusterCoordinator,
+    DirectoryResolver,
+    InProcHub,
+    InterWeaveClient,
+    InterWeaveServer,
+    MetricsRegistry,
+    SegmentDirectory,
+)
+from repro.arch import X86_32
+from repro.obs import get_registry, write_sidecar
+from repro.transport.base import Dispatcher
+from repro.types import INT
+
+ORIGIN_COUNTS = (1, 2, 4)
+SEGMENTS = int(os.environ.get("REPRO_BENCH_CLUSTER_SEGMENTS", "8"))
+DURATION = float(os.environ.get("REPRO_BENCH_CLUSTER_SECONDS", "1.0"))
+#: charged per request at each origin; models a server's dispatch cost
+#: (decode + lock + diff work + encode) on its own core
+SERVICE_TIME = float(os.environ.get("REPRO_BENCH_CLUSTER_SERVICE_TIME",
+                                    "0.001"))
+MIGRATION_ROUNDS = int(os.environ.get("REPRO_BENCH_CLUSTER_MIGRATIONS", "4"))
+OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_PATH = os.path.join(REPO_ROOT, "BENCH_cluster.json")
+
+
+class MeteredDispatcher(Dispatcher):
+    """One origin's service capacity: serialized requests, a fixed
+    service time each.  The sleep releases the GIL, so distinct metered
+    origins serve concurrently — exactly the resource the cluster
+    shards."""
+
+    def __init__(self, inner: Dispatcher, service_time: float):
+        self.inner = inner
+        self.service_time = service_time
+        self._lock = threading.Lock()
+
+    def dispatch(self, client_id: str, data: bytes) -> bytes:
+        with self._lock:
+            time.sleep(self.service_time)
+            return self.inner.dispatch(client_id, data)
+
+
+class Cluster:
+    """K metered origins + a directory + a coordinator on one hub."""
+
+    def __init__(self, origin_count: int):
+        self.hub = InProcHub()
+        self.origin_names = [f"origin-{k}" for k in range(origin_count)]
+        self.servers = {}
+        for name in self.origin_names:
+            server = InterWeaveServer(name, sink=self.hub,
+                                      metrics=MetricsRegistry())
+            self.servers[name] = server
+            self.hub.register_server(
+                name, MeteredDispatcher(server, SERVICE_TIME))
+        self.directory = SegmentDirectory(origins=self.origin_names,
+                                          metrics=MetricsRegistry())
+        self.hub.register_server("directory", self.directory)
+        self.coordinator = ClusterCoordinator(self.directory,
+                                              self.hub.connect)
+
+    def pin_round_robin(self, segments) -> None:
+        for index, segment in enumerate(segments):
+            origin = self.origin_names[index % len(self.origin_names)]
+            self.directory.bind(segment, origin, pinned=True)
+
+    def client(self, name: str) -> InterWeaveClient:
+        return InterWeaveClient(
+            name, X86_32, self.hub.connect,
+            resolver=DirectoryResolver(self.hub.connect, client_id=name),
+            options=ClientOptions(enable_notifications=False))
+
+    def close(self) -> None:
+        self.coordinator.close()
+
+
+def _run_origin_count(origin_count: int, duration: float) -> dict:
+    cluster = Cluster(origin_count)
+    segment_names = [f"app/seg-{k}" for k in range(SEGMENTS)]
+    cluster.pin_round_robin(segment_names)
+
+    writers, readers = [], []
+    for k, name in enumerate(segment_names):
+        writer = cluster.client(f"w{k}")
+        seg = writer.open_segment(name)
+        writer.wl_acquire(seg)
+        writer.malloc(seg, INT, name="v").set(0)
+        writer.wl_release(seg)
+        writers.append((writer, seg))
+        reader = cluster.client(f"r{k}")
+        seg_r = reader.open_segment(name, create=False)
+        readers.append((reader, seg_r))
+
+    stop = threading.Event()
+    write_sections = [0] * SEGMENTS
+    read_sections = [0] * SEGMENTS
+    failures = []
+
+    def write_loop(k: int, client, seg) -> None:
+        try:
+            while not stop.is_set():
+                client.wl_acquire(seg)
+                client.accessor_for(seg, "v").set(write_sections[k] + 1)
+                client.wl_release(seg)
+                write_sections[k] += 1
+        except Exception as exc:  # noqa: BLE001 — the acceptance bar
+            failures.append(exc)
+
+    def read_loop(k: int, client, seg) -> None:
+        try:
+            while not stop.is_set():
+                client.rl_acquire(seg)
+                client.accessor_for(seg, "v").get()
+                client.rl_release(seg)
+                read_sections[k] += 1
+        except Exception as exc:  # noqa: BLE001
+            failures.append(exc)
+
+    threads = [threading.Thread(target=write_loop, args=(k, c, s))
+               for k, (c, s) in enumerate(writers)]
+    threads += [threading.Thread(target=read_loop, args=(k, c, s))
+                for k, (c, s) in enumerate(readers)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(duration)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    for client, _ in writers + readers:
+        client.close()
+    cluster.close()
+    if failures:
+        raise failures[0]
+
+    writes, reads = sum(write_sections), sum(read_sections)
+    return {
+        "origins": origin_count,
+        "write_sections": writes,
+        "write_sections_per_s": writes / elapsed,
+        "read_sections": reads,
+        "read_sections_per_s": reads / elapsed,
+        "duration_s": elapsed,
+    }
+
+
+def run_scaling(duration: float = DURATION) -> dict:
+    by_origins = {}
+    for origin_count in ORIGIN_COUNTS:
+        by_origins[str(origin_count)] = _run_origin_count(origin_count,
+                                                          duration)
+    base = by_origins[str(ORIGIN_COUNTS[0])]["write_sections_per_s"]
+    top = by_origins[str(ORIGIN_COUNTS[-1])]["write_sections_per_s"]
+    return {
+        "by_origins": by_origins,
+        "scaling_4_vs_1": top / max(base, 1e-9),
+        "config": {
+            "segments": SEGMENTS,
+            "service_time_s": SERVICE_TIME,
+            "duration_s": duration,
+            "workload": "per segment: one writer (wl_acquire / set int / "
+                        "wl_release) + one validating reader; segments "
+                        "pinned round-robin across metered origins",
+        },
+    }
+
+
+def run_migration_under_load(duration: float = DURATION) -> dict:
+    """Migrate a hot segment back and forth under write load; account
+    for every committed version."""
+    cluster = Cluster(2)
+    segment_name = "app/hot"
+    cluster.directory.bind(segment_name, "origin-0", pinned=True)
+
+    writer_count = 4
+    writers = []
+    seed = cluster.client("seed")
+    seg = seed.open_segment(segment_name)
+    seed.wl_acquire(seg)
+    seed.malloc(seg, INT, name="v").set(0)
+    seed.wl_release(seg)
+    seed_version = seg.version
+    seed.close()
+    for k in range(writer_count):
+        client = cluster.client(f"mw{k}")
+        writers.append((client, client.open_segment(segment_name,
+                                                    create=False)))
+
+    stop = threading.Event()
+    sections = [0] * writer_count
+    failures = []
+
+    def write_loop(k: int, client, segment) -> None:
+        try:
+            while not stop.is_set():
+                client.wl_acquire(segment)
+                # distinct residues mod writer_count: every write changes
+                # the value, so every release carries a diff and bumps the
+                # version — the accounting below depends on it
+                client.accessor_for(segment, "v").set(
+                    k + writer_count * (sections[k] + 1))
+                client.wl_release(segment)
+                sections[k] += 1
+        except Exception as exc:  # noqa: BLE001 — the acceptance bar
+            failures.append(exc)
+
+    threads = [threading.Thread(target=write_loop, args=(k, c, s))
+               for k, (c, s) in enumerate(writers)]
+    for thread in threads:
+        thread.start()
+
+    migrations = 0
+    targets = ["origin-1", "origin-0"]
+    deadline = time.perf_counter() + duration
+    while time.perf_counter() < deadline:
+        cluster.coordinator.migrate(segment_name, targets[migrations % 2])
+        migrations += 1
+        time.sleep(duration / max(MIGRATION_ROUNDS, 1))
+    stop.set()
+    for thread in threads:
+        thread.join()
+
+    final_origin = cluster.directory.lookup(segment_name)[0]
+    state = cluster.servers[final_origin].segments[segment_name].state
+    committed = sum(sections)
+    result = {
+        "writers": writer_count,
+        "migrations": migrations,
+        "write_sections": committed,
+        "failed_operations": len(failures),
+        "final_origin": final_origin,
+        "final_version": state.version,
+        "expected_version": seed_version + committed,
+        "lost_versions": (seed_version + committed) - state.version,
+        "redirects_followed": sum(c.stats.redirects_followed
+                                  for c, _ in writers),
+    }
+    for client, _ in writers:
+        client.close()
+    cluster.close()
+    if failures:
+        raise failures[0]
+    return result
+
+
+# =============================================================================
+# orchestration, acceptance tests, CLI
+# =============================================================================
+
+def run_all(duration: float = DURATION) -> dict:
+    registry = get_registry()
+    registry.reset()
+    results = {
+        "scaling": run_scaling(duration),
+        "migration_under_load": run_migration_under_load(duration),
+    }
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    write_sidecar(os.path.join(OUT_DIR, "bench_cluster.metrics.json"),
+                  registry.snapshot())
+    return results
+
+
+_cache: dict = {}
+
+
+def _results() -> dict:
+    if "results" not in _cache:
+        _cache["results"] = run_all()
+    return _cache["results"]
+
+
+def test_cluster_write_scaling():
+    """Aggregate write throughput at 4 origins must be >= 1.7x the
+    single-origin rate (observed: ~3-4x — near-linear, since the pinned
+    segments shard perfectly and the metered origins serve
+    concurrently)."""
+    scaling = _results()["scaling"]
+    for row in scaling["by_origins"].values():
+        assert row["write_sections"] > 0, row
+    assert scaling["scaling_4_vs_1"] >= 1.7, scaling
+
+
+def test_migration_under_load_loses_nothing():
+    """Live migration under write load: zero lost committed versions —
+    the version counter at the final origin accounts for every
+    successful release."""
+    migration = _results()["migration_under_load"]
+    assert migration["migrations"] >= 2, migration
+    assert migration["write_sections"] > 0, migration
+    assert migration["lost_versions"] == 0, migration
+
+
+def test_migration_under_load_fails_no_operations():
+    """No client operation may fail during migration; redirects and
+    denial retries are absorbed by the client library."""
+    migration = _results()["migration_under_load"]
+    assert migration["failed_operations"] == 0, migration
+    assert migration["redirects_followed"] >= 1, migration
+
+
+def main() -> None:
+    results = _results()
+    scaling = results["scaling"]
+    config = scaling["config"]
+    print(f"cluster write scaling ({config['segments']} segments, "
+          f"{config['service_time_s'] * 1e3:.1f} ms service time/request, "
+          f"{config['duration_s']:.1f}s per origin count)")
+    print(f"{'origins':>8s} {'writes/s':>10s} {'reads/s':>10s}")
+    for count in ORIGIN_COUNTS:
+        row = scaling["by_origins"][str(count)]
+        print(f"{count:>8d} {row['write_sections_per_s']:10.0f} "
+              f"{row['read_sections_per_s']:10.0f}")
+    print(f"scaling 4 vs 1: {scaling['scaling_4_vs_1']:.2f}x "
+          "(acceptance bar: 1.7x)")
+    migration = results["migration_under_load"]
+    print(f"migration under load: {migration['migrations']} migrations, "
+          f"{migration['write_sections']} writes, "
+          f"{migration['lost_versions']} lost, "
+          f"{migration['failed_operations']} failed ops, "
+          f"{migration['redirects_followed']} redirects followed")
+    print(f"[results -> {os.path.relpath(RESULTS_PATH)}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,13 @@ inventory.
 
 from repro import arch, coherence, types, util, wire
 from repro.client import ClientOptions, InterWeaveClient, Segment
+from repro.client.routing import Resolver, StaticResolver
+from repro.cluster import (
+    ClusterCoordinator,
+    DirectoryResolver,
+    HashRing,
+    SegmentDirectory,
+)
 from repro.client.api import (
     IW_free,
     IW_get_version,
@@ -62,6 +69,9 @@ __version__ = "1.0.0"
 __all__ = [
     "CachingProxy",
     "ClientOptions",
+    "ClusterCoordinator",
+    "DirectoryResolver",
+    "HashRing",
     "FaultInjectingChannel",
     "FaultPlan",
     "InProcHub",
@@ -88,9 +98,12 @@ __all__ = [
     "NetworkModel",
     "ReplyCache",
     "ReplyFuture",
+    "Resolver",
     "RetryPolicy",
     "RetryingChannel",
     "Segment",
+    "SegmentDirectory",
+    "StaticResolver",
     "TCPChannel",
     "TCPServerTransport",
     "Tracer",

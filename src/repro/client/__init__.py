@@ -9,6 +9,7 @@ from repro.client.client import (
 )
 from repro.client.collect import CollectTimers, collect_write_diff
 from repro.client.nodiff import NoDiffController
+from repro.client.routing import Resolver, StaticResolver
 from repro.client import api
 
 __all__ = [
@@ -18,7 +19,9 @@ __all__ = [
     "CollectTimers",
     "InterWeaveClient",
     "NoDiffController",
+    "Resolver",
     "Segment",
+    "StaticResolver",
     "api",
     "apply_update",
     "collect_write_diff",

@@ -31,12 +31,14 @@ from repro.client.apply import ApplyStats, apply_update
 from repro.client.collect import CollectTimers, collect_write_diff
 from repro.client.nodiff import NoDiffController
 from repro.coherence import AdaptivePoller, CoherencePolicy, full
+from repro.client.routing import Resolver, StaticResolver
 from repro.errors import (
     BlockError,
     LockError,
     MIPError,
     SegmentError,
     ServerError,
+    WrongServerError,
 )
 from repro.memory import (
     Accessor,
@@ -71,6 +73,7 @@ from repro.wire.messages import (
     NotifyInvalidate,
     OpenSegmentReply,
     OpenSegmentRequest,
+    RedirectReply,
     SubscribeReply,
     SubscribeRequest,
     decode_message,
@@ -93,6 +96,10 @@ class ClientOptions:
     block_full_threshold: float = 0.75
     lock_retry_interval: float = 0.001
     lock_max_retries: int = 100000
+    #: WrongServer redirects a single operation may chase before giving
+    #: up (a migration moves a segment once; chains only appear when it
+    #: moves again mid-retry)
+    redirect_max_follows: int = 4
 
 
 @dataclass
@@ -107,6 +114,7 @@ class ClientStats:
     validations_sent: int = 0
     lock_denials_seen: int = 0
     twins_created: int = 0
+    redirects_followed: int = 0
 
 
 class Segment:
@@ -163,8 +171,14 @@ class InterWeaveClient:
 
     ``connector(server_name, client_id)`` opens a channel to the named
     server; an :class:`~repro.transport.InProcHub`\'s ``connect`` method is
-    the usual value.  The server for a segment is the first path component
-    of the segment's URL (``"host/name"`` is served by ``"host"``).
+    the usual value.  ``resolver`` decides which server a segment name
+    routes to — by default a :class:`~repro.client.routing.StaticResolver`,
+    which keeps the paper's rule that the server is the first path
+    component of the segment's URL (``"host/name"`` is served by
+    ``"host"``); a :class:`~repro.cluster.DirectoryResolver` routes
+    through a cluster's segment directory instead.  Either way, a
+    WrongServer redirect updates the resolver's binding and the request
+    is retried at the origin the redirect named.
     """
 
     def __init__(self, client_id: str, arch: Architecture,
@@ -172,10 +186,12 @@ class InterWeaveClient:
                  clock: Optional[Clock] = None,
                  options: Optional[ClientOptions] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 resolver: Optional[Resolver] = None):
         self.client_id = client_id
         self.arch = arch
         self.connector = connector
+        self.resolver = resolver or StaticResolver()
         self.clock = clock or WallClock()
         self.options = options or ClientOptions()
         self.stats = ClientStats()
@@ -195,6 +211,9 @@ class InterWeaveClient:
             "client.validations_skipped", "read acquires satisfied locally")
         self._m_lock_denials = self.metrics.counter(
             "client.lock_denials_seen", "write lock denials observed")
+        self._m_redirects = self.metrics.counter(
+            "client.redirects_followed",
+            "WrongServer redirects chased to a new origin")
         self._api_lock = threading.RLock()
         self.memory = AddressSpace(metrics=self.metrics)
         self.memory.fault_handler = self._on_write_fault
@@ -213,15 +232,18 @@ class InterWeaveClient:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def server_of(segment_name: str) -> str:
-        server, _, rest = segment_name.partition("/")
-        if not server or not rest:
-            raise SegmentError(
-                f"segment URL {segment_name!r} must look like 'server/path'")
-        return server
+    def server_of(segment_name: str, default: Optional[str] = None) -> str:
+        """Static URL-prefix routing (no instance state consulted).
+
+        ``default`` routes bare names (no '/') to a fixed server; without
+        it they raise, as malformed URLs always have.  Instances route
+        through ``self.resolver`` instead — this stays for callers that
+        need the parse rule by itself.
+        """
+        return StaticResolver(default_server=default).resolve(segment_name)
 
     def _channel_for(self, segment_name: str) -> Channel:
-        server = self.server_of(segment_name)
+        server = self.resolver.resolve(segment_name)
         channel = self._channels.get(server)
         if channel is None:
             channel = self.connector(server, self.client_id)
@@ -237,7 +259,11 @@ class InterWeaveClient:
         have been missed and the server may have forgotten subscriptions,
         so every segment served over it falls back to polling."""
         for name, segment in self.segments.items():
-            if self.server_of(name) == server:
+            try:
+                routed = self.resolver.resolve(name)
+            except SegmentError:
+                continue
+            if routed == server:
                 segment.poller.on_disconnect()
 
     @_locked
@@ -249,10 +275,11 @@ class InterWeaveClient:
         segment = self.segments.get(name)
         if segment is not None:
             return segment
-        channel = self._channel_for(name)
-        reply = self._rpc(channel, OpenSegmentRequest(name, create, self.client_id))
+        reply = self._rpc_named(name, OpenSegmentRequest(name, create,
+                                                         self.client_id))
         if not isinstance(reply, OpenSegmentReply):
             raise ServerError(f"unexpected reply {type(reply).__name__}")
+        channel = self._channel_for(name)
         heap = SegmentHeap(name, self.heap_root, self.arch)
         segment = Segment(name, heap, channel, channel.can_push,
                           metrics=self.metrics)
@@ -287,8 +314,7 @@ class InterWeaveClient:
         segment = self.segments.get(name)
         if segment is not None:
             self.close_segment(segment)
-        channel = self._channel_for(name)
-        reply = self._rpc(channel, DeleteSegmentRequest(name, self.client_id))
+        reply = self._rpc_named(name, DeleteSegmentRequest(name, self.client_id))
         if not isinstance(reply, DeleteSegmentReply):
             raise ServerError(f"unexpected reply {type(reply).__name__}")
         return reply.deleted
@@ -358,6 +384,7 @@ class InterWeaveClient:
         for channel in self._channels.values():
             channel.close()
         self._channels.clear()
+        self.resolver.close()
 
     # ------------------------------------------------------------------
     # allocation
@@ -446,7 +473,7 @@ class InterWeaveClient:
                 segment.policy.kind, segment.policy.param, self.clock.now())
             retries = 0
             while True:
-                reply = self._rpc(segment.channel, request)
+                reply = self._rpc_segment(segment, request)
                 if not isinstance(reply, LockAcquireReply):
                     raise ServerError(f"unexpected reply {type(reply).__name__}")
                 if reply.granted:
@@ -482,7 +509,7 @@ class InterWeaveClient:
         payload = diff if (diff.block_diffs or diff.new_types) else None
         span.set_attr("payload_bytes",
                       0 if payload is None else payload.payload_bytes())
-        reply = self._rpc(segment.channel, LockReleaseRequest(
+        reply = self._rpc_segment(segment, LockReleaseRequest(
             segment.name, LOCK_WRITE, self.client_id, payload))
         if not isinstance(reply, LockReleaseReply):
             raise ServerError(f"unexpected reply {type(reply).__name__}")
@@ -573,7 +600,7 @@ class InterWeaveClient:
         request = LockAcquireRequest(
             segment.name, LOCK_READ, self.client_id, segment.version,
             segment.policy.kind, segment.policy.param, self.clock.now())
-        reply = self._rpc(segment.channel, request)
+        reply = self._rpc_segment(segment, request)
         if not isinstance(reply, LockAcquireReply):
             raise ServerError(f"unexpected reply {type(reply).__name__}")
         self.stats.validations_sent += 1
@@ -583,13 +610,13 @@ class InterWeaveClient:
         segment.poller.on_validated(reply.version, reply.diff is not None,
                                     self.clock.now())
         if self.options.enable_notifications and segment.poller.wants_subscription():
-            sub = self._rpc(segment.channel, SubscribeRequest(
+            sub = self._rpc_segment(segment, SubscribeRequest(
                 segment.name, self.client_id, True))
             if isinstance(sub, SubscribeReply) and sub.enabled:
                 segment.poller.on_subscribed()
         elif segment.poller.wants_unsubscription():
             # writes are outpacing reads: pushes cost more than they save
-            self._rpc(segment.channel, SubscribeRequest(
+            self._rpc_segment(segment, SubscribeRequest(
                 segment.name, self.client_id, False))
             segment.poller.on_unsubscribed()
 
@@ -702,7 +729,7 @@ class InterWeaveClient:
         if segment is None:
             segment = self.open_segment(segment_name, create=False)
         if not segment.has_data and not segment.heap.blk_number_tree:
-            reply = self._rpc(segment.channel, FetchRequest(
+            reply = self._rpc_segment(segment, FetchRequest(
                 segment.name, self.client_id, 0, meta_only=True))
             if not isinstance(reply, FetchReply):
                 raise ServerError(f"unexpected reply {type(reply).__name__}")
@@ -733,7 +760,48 @@ class InterWeaveClient:
         reply = decode_message(channel.request(encode_message(request)))
         if isinstance(reply, ErrorReply):
             raise ServerError(reply.message)
+        if isinstance(reply, RedirectReply):
+            raise WrongServerError(reply.segment, reply.origin,
+                                   reply.generation)
         return reply
+
+    def _rpc_named(self, name: str, request: Message) -> Message:
+        """An RPC routed by segment name, chasing WrongServer redirects:
+        each redirect teaches the resolver the new binding, and the
+        request is re-sent over the channel the name now resolves to."""
+        last: Optional[WrongServerError] = None
+        for _ in range(max(1, self.options.redirect_max_follows)):
+            try:
+                return self._rpc(self._channel_for(name), request)
+            except WrongServerError as exc:
+                last = exc
+                self.stats.redirects_followed += 1
+                self._m_redirects.inc()
+                self.resolver.on_redirect(exc.segment, exc.origin,
+                                          exc.generation)
+        raise last
+
+    def _rpc_segment(self, segment: Segment, request: Message) -> Message:
+        """An RPC over a cached segment's channel, chasing redirects.
+
+        On a redirect the segment's cached channel is rebound to the new
+        origin, and the poller falls back to polling — the new origin
+        has no subscription for us, so trusting push freshness across a
+        migration would serve stale reads forever.
+        """
+        last: Optional[WrongServerError] = None
+        for _ in range(1 + max(0, self.options.redirect_max_follows)):
+            try:
+                return self._rpc(segment.channel, request)
+            except WrongServerError as exc:
+                last = exc
+                self.stats.redirects_followed += 1
+                self._m_redirects.inc()
+                self.resolver.on_redirect(exc.segment, exc.origin,
+                                          exc.generation)
+                segment.channel = self._channel_for(segment.name)
+                segment.poller.on_disconnect()
+        raise last
 
     def _on_notification(self, data: bytes) -> None:
         # runs on whatever thread the transport delivers pushes on; the

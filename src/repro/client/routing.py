@@ -1,0 +1,83 @@
+"""Segment → server routing for the client library.
+
+The paper binds a segment to "an InterWeave server at the IP address
+corresponding to the segment's URL" — routing by name.  This module
+makes that mapping a first-class, replaceable policy:
+
+- :class:`StaticResolver` keeps the historical rule (the server is the
+  first path component of the segment URL), optionally with a *default
+  server* so bare names like ``"counters"`` route somewhere instead of
+  erroring;
+- :class:`~repro.cluster.DirectoryResolver` (in ``repro.cluster``)
+  resolves names through a :class:`~repro.cluster.SegmentDirectory` and
+  caches the returned bindings with their generation stamps.
+
+The client calls :meth:`Resolver.on_redirect` whenever a server answers
+with a WrongServer redirect and then resolves the name again, so every
+resolver — including the static one, which keeps a small override map —
+can chase a live migration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SegmentError
+
+
+class Resolver:
+    """Maps a segment name to the server that currently serves it."""
+
+    def resolve(self, segment_name: str) -> str:
+        """The server name to connect to for ``segment_name``.
+
+        Raises :class:`~repro.errors.SegmentError` when the name cannot
+        be routed at all.
+        """
+        raise NotImplementedError
+
+    def on_redirect(self, segment_name: str, origin: str,
+                    generation: int) -> None:
+        """A server redirected ``segment_name`` to ``origin``; remember
+        the new binding so the next :meth:`resolve` follows it."""
+
+    def close(self) -> None:
+        """Release any connections the resolver holds."""
+
+
+class StaticResolver(Resolver):
+    """URL-prefix routing: ``"host/path"`` is served by ``"host"``.
+
+    ``default_server`` routes segment names *without* a path separator
+    (``"counters"``) to a fixed server instead of raising — the common
+    single-server deployment where URLs need no prefix at all.  Without
+    a default, bare names are rejected exactly as before.
+
+    Redirects override the parsed prefix per segment (newest generation
+    wins), so even a statically configured client follows a segment
+    that a cluster migrated to a different origin.
+    """
+
+    def __init__(self, default_server: Optional[str] = None):
+        self.default_server = default_server
+        self._overrides: Dict[str, Tuple[str, int]] = {}
+
+    def resolve(self, segment_name: str) -> str:
+        override = self._overrides.get(segment_name)
+        if override is not None:
+            return override[0]
+        server, separator, rest = segment_name.partition("/")
+        if separator and server and rest:
+            return server
+        if not separator and segment_name and self.default_server:
+            return self.default_server
+        raise SegmentError(
+            f"segment URL {segment_name!r} must look like 'server/path'"
+            + ("" if self.default_server is None
+               else f" (or a bare name, routed to {self.default_server!r})"))
+
+    def on_redirect(self, segment_name: str, origin: str,
+                    generation: int) -> None:
+        current = self._overrides.get(segment_name)
+        if current is None or generation >= current[1]:
+            self._overrides[segment_name] = (origin, generation)

@@ -1,0 +1,24 @@
+"""Multi-origin sharding: directory, consistent hashing, live migration.
+
+The paper's InterWeave servers each own the segments under their own
+URL prefix; this package scales that design out to a *cluster* of
+origins behind one namespace.  A :class:`SegmentDirectory` places
+segments on origins via a consistent-hash :class:`HashRing` (with
+explicit pins), clients resolve names through a
+:class:`DirectoryResolver` instead of parsing URL prefixes, and a
+:class:`ClusterCoordinator` moves live segments between origins —
+freezing writes through the lease machinery, shipping versioned state
+plus the diff cache, and leaving redirect tombstones that clients chase.
+"""
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.directory import SegmentDirectory
+from repro.cluster.resolver import DirectoryResolver
+from repro.cluster.ring import HashRing
+
+__all__ = [
+    "ClusterCoordinator",
+    "DirectoryResolver",
+    "HashRing",
+    "SegmentDirectory",
+]

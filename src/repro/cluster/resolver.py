@@ -1,0 +1,113 @@
+"""Client-side directory resolution.
+
+:class:`DirectoryResolver` plugs into
+:class:`~repro.client.InterWeaveClient` where the static URL-prefix rule
+used to be.  It asks a :class:`~repro.cluster.SegmentDirectory` (over
+any transport) where a segment lives, then caches the binding together
+with its generation stamp, so the steady state costs zero directory
+round trips.  When a server answers a request with a WrongServer
+redirect, the client calls :meth:`on_redirect` and the cache entry is
+replaced — but only if the redirect's generation is at least as new as
+the cached one, so a stale tombstone can never pull traffic backwards.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.client.routing import Resolver
+from repro.errors import SegmentError, ServerError
+from repro.transport.base import Channel
+from repro.wire.messages import (
+    DirectoryLookupReply,
+    DirectoryLookupRequest,
+    ErrorReply,
+    decode_message,
+    encode_message,
+)
+
+
+class DirectoryResolver(Resolver):
+    """Resolve segment names through a segment directory service.
+
+    ``connector(server_name, client_id)`` is the same factory the client
+    itself uses, so the resolver works over an in-process hub in tests
+    and over TCP in a real deployment without code changes.
+    """
+
+    def __init__(self, connector: Callable[[str, str], Channel],
+                 directory: str = "directory",
+                 client_id: str = "resolver"):
+        self.connector = connector
+        self.directory = directory
+        self.client_id = client_id
+        self._channel: Optional[Channel] = None
+        self._cache: Dict[str, Tuple[str, int]] = {}
+        self._lock = threading.Lock()
+
+    # -- Resolver interface -------------------------------------------------------
+
+    def resolve(self, segment_name: str) -> str:
+        if not segment_name:
+            raise SegmentError("segment name must be non-empty")
+        with self._lock:
+            cached = self._cache.get(segment_name)
+        if cached is not None:
+            return cached[0]
+        origin, generation = self._lookup(segment_name)
+        with self._lock:
+            # A redirect may have landed while the lookup was in flight;
+            # newest generation wins either way.
+            current = self._cache.get(segment_name)
+            if current is None or generation >= current[1]:
+                self._cache[segment_name] = (origin, generation)
+            return self._cache[segment_name][0]
+
+    def on_redirect(self, segment_name: str, origin: str,
+                    generation: int) -> None:
+        with self._lock:
+            current = self._cache.get(segment_name)
+            if current is None or generation >= current[1]:
+                self._cache[segment_name] = (origin, generation)
+
+    def close(self) -> None:
+        with self._lock:
+            channel, self._channel = self._channel, None
+            self._cache.clear()
+        if channel is not None:
+            channel.close()
+
+    # -- internals ----------------------------------------------------------------
+
+    def generation_of(self, segment_name: str) -> int:
+        """The cached binding generation (0 when nothing is cached)."""
+        with self._lock:
+            cached = self._cache.get(segment_name)
+        return cached[1] if cached is not None else 0
+
+    def invalidate(self, segment_name: str) -> None:
+        """Forget a cached binding; the next resolve asks the directory."""
+        with self._lock:
+            self._cache.pop(segment_name, None)
+
+    def _directory_channel(self) -> Channel:
+        with self._lock:
+            if self._channel is None:
+                self._channel = self.connector(self.directory,
+                                               f"{self.client_id}!dir")
+            return self._channel
+
+    def _lookup(self, segment_name: str) -> Tuple[str, int]:
+        channel = self._directory_channel()
+        raw = channel.request(encode_message(
+            DirectoryLookupRequest(segment=segment_name,
+                                   client_id=self.client_id)))
+        reply = decode_message(raw)
+        if isinstance(reply, ErrorReply):
+            raise SegmentError(
+                f"directory cannot place {segment_name!r}: {reply.message}")
+        if not isinstance(reply, DirectoryLookupReply):
+            raise ServerError(
+                f"unexpected directory reply {type(reply).__name__}")
+        return reply.origin, reply.generation

@@ -1,0 +1,81 @@
+"""Consistent hashing over origin servers.
+
+The directory's default placement policy: each origin contributes
+``replicas`` virtual points on a 64-bit ring (hashes of ``"name#k"``),
+and a segment lands on the first point clockwise of its own hash.
+Adding or removing one origin therefore remaps only the segments whose
+arc it owned — the property ``rebalance()`` relies on to keep membership
+changes proportional to 1/N of the namespace.
+
+Deterministic (MD5, no process salt): every directory replica and every
+test computes the same placement for the same membership.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right, insort
+from typing import Iterable, List, Tuple
+
+from repro.errors import ServerError
+
+
+def _point(key: str) -> int:
+    return int.from_bytes(hashlib.md5(key.encode("utf-8")).digest()[:8],
+                          "big")
+
+
+class HashRing:
+    """A consistent-hash ring mapping string keys to origin names."""
+
+    def __init__(self, origins: Iterable[str] = (), replicas: int = 64):
+        if replicas <= 0:
+            raise ServerError("replicas must be positive")
+        self.replicas = replicas
+        self._origins: set = set()
+        #: sorted (point, origin) pairs — the ring itself — plus the
+        #: points alone, kept in step for bisecting lookups
+        self._points: List[Tuple[int, str]] = []
+        self._keys: List[int] = []
+        for origin in origins:
+            self.add(origin)
+
+    def __len__(self) -> int:
+        return len(self._origins)
+
+    def __contains__(self, origin: str) -> bool:
+        return origin in self._origins
+
+    @property
+    def origins(self) -> List[str]:
+        return sorted(self._origins)
+
+    def add(self, origin: str) -> bool:
+        """Add an origin; returns False if it was already a member."""
+        if not origin:
+            raise ServerError("origin name must be non-empty")
+        if origin in self._origins:
+            return False
+        self._origins.add(origin)
+        for replica in range(self.replicas):
+            insort(self._points, (_point(f"{origin}#{replica}"), origin))
+        self._keys = [point for point, _ in self._points]
+        return True
+
+    def remove(self, origin: str) -> bool:
+        """Remove an origin; returns False if it was not a member."""
+        if origin not in self._origins:
+            return False
+        self._origins.discard(origin)
+        self._points = [p for p in self._points if p[1] != origin]
+        self._keys = [point for point, _ in self._points]
+        return True
+
+    def lookup(self, key: str) -> str:
+        """The origin owning ``key``: first ring point clockwise."""
+        if not self._points:
+            raise ServerError("hash ring has no origins")
+        index = bisect_right(self._keys, _point(key))
+        if index == len(self._points):
+            index = 0  # wrapped past the highest point
+        return self._points[index][1]

@@ -80,6 +80,24 @@ class ServerError(InterWeaveError):
     """The server rejected a request."""
 
 
+class WrongServerError(ServerError):
+    """The addressed server does not (or no longer) serve the segment.
+
+    Raised when a request is answered with a
+    :class:`~repro.wire.messages.RedirectReply`.  Carries the origin the
+    reply named so the caller can update its cached binding and retry
+    there ("chase the redirect").
+    """
+
+    def __init__(self, segment: str, origin: str, generation: int = 0):
+        super().__init__(
+            f"segment {segment!r} is served by {origin!r} "
+            f"(binding generation {generation})")
+        self.segment = segment
+        self.origin = origin
+        self.generation = generation
+
+
 class CoherenceError(InterWeaveError):
     """A coherence model was configured or used incorrectly."""
 

@@ -88,6 +88,7 @@ from repro.wire.messages import (
     NotifyInvalidate,
     OpenSegmentReply,
     OpenSegmentRequest,
+    RedirectReply,
     SubscribeReply,
     SubscribeRequest,
     decode_message,
@@ -98,6 +99,10 @@ _log = logging.getLogger(__name__)
 
 #: cap on how many learned version timestamps a relay entry retains
 _TIMES_KEEP = 512
+
+#: how many WrongServer redirects the relay chases per request before
+#: handing the redirect downstream for the client's resolver to sort out
+_REDIRECT_FOLLOWS = 4
 
 
 class ProxyStats:
@@ -113,6 +118,9 @@ class ProxyStats:
         self.notifications_counter = DualCounter(metrics.counter(
             "proxy.notifications_pushed",
             "invalidations re-pushed to local subscribers"))
+        self.redirects_counter = DualCounter(metrics.counter(
+            "proxy.redirects_followed",
+            "WrongServer redirects chased to a migrated segment's new origin"))
 
     @property
     def hits(self) -> int:
@@ -129,6 +137,10 @@ class ProxyStats:
     @property
     def notifications_pushed(self) -> int:
         return self.notifications_counter.local
+
+    @property
+    def redirects_followed(self) -> int:
+        return self.redirects_counter.local
 
 
 class _SegmentRelay:
@@ -172,6 +184,12 @@ class CachingProxy(Dispatcher):
     origin; ``origin`` defaults to ``name`` (the usual TCP topology, where
     names are resolved by the connector's address map).
 
+    In a multi-origin cluster the default origin may answer with a
+    WrongServer redirect after a segment migrates; the proxy chases it,
+    learns the per-segment binding (newest generation wins), and opens
+    upstream channels to the new origin, so downstream clients keep a
+    single stable address while segments move behind the relay.
+
     ``max_staleness`` bounds how long the proxy may serve coherence
     decisions without hearing from the origin when upstream cannot push
     (with an upstream subscription, pushes keep it current instead).
@@ -213,12 +231,18 @@ class CachingProxy(Dispatcher):
             "local subscribers registered across all segments")
         self._entries: Dict[str, _SegmentRelay] = {}
         self._table_lock = threading.Lock()
-        #: one upstream channel per downstream client (forwarded traffic
-        #: keeps its own sequence space and lease identity), plus one
-        #: proxy-owned channel for refreshes and subscriptions
-        self._up_channels: Dict[str, Channel] = {}
+        #: one upstream channel per (origin, downstream client) pair
+        #: (forwarded traffic keeps its own sequence space and lease
+        #: identity), plus one proxy-owned channel per origin for
+        #: refreshes and subscriptions
+        self._up_channels: Dict[tuple, Channel] = {}
         self._channel_lock = threading.Lock()
-        self._own_channel: Optional[Channel] = None
+        self._own_channels: Dict[str, Channel] = {}
+        #: segment → (origin, binding generation), learned from
+        #: WrongServer redirects; segments not listed live at the
+        #: default origin
+        self._bindings: Dict[str, tuple] = {}
+        self._binding_lock = threading.Lock()
         self._closed = False
 
     # -- upstream plumbing --------------------------------------------------------
@@ -227,33 +251,75 @@ class CachingProxy(Dispatcher):
     def _own_id(self) -> str:
         return f"{self.name}!!relay"
 
-    def _own(self) -> Channel:
+    def _origin_of(self, segment: Optional[str]) -> str:
+        """Which origin currently serves ``segment``, by relay knowledge."""
+        if segment is not None:
+            with self._binding_lock:
+                binding = self._bindings.get(segment)
+            if binding is not None:
+                return binding[0]
+        return self.origin
+
+    def _learn_binding(self, segment: str, origin: str,
+                       generation: int) -> None:
+        """A redirect said ``segment`` moved; newest generation wins."""
+        with self._binding_lock:
+            current = self._bindings.get(segment)
+            if current is not None and generation < current[1]:
+                return
+            self._bindings[segment] = (origin, generation)
+            changed = current is None or current[0] != origin
+        if not changed:
+            return
+        entry = self._lookup(segment)
+        if entry is not None:
+            with entry.lock:
+                # pushes from the old origin are dead and the new origin
+                # has never heard of us: re-validate and re-subscribe
+                entry.upstream_subscribed = False
+                entry.fresh_until = float("-inf")
+
+    def _own(self, origin: Optional[str] = None) -> Channel:
+        origin = origin if origin is not None else self.origin
         with self._channel_lock:
-            channel = self._own_channel
+            channel = self._own_channels.get(origin)
             if channel is None:
-                channel = self.connector(self.origin, self._own_id)
+                channel = self.connector(origin, self._own_id)
                 if channel.can_push:
                     channel.set_notification_handler(self._on_upstream_push)
                 channel.reconnect_listener = self._on_upstream_reconnect
-                self._own_channel = channel
+                self._own_channels[origin] = channel
         return channel
 
-    def _client_channel(self, client_id: str) -> Channel:
+    def _client_channel(self, origin: str, client_id: str) -> Channel:
         with self._channel_lock:
-            channel = self._up_channels.get(client_id)
+            channel = self._up_channels.get((origin, client_id))
             if channel is None:
                 # prefixed so that a hub co-hosting both tiers never
                 # confuses a downstream client's channel with the relay's
                 # upstream one for the same client id
-                channel = self.connector(self.origin, f"{self.name}!{client_id}")
-                self._up_channels[client_id] = channel
+                channel = self.connector(origin, f"{self.name}!{client_id}")
+                self._up_channels[(origin, client_id)] = channel
         return channel
 
-    def _own_request(self, request: Message) -> Message:
-        reply = decode_message(self._own().request(encode_message(request)))
-        if isinstance(reply, ErrorReply):
-            raise ServerError(reply.message)
-        return reply
+    def _own_request(self, request: Message,
+                     segment: Optional[str] = None) -> Message:
+        origin = self._origin_of(segment)
+        for _follow in range(1 + _REDIRECT_FOLLOWS):
+            reply = decode_message(
+                self._own(origin).request(encode_message(request)))
+            if isinstance(reply, RedirectReply) and segment is not None:
+                self.stats.redirects_counter.inc()
+                self._learn_binding(reply.segment, reply.origin,
+                                    reply.generation)
+                origin = reply.origin
+                continue
+            if isinstance(reply, ErrorReply):
+                raise ServerError(reply.message)
+            return reply
+        raise ServerError(
+            f"redirect chase for {segment!r} exceeded "
+            f"{_REDIRECT_FOLLOWS} hops")
 
     def _on_upstream_reconnect(self) -> None:
         """Pushes may have been lost while the upstream link was down:
@@ -322,8 +388,18 @@ class CachingProxy(Dispatcher):
     # -- forwarding ---------------------------------------------------------------
 
     def _forward(self, client_id: str, request: Message, raw: bytes) -> Message:
-        channel = self._client_channel(client_id)
-        reply = decode_message(channel.request(raw))
+        segment = getattr(request, "segment", None)
+        origin = self._origin_of(segment)
+        for _follow in range(1 + _REDIRECT_FOLLOWS):
+            channel = self._client_channel(origin, client_id)
+            reply = decode_message(channel.request(raw))
+            if not (isinstance(reply, RedirectReply) and segment is not None):
+                break
+            self.stats.redirects_counter.inc()
+            self._learn_binding(reply.segment, reply.origin, reply.generation)
+            origin = reply.origin
+        # a RedirectReply that survives the chase goes downstream: the
+        # client's own resolver is the authority of last resort
         self.stats.forwards_counter.inc()
         self._update_hit_rate()
         try:
@@ -464,7 +540,7 @@ class CachingProxy(Dispatcher):
                 base = entry.data_version
             reply = self._own_request(LockAcquireRequest(
                 entry.name, LOCK_READ, self._own_id, client_version=base,
-                coherence_kind=COHERENCE_FULL))
+                coherence_kind=COHERENCE_FULL), segment=entry.name)
             if not isinstance(reply, LockAcquireReply):
                 raise ServerError(
                     f"origin answered a refresh with {type(reply).__name__}")
@@ -481,13 +557,14 @@ class CachingProxy(Dispatcher):
     def _ensure_upstream_subscription(self, entry: _SegmentRelay) -> None:
         """Subscribe the relay itself upstream (push transports only), so
         one origin push covers every local subscriber."""
-        if not self._own().can_push:
+        if not self._own(self._origin_of(entry.name)).can_push:
             return
         with entry.lock:
             if entry.upstream_subscribed:
                 return
         reply = self._own_request(
-            SubscribeRequest(entry.name, self._own_id, True))
+            SubscribeRequest(entry.name, self._own_id, True),
+            segment=entry.name)
         if isinstance(reply, SubscribeReply) and reply.enabled:
             with entry.lock:
                 entry.upstream_subscribed = True
@@ -678,7 +755,8 @@ class CachingProxy(Dispatcher):
             # has; open it (without creating) to materialize the relay entry
             reply = self._own_request(
                 OpenSegmentRequest(request.segment, create=False,
-                                   client_id=self._own_id))
+                                   client_id=self._own_id),
+                segment=request.segment)
             if not isinstance(reply, OpenSegmentReply):
                 raise ServerError(
                     f"origin answered an open with {type(reply).__name__}")
@@ -725,6 +803,10 @@ class CachingProxy(Dispatcher):
                     "subscribers": entry.coherence.subscriber_count(),
                 }
         hits, forwards = self.stats.hits, self.stats.forwards
+        with self._binding_lock:
+            bindings = {segment: {"origin": origin, "generation": generation}
+                        for segment, (origin, generation)
+                        in sorted(self._bindings.items())}
         return {
             "server": {"name": self.name, "segments": segments},
             "proxy": {
@@ -733,6 +815,8 @@ class CachingProxy(Dispatcher):
                 "forwards": forwards,
                 "refreshes": self.stats.refreshes,
                 "notifications_pushed": self.stats.notifications_pushed,
+                "redirects_followed": self.stats.redirects_followed,
+                "bindings": bindings,
                 "hit_rate": hits / (hits + forwards) if hits + forwards else 0.0,
                 "diff_cache_bytes": self.diff_cache.used_bytes,
             },
@@ -747,10 +831,9 @@ class CachingProxy(Dispatcher):
         self._closed = True
         with self._channel_lock:
             channels = list(self._up_channels.values())
+            channels.extend(self._own_channels.values())
             self._up_channels.clear()
-            own, self._own_channel = self._own_channel, None
-        if own is not None:
-            channels.append(own)
+            self._own_channels.clear()
         for channel in channels:
             try:
                 channel.close()

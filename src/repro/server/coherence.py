@@ -122,6 +122,11 @@ class SegmentCoherence:
             return now - superseded_time > policy.param
         return version_stale(policy, view.version, current_version)
 
+    def subscribers(self) -> list:
+        """Every currently subscribed view, regardless of staleness —
+        migration eviction notifies all of them unconditionally."""
+        return [view for view in self._snapshot() if view.subscribed]
+
     def stale_subscribers(self, current_version: int, total_units: int,
                           now: float, superseded_time_of) -> list:
         """Subscribed clients whose bound just broke and who have not been

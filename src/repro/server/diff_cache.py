@@ -110,6 +110,18 @@ class DiffCache:
         if evictions:
             self._m_evictions.inc(evictions)
 
+    def entries_for(self, segment: str) -> "list[Tuple[int, int, bytes]]":
+        """Snapshot every cached diff for one segment, LRU order.
+
+        Used by live migration to re-seed the target origin's cache, so
+        readers validating against the new server keep hitting encoded
+        diffs instead of forcing rebuilds from subblock versions.
+        """
+        with self._lock:
+            return [(from_v, to_v, encoded)
+                    for (name, from_v, to_v), encoded in self._entries.items()
+                    if name == segment]
+
     def invalidate_segment(self, segment: str) -> None:
         """Drop every entry for one segment (used on checkpoint restore)."""
         with self._lock:

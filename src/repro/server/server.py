@@ -56,9 +56,16 @@ from repro.wire.messages import (
     LockReleaseReply,
     LockReleaseRequest,
     Message,
+    MigrateAbortRequest,
+    MigrateAck,
+    MigrateCommitRequest,
+    MigrateInRequest,
+    MigrateOutReply,
+    MigrateOutRequest,
     NotifyInvalidate,
     OpenSegmentReply,
     OpenSegmentRequest,
+    RedirectReply,
     SubscribeReply,
     SubscribeRequest,
     decode_message,
@@ -66,6 +73,12 @@ from repro.wire.messages import (
 )
 
 _log = logging.getLogger(__name__)
+
+#: the writer identity installed to freeze a segment during migration; it
+#: can never collide with a real client because clients supply their own
+#: ids as lease holders and the migration protocol never acquires through
+#: ``_acquire_write``
+MIGRATION_WRITER = "!migration"
 
 
 class ServerStats:
@@ -91,6 +104,14 @@ class ServerStats:
         self.lease_expiries_counter = DualCounter(metrics.counter(
             "server.lease_expiries",
             "write locks reclaimed from clients whose lease lapsed"))
+        self.redirects_counter = DualCounter(metrics.counter(
+            "server.redirects_served",
+            "requests answered with a WrongServer redirect"))
+        self.migrations_in_counter = DualCounter(metrics.counter(
+            "server.migrations_in", "segments imported by live migration"))
+        self.migrations_out_counter = DualCounter(metrics.counter(
+            "server.migrations_out",
+            "segments migrated away (commit received)"))
 
     @property
     def diffs_applied(self) -> int:
@@ -116,6 +137,18 @@ class ServerStats:
     def lease_expiries(self) -> int:
         return self.lease_expiries_counter.local
 
+    @property
+    def redirects_served(self) -> int:
+        return self.redirects_counter.local
+
+    @property
+    def migrations_in(self) -> int:
+        return self.migrations_in_counter.local
+
+    @property
+    def migrations_out(self) -> int:
+        return self.migrations_out_counter.local
+
 
 @dataclass
 class _SegmentEntry:
@@ -137,6 +170,11 @@ class _SegmentEntry:
     #: table; a request that looked the entry up just before the delete
     #: finds the flag after acquiring the lock and fails as "no segment"
     deleted: bool = False
+    #: a migration freeze is waiting for the current write lease to be
+    #: released: new write acquires are denied so the freeze wins the
+    #: race against a writer re-acquiring in a tight loop (guarded by
+    #: ``meta``; cleared by the freeze itself or by an abort)
+    migration_pending: bool = False
 
 
 class InterWeaveServer(Dispatcher):
@@ -192,6 +230,12 @@ class InterWeaveServer(Dispatcher):
         #: metadata compaction cadence (versions) and history depth
         self.compact_every = 256
         self.compact_keep_back = 128
+        #: segments migrated away: name -> (target origin, binding
+        #: generation).  Requests naming one are answered with a
+        #: RedirectReply so stale clients and relays chase the move.
+        #: Guarded by the table lock; an entry is cleared if the segment
+        #: ever migrates back here.
+        self._moved: Dict[str, tuple] = {}
         #: guards the ``segments`` table only — held for dict operations,
         #: never while acquiring a segment lock or doing segment work
         self._table_lock = threading.Lock()
@@ -260,6 +304,34 @@ class InterWeaveServer(Dispatcher):
     def _handle(self, client_id: str, request) -> Message:
         if isinstance(request, GetStatsRequest):
             return self._get_stats()
+        if isinstance(request, MigrateInRequest):
+            # exempt from the moved check: a segment that migrated away
+            # may migrate back, which reclaims the tombstone
+            return self._migrate_in(request)
+        moved = self._moved_binding(getattr(request, "segment", None))
+        if moved is None:
+            try:
+                return self._route(client_id, request)
+            except ServerError:
+                # A migration commit can land between the check above and
+                # the handler's own segment lookup (or while the handler
+                # waits on the segment lock): the request then fails with
+                # "no segment" even though the right answer is "it moved".
+                moved = self._moved_binding(getattr(request, "segment",
+                                                    None))
+                if moved is None:
+                    raise
+        self.stats.redirects_counter.inc()
+        target, generation = moved
+        return RedirectReply(request.segment, target, generation)
+
+    def _route(self, client_id: str, request) -> Message:
+        if isinstance(request, MigrateOutRequest):
+            return self._migrate_out(client_id, request)
+        if isinstance(request, MigrateCommitRequest):
+            return self._migrate_commit(request)
+        if isinstance(request, MigrateAbortRequest):
+            return self._migrate_abort(request)
         if isinstance(request, OpenSegmentRequest):
             return self._open_segment(request)
         if isinstance(request, LockAcquireRequest):
@@ -330,6 +402,126 @@ class InterWeaveServer(Dispatcher):
         with self._read_locked(entry):
             return OpenSegmentReply(existed=existed, version=entry.state.version)
 
+    # -- live migration -----------------------------------------------------------
+
+    def _moved_binding(self, segment_name) -> Optional[tuple]:
+        if segment_name is None or not self._moved:
+            return None
+        with self._table():
+            return self._moved.get(segment_name)
+
+    def _migrate_out(self, client_id: str, request: MigrateOutRequest) -> Message:
+        """Freeze writes and export the segment's full state.
+
+        The freeze rides the existing lease machinery: the migration
+        installs itself as the segment's writer with a lease that never
+        lapses, so ordinary write acquires are denied (``granted=False``)
+        and writers spin in their usual retry loop until the commit
+        replaces the denial with a redirect.  Reads keep being served
+        from the frozen copy throughout the transfer.
+
+        Refused (so the coordinator backs off and retries) while a live
+        client writer holds the lease — migration never revokes a lease
+        that has not lapsed.
+        """
+        entry = self._entry(request.segment)
+        with self._write_locked(entry):
+            self._lease_touch(entry, client_id)
+            with entry.meta:
+                busy = (entry.writer is not None
+                        and entry.writer != MIGRATION_WRITER)
+                if busy:
+                    # deny new write acquires until the current lease is
+                    # released, so a looping writer cannot starve the
+                    # freeze indefinitely
+                    entry.migration_pending = True
+                else:
+                    entry.writer = MIGRATION_WRITER
+                    entry.writer_expires = float("inf")
+                    entry.migration_pending = False
+            if busy:
+                raise ServerError(
+                    f"segment {request.segment!r} is write-locked; "
+                    f"migration deferred")
+            from repro.server.checkpoint import encode_checkpoint
+
+            payload = encode_checkpoint(entry.state)
+            diffs = self.diff_cache.entries_for(request.segment)
+            return MigrateOutReply(version=entry.state.version,
+                                   payload=payload, diffs=diffs)
+
+    def _migrate_in(self, request: MigrateInRequest) -> Message:
+        from repro.server.checkpoint import decode_checkpoint
+
+        state = decode_checkpoint(request.payload)
+        if state.name != request.segment:
+            raise ServerError(
+                f"migration payload is for {state.name!r}, "
+                f"not {request.segment!r}")
+        with self._table():
+            if request.segment in self.segments:
+                raise ServerError(
+                    f"segment {request.segment!r} already exists here")
+            self.segments[request.segment] = _SegmentEntry(state)
+            self._m_segments.set(len(self.segments))
+            # the segment may be coming back: it is served here again
+            self._moved.pop(request.segment, None)
+        self.diff_cache.invalidate_segment(request.segment)
+        for from_version, to_version, encoded in request.diffs:
+            self.diff_cache.put(request.segment, from_version, to_version,
+                                encoded)
+        self.stats.migrations_in_counter.inc()
+        return MigrateAck(ok=True)
+
+    def _migrate_commit(self, request: MigrateCommitRequest) -> Message:
+        """Drop the frozen source copy; leave a redirect tombstone."""
+        with self._table():
+            entry = self.segments.get(request.segment)
+        if entry is None:
+            raise ServerError(f"no segment named {request.segment!r}")
+        with self._write_locked(entry, require_live=False):
+            if entry.deleted:
+                raise ServerError(f"no segment named {request.segment!r}")
+            with entry.meta:
+                frozen = entry.writer == MIGRATION_WRITER
+            if not frozen:
+                raise ServerError(
+                    f"segment {request.segment!r} is not frozen for migration")
+            entry.deleted = True
+            evicted = entry.coherence.subscribers()
+            version = entry.state.version
+            with self._table():
+                if self.segments.get(request.segment) is entry:
+                    del self.segments[request.segment]
+                    self._m_segments.set(len(self.segments))
+                self._moved[request.segment] = (request.target,
+                                                request.generation)
+        self.diff_cache.invalidate_segment(request.segment)
+        # Subscribers trust "subscribed + quiet = fresh"; with the data
+        # gone that trust must be broken explicitly, or they would serve
+        # stale copies forever.  The forced validation hits the tombstone
+        # and chases the redirect to the new origin.
+        if evicted:
+            message = encode_message(NotifyInvalidate(request.segment,
+                                                      version))
+            for view in evicted:
+                self.sink.push(view.client_id, message)
+        self.stats.migrations_out_counter.inc()
+        return MigrateAck(ok=True)
+
+    def _migrate_abort(self, request: MigrateAbortRequest) -> Message:
+        """Unfreeze after a failed transfer; writers resume here."""
+        with self._table():
+            entry = self.segments.get(request.segment)
+        if entry is None:
+            return MigrateAck(ok=False)
+        with self._write_locked(entry):
+            with entry.meta:
+                if entry.writer == MIGRATION_WRITER:
+                    entry.writer = None
+                entry.migration_pending = False
+        return MigrateAck(ok=True)
+
     # -- locking --------------------------------------------------------------------
 
     def _lease_touch(self, entry: _SegmentEntry, client_id: str) -> None:
@@ -372,7 +564,9 @@ class InterWeaveServer(Dispatcher):
         self._lease_touch(entry, client_id)
         state = entry.state
         with entry.meta:
-            denied = entry.writer is not None and entry.writer != client_id
+            denied = (entry.migration_pending
+                      or (entry.writer is not None
+                          and entry.writer != client_id))
             if not denied:
                 entry.writer = client_id
                 entry.writer_expires = self.clock.now() + self.lease_duration
@@ -536,8 +730,17 @@ class InterWeaveServer(Dispatcher):
                     "lease_expired": expired,
                     "subscribers": entry.coherence.subscriber_count(),
                 }
+        with self._table():
+            moved = {name: {"target": target, "generation": generation}
+                     for name, (target, generation) in self._moved.items()}
         return {
             "server": {"name": self.name, "segments": segments},
+            "cluster": {
+                "moved_segments": moved,
+                "redirects_served": self.stats.redirects_served,
+                "migrations_in": self.stats.migrations_in,
+                "migrations_out": self.stats.migrations_out,
+            },
             "metrics": self.metrics.snapshot(),
         }
 

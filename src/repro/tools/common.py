@@ -1,0 +1,46 @@
+"""Shared plumbing for the stand-alone service entry points.
+
+Every ``repro.tools.*_main`` runs the same way: build the service, print
+a banner, signal readiness (tests attach ``ready_port``-style attributes
+to the event and wait on it), then sit in a stoppable wait loop until
+SIGINT or the caller's ``stop_event``, and finally tear down.  This
+module keeps that loop in one place so the entry points only contain
+what is genuinely theirs: the parser and the service wiring.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Callable, Optional
+
+
+def run_service(banner: str,
+                ready_event: Optional["threading.Event"] = None,
+                stop_event: Optional["threading.Event"] = None,
+                ready_attrs: Optional[dict] = None,
+                cleanup: Optional[Callable[[], None]] = None) -> int:
+    """Print ``banner``, publish readiness, wait for stop, tear down.
+
+    ``ready_attrs`` are attached to ``ready_event`` before it is set —
+    the handshake tests use to learn ephemeral ports (``ready_port``,
+    ``ready_ports``...).  ``cleanup`` runs exactly once on the way out,
+    whether the loop ended by SIGINT or by ``stop_event``.  Returns 0.
+    """
+    print(banner, flush=True)
+    if ready_event is not None:
+        for attr, value in (ready_attrs or {}).items():
+            setattr(ready_event, attr, value)
+        ready_event.set()
+    stop = stop_event or threading.Event()
+    try:
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+    except ValueError:
+        pass  # not the main thread (tests)
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        if cleanup is not None:
+            cleanup()
+    return 0

@@ -18,11 +18,11 @@ traffic.  Plain TCP cannot push, so freshness comes from the
 from __future__ import annotations
 
 import argparse
-import signal
 import sys
 import threading
 
 from repro.proxy import CachingProxy
+from repro.tools.common import run_service
 from repro.transport import MuxConnectionPool, RetryPolicy, TCPServerTransport
 
 
@@ -62,25 +62,19 @@ def serve(args, ready_event: "threading.Event" = None,
         diff_cache_bytes=args.diff_cache_mb * 1024 * 1024,
         max_staleness=args.max_staleness)
     transport = TCPServerTransport(proxy, host=args.host, port=args.port)
-    print(f"[repro-proxy] {args.name!r} listening on "
-          f"{transport.host}:{transport.port}, origin at "
-          f"{args.origin_host}:{args.origin_port}", flush=True)
-    if ready_event is not None:
-        ready_event.ready_port = transport.port  # type: ignore[attr-defined]
-        ready_event.set()
-    stop = stop_event or threading.Event()
-    try:
-        signal.signal(signal.SIGINT, lambda *_: stop.set())
-    except ValueError:
-        pass  # not the main thread (tests)
-    try:
-        while not stop.wait(0.2):
-            pass
-    finally:
+
+    def cleanup() -> None:
         transport.close()
         proxy.close()
         pool.close()
-    return 0
+
+    return run_service(
+        f"[repro-proxy] {args.name!r} listening on "
+        f"{transport.host}:{transport.port}, origin at "
+        f"{args.origin_host}:{args.origin_port}",
+        ready_event, stop_event,
+        ready_attrs={"ready_port": transport.port},
+        cleanup=cleanup)
 
 
 def main(argv=None) -> int:

@@ -19,11 +19,11 @@ from __future__ import annotations
 import argparse
 import glob
 import os
-import signal
 import sys
 import threading
 
 from repro.server import InterWeaveServer, read_checkpoint
+from repro.tools.common import run_service
 from repro.transport import TCPServerTransport
 
 
@@ -61,28 +61,22 @@ def serve(args, ready_event: "threading.Event" = None,
             server.add_segment(read_checkpoint(path))
             restored += 1
     transport = TCPServerTransport(server, host=args.host, port=args.port)
-    print(f"[repro-server] {args.name!r} listening on "
-          f"{transport.host}:{transport.port} "
-          f"({restored} segment(s) restored)", flush=True)
-    if ready_event is not None:
-        ready_event.ready_port = transport.port  # type: ignore[attr-defined]
-        ready_event.set()
-    stop = stop_event or threading.Event()
-    try:
-        signal.signal(signal.SIGINT, lambda *_: stop.set())
-    except ValueError:
-        pass  # not the main thread (tests)
-    try:
-        while not stop.wait(0.2):
-            pass
-    finally:
+
+    def cleanup() -> None:
         transport.close()
         if args.checkpoint_dir:
             for name in list(server.segments):
                 if server.segments[name].state.version > 0:
                     server.checkpoint_segment(name)
             print("[repro-server] final checkpoints written", flush=True)
-    return 0
+
+    return run_service(
+        f"[repro-server] {args.name!r} listening on "
+        f"{transport.host}:{transport.port} "
+        f"({restored} segment(s) restored)",
+        ready_event, stop_event,
+        ready_attrs={"ready_port": transport.port},
+        cleanup=cleanup)
 
 
 def main(argv=None) -> int:

@@ -24,13 +24,27 @@ Requests
   (see ``repro.obs`` and ``python -m repro.tools.stats_main``).
 
 Replies mirror requests; :class:`ErrorReply` carries failures.
+
+The cluster control plane (``repro.cluster``, docs/PROTOCOL.md §10)
+adds two more request families over the same codec:
+
+- :class:`DirectoryLookupRequest` / :class:`DirectoryUpdateRequest` —
+  spoken to a :class:`~repro.cluster.SegmentDirectory` to resolve or
+  change segment → origin bindings;
+- :class:`MigrateOutRequest` / :class:`MigrateInRequest` /
+  :class:`MigrateCommitRequest` / :class:`MigrateAbortRequest` — the
+  live-migration protocol between a coordinator and origin servers;
+- :class:`RedirectReply` — any segment-addressed request may be
+  answered with this instead of its normal reply when the addressed
+  server no longer serves the segment; the client re-resolves and
+  retries ("chases the redirect").
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from typing import Dict, Optional, Type
+from typing import Dict, List, Optional, Tuple, Type
 
 from repro.errors import WireFormatError
 from repro.wire.codec import Reader, Writer
@@ -390,3 +404,232 @@ class ErrorReply(Message):
     @classmethod
     def decode_body(cls, reader: Reader) -> "ErrorReply":
         return cls(reader.text())
+
+
+# ---------------------------------------------------------------------------
+# cluster control plane (repro.cluster; docs/PROTOCOL.md §10)
+# ---------------------------------------------------------------------------
+
+#: DirectoryUpdateRequest operations.
+DIR_ADD_ORIGIN = 0
+DIR_REMOVE_ORIGIN = 1
+DIR_PIN = 2
+DIR_UNPIN = 3
+DIR_MIGRATE = 4
+
+
+def _encode_diff_entries(out: Writer,
+                         entries: List[Tuple[int, int, bytes]]) -> None:
+    out.u32(len(entries))
+    for from_version, to_version, encoded in entries:
+        out.u32(from_version).u32(to_version).blob(encoded)
+
+
+def _decode_diff_entries(reader: Reader) -> List[Tuple[int, int, bytes]]:
+    return [(reader.u32(), reader.u32(), reader.blob())
+            for _ in range(reader.u32())]
+
+
+@_register
+@dataclass
+class DirectoryLookupRequest(Message):
+    """Resolve ``segment`` to the origin server currently bound to it."""
+
+    TAG = 8
+    segment: str
+    client_id: str = ""
+
+    def encode_body(self, out: Writer) -> None:
+        out.text(self.segment).text(self.client_id)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "DirectoryLookupRequest":
+        return cls(reader.text(), reader.text())
+
+
+@_register
+@dataclass
+class DirectoryLookupReply(Message):
+    TAG = 72
+    origin: str
+    #: the binding's generation stamp; redirects carrying an older
+    #: generation than a cached binding are ignored
+    generation: int = 0
+    pinned: bool = False
+
+    def encode_body(self, out: Writer) -> None:
+        out.text(self.origin).u64(self.generation).boolean(self.pinned)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "DirectoryLookupReply":
+        return cls(reader.text(), reader.u64(), reader.boolean())
+
+
+@_register
+@dataclass
+class DirectoryUpdateRequest(Message):
+    """Change ring membership or per-segment bindings (``DIR_*`` ops).
+
+    ``origin`` names the server being added/removed or the pin/migration
+    target; ``segment`` is used by the pin/unpin/migrate operations.
+    """
+
+    TAG = 9
+    op: int
+    origin: str = ""
+    segment: str = ""
+    client_id: str = ""
+
+    def encode_body(self, out: Writer) -> None:
+        (out.u8(self.op).text(self.origin).text(self.segment)
+            .text(self.client_id))
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "DirectoryUpdateRequest":
+        return cls(reader.u8(), reader.text(), reader.text(), reader.text())
+
+
+@_register
+@dataclass
+class DirectoryUpdateReply(Message):
+    TAG = 73
+    ok: bool
+    generation: int = 0
+
+    def encode_body(self, out: Writer) -> None:
+        out.boolean(self.ok).u64(self.generation)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "DirectoryUpdateReply":
+        return cls(reader.boolean(), reader.u64())
+
+
+@_register
+@dataclass
+class RedirectReply(Message):
+    """"WrongServer": the addressed server does not serve ``segment``
+    (any more); ``origin`` does, as of binding ``generation``."""
+
+    TAG = 74
+    segment: str
+    origin: str
+    generation: int = 0
+
+    def encode_body(self, out: Writer) -> None:
+        out.text(self.segment).text(self.origin).u64(self.generation)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "RedirectReply":
+        return cls(reader.text(), reader.text(), reader.u64())
+
+
+@_register
+@dataclass
+class MigrateOutRequest(Message):
+    """Freeze writes to ``segment`` and export its full state."""
+
+    TAG = 10
+    segment: str
+    client_id: str = ""
+
+    def encode_body(self, out: Writer) -> None:
+        out.text(self.segment).text(self.client_id)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "MigrateOutRequest":
+        return cls(reader.text(), reader.text())
+
+
+@_register
+@dataclass
+class MigrateOutReply(Message):
+    """The frozen segment: a checkpoint image plus the diff-cache
+    entries worth re-seeding at the target."""
+
+    TAG = 75
+    version: int
+    payload: bytes
+    diffs: List[Tuple[int, int, bytes]] = field(default_factory=list)
+
+    def encode_body(self, out: Writer) -> None:
+        out.u32(self.version).blob(self.payload)
+        _encode_diff_entries(out, self.diffs)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "MigrateOutReply":
+        return cls(reader.u32(), reader.blob(), _decode_diff_entries(reader))
+
+
+@_register
+@dataclass
+class MigrateInRequest(Message):
+    """Install an exported segment at the target origin."""
+
+    TAG = 11
+    segment: str
+    payload: bytes
+    diffs: List[Tuple[int, int, bytes]] = field(default_factory=list)
+    client_id: str = ""
+
+    def encode_body(self, out: Writer) -> None:
+        out.text(self.segment).blob(self.payload)
+        _encode_diff_entries(out, self.diffs)
+        out.text(self.client_id)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "MigrateInRequest":
+        return cls(reader.text(), reader.blob(), _decode_diff_entries(reader),
+                   reader.text())
+
+
+@_register
+@dataclass
+class MigrateCommitRequest(Message):
+    """Drop the frozen source copy and leave a redirect tombstone."""
+
+    TAG = 12
+    segment: str
+    target: str
+    generation: int = 0
+    client_id: str = ""
+
+    def encode_body(self, out: Writer) -> None:
+        (out.text(self.segment).text(self.target).u64(self.generation)
+            .text(self.client_id))
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "MigrateCommitRequest":
+        return cls(reader.text(), reader.text(), reader.u64(), reader.text())
+
+
+@_register
+@dataclass
+class MigrateAbortRequest(Message):
+    """Unfreeze a segment whose migration failed before commit."""
+
+    TAG = 13
+    segment: str
+    client_id: str = ""
+
+    def encode_body(self, out: Writer) -> None:
+        out.text(self.segment).text(self.client_id)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "MigrateAbortRequest":
+        return cls(reader.text(), reader.text())
+
+
+@_register
+@dataclass
+class MigrateAck(Message):
+    """Acknowledges MigrateIn / MigrateCommit / MigrateAbort."""
+
+    TAG = 76
+    ok: bool = True
+
+    def encode_body(self, out: Writer) -> None:
+        out.boolean(self.ok)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "MigrateAck":
+        return cls(reader.boolean())

@@ -1,0 +1,474 @@
+"""Tests for the multi-origin cluster: ring, directory, resolver,
+live migration, rebalancing, and the redirect protocol.
+"""
+
+import threading
+
+import pytest
+
+from repro import (
+    ClusterCoordinator,
+    DirectoryResolver,
+    HashRing,
+    InProcHub,
+    InterWeaveClient,
+    InterWeaveServer,
+    SegmentDirectory,
+    VirtualClock,
+)
+from repro.arch import SPARC_V9, X86_32
+from repro.client import StaticResolver
+from repro.errors import SegmentError, ServerError
+from repro.obs.metrics import MetricsRegistry
+from repro.types import INT
+from repro.wire.messages import (
+    DIR_ADD_ORIGIN,
+    DIR_MIGRATE,
+    DirectoryLookupReply,
+    DirectoryLookupRequest,
+    DirectoryUpdateReply,
+    DirectoryUpdateRequest,
+    ErrorReply,
+    MigrateOutRequest,
+    RedirectReply,
+    decode_message,
+    encode_message,
+)
+
+
+class Cluster:
+    """Three origins, a directory, and a coordinator on one hub."""
+
+    def __init__(self):
+        self.clock = VirtualClock()
+        self.hub = InProcHub(clock=self.clock)
+        self.servers = {}
+        for name in ("o1", "o2", "o3"):
+            self.add_server(name)
+        self.directory = SegmentDirectory(origins=["o1", "o2", "o3"],
+                                          metrics=MetricsRegistry())
+        self.hub.register_server("directory", self.directory)
+        self.coordinator = ClusterCoordinator(self.directory,
+                                              self.hub.connect,
+                                              clock=self.clock)
+
+    def add_server(self, name):
+        server = InterWeaveServer(name, sink=self.hub, clock=self.clock,
+                                  metrics=MetricsRegistry())
+        self.servers[name] = server
+        self.hub.register_server(name, server)
+        return server
+
+
+@pytest.fixture
+def cluster():
+    world = Cluster()
+    return world.clock, world.hub, world.directory, world.coordinator, world
+
+
+def make_client(hub, clock, client_id="c", arch=X86_32):
+    resolver = DirectoryResolver(hub.connect, client_id=client_id)
+    return InterWeaveClient(client_id, arch, hub.connect, clock=clock,
+                            resolver=resolver)
+
+
+def write_int(client, segment, name, value):
+    client.wl_acquire(segment)
+    if not segment.heap.blk_name_tree.get(name):
+        client.malloc(segment, INT, name=name)
+    client.accessor_for(segment, name).set(value)
+    client.wl_release(segment)
+
+
+def read_int(client, segment, name):
+    client.rl_acquire(segment)
+    value = client.accessor_for(segment, name).get()
+    client.rl_release(segment)
+    return value
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a = HashRing(["x", "y", "z"])
+        b = HashRing(["z", "y", "x"])  # insertion order is irrelevant
+        for key in (f"seg-{i}" for i in range(50)):
+            assert a.lookup(key) == b.lookup(key)
+
+    def test_spread_is_roughly_balanced(self):
+        ring = HashRing(["x", "y", "z", "w"])
+        counts = {name: 0 for name in ring.origins}
+        for i in range(1000):
+            counts[ring.lookup(f"seg-{i}")] += 1
+        # consistent hashing with 64 replicas is lumpy but every origin
+        # must carry a real share of a 4-way split
+        assert min(counts.values()) > 100
+
+    def test_removal_only_remaps_the_lost_arc(self):
+        ring = HashRing(["x", "y", "z"])
+        before = {f"seg-{i}": ring.lookup(f"seg-{i}") for i in range(300)}
+        ring.remove("z")
+        moved = sum(1 for key, origin in before.items()
+                    if ring.lookup(key) != origin)
+        lost = sum(1 for origin in before.values() if origin == "z")
+        # only keys that lived on z move; everything else stays put
+        assert moved == lost > 0
+
+    def test_membership_and_errors(self):
+        ring = HashRing()
+        with pytest.raises(ServerError):
+            ring.lookup("anything")
+        assert ring.add("x") and not ring.add("x")
+        assert "x" in ring and len(ring) == 1
+        assert ring.remove("x") and not ring.remove("x")
+        with pytest.raises(ServerError):
+            HashRing(replicas=0)
+
+
+class TestStaticResolver:
+    def test_prefix_rule_unchanged(self):
+        resolver = StaticResolver()
+        assert resolver.resolve("alpha/seg") == "alpha"
+        for bad in ("bare", "/leading", "trailing/", ""):
+            with pytest.raises(SegmentError):
+                resolver.resolve(bad)
+
+    def test_bare_names_route_to_the_default(self):
+        resolver = StaticResolver(default_server="home")
+        assert resolver.resolve("bare") == "home"
+        assert resolver.resolve("alpha/seg") == "alpha"  # prefix still wins
+        with pytest.raises(SegmentError):
+            resolver.resolve("/leading")
+
+    def test_server_of_accepts_a_default(self):
+        assert InterWeaveClient.server_of("alpha/seg") == "alpha"
+        assert InterWeaveClient.server_of("bare", default="home") == "home"
+        with pytest.raises(SegmentError):
+            InterWeaveClient.server_of("bare")
+
+    def test_redirect_overrides_the_prefix(self):
+        resolver = StaticResolver()
+        resolver.on_redirect("alpha/seg", "beta", 3)
+        assert resolver.resolve("alpha/seg") == "beta"
+        resolver.on_redirect("alpha/seg", "gamma", 2)  # stale: ignored
+        assert resolver.resolve("alpha/seg") == "beta"
+
+
+class TestDirectory:
+    def test_lookup_is_sticky(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        origin, generation, pinned = directory.lookup("app/seg")
+        assert origin in ("o1", "o2", "o3") and not pinned
+        directory.add_origin("o4")
+        # membership changed, but the materialized binding holds
+        assert directory.lookup("app/seg")[0] == origin
+
+    def test_bind_bumps_the_generation(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        _origin, generation, _pinned = directory.lookup("app/seg")
+        assert directory.bind("app/seg", "o2") > generation
+        assert directory.lookup("app/seg") == (
+            "o2", directory.generation, True)
+        with pytest.raises(ServerError):
+            directory.bind("app/seg", "nope")
+
+    def test_speaks_the_wire_protocol(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        channel = hub.connect("directory", "admin")
+        reply = decode_message(channel.request(encode_message(
+            DirectoryLookupRequest("app/seg", client_id="admin"))))
+        assert isinstance(reply, DirectoryLookupReply)
+        assert reply.origin == directory.lookup("app/seg")[0]
+
+        reply = decode_message(channel.request(encode_message(
+            DirectoryUpdateRequest(DIR_ADD_ORIGIN, origin="o9"))))
+        assert isinstance(reply, DirectoryUpdateReply) and reply.ok
+        assert "o9" in directory.ring
+
+        reply = decode_message(channel.request(encode_message(
+            DirectoryUpdateRequest(99, origin="o9"))))
+        assert isinstance(reply, ErrorReply)
+        channel.close()
+
+    def test_stats_sections(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        directory.lookup("app/seg")
+        snapshot = directory.stats_snapshot()
+        section = snapshot["cluster"]
+        assert section["origins"] == ["o1", "o2", "o3"]
+        assert section["generation"] == directory.generation
+        assert "app/seg" in section["bindings"]
+        assert section["lookups"] == 1
+        assert section["migrations_completed"] == 0
+
+
+class TestDirectoryResolver:
+    def test_caches_bindings(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        resolver = DirectoryResolver(hub.connect, client_id="r")
+        first = resolver.resolve("app/seg")
+        lookups = directory.stats_snapshot()["cluster"]["lookups"]
+        assert resolver.resolve("app/seg") == first
+        assert directory.stats_snapshot()["cluster"]["lookups"] == lookups
+        resolver.invalidate("app/seg")
+        assert resolver.resolve("app/seg") == first
+        assert directory.stats_snapshot()["cluster"]["lookups"] == lookups + 1
+        resolver.close()
+
+    def test_redirects_update_the_cache_by_generation(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        resolver = DirectoryResolver(hub.connect, client_id="r")
+        resolver.resolve("app/seg")
+        resolver.on_redirect("app/seg", "o2", 100)
+        assert resolver.resolve("app/seg") == "o2"
+        resolver.on_redirect("app/seg", "o3", 99)  # older: ignored
+        assert resolver.resolve("app/seg") == "o2"
+        resolver.close()
+
+
+class TestMigration:
+    def test_state_and_history_survive_the_move(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        client = make_client(hub, clock)
+        seg = client.open_segment("app/seg")
+        for value in (1, 2, 3):
+            write_int(client, seg, "v", value)
+        source = directory.lookup("app/seg")[0]
+        target = next(n for n in ("o1", "o2", "o3") if n != source)
+
+        generation = coordinator.migrate("app/seg", target)
+        assert directory.lookup("app/seg") == (target, generation, True)
+
+        # the client chases the redirect transparently and sees its data
+        assert read_int(client, seg, "v") == 3
+        assert client.stats.redirects_followed >= 1
+        write_int(client, seg, "v", 4)
+        assert read_int(client, seg, "v") == 4
+
+        source_server = world.servers[source]
+        target_server = world.servers[target]
+        assert "app/seg" not in source_server.segments
+        assert target_server.segments["app/seg"].state.version >= 3
+        assert source_server.stats.migrations_out == 1
+        assert target_server.stats.migrations_in == 1
+        assert source_server.stats.redirects_served >= 1
+        client.close()
+
+    def test_migrate_is_idempotent_for_same_target(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        client = make_client(hub, clock)
+        seg = client.open_segment("app/seg")
+        write_int(client, seg, "v", 1)
+        home = directory.lookup("app/seg")[0]
+        generation = directory.lookup("app/seg")[1]
+        assert coordinator.migrate("app/seg", home) == generation
+        client.close()
+
+    def test_migrating_back_clears_the_tombstone(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        client = make_client(hub, clock)
+        seg = client.open_segment("app/seg")
+        write_int(client, seg, "v", 1)
+        home = directory.lookup("app/seg")[0]
+        away = next(n for n in ("o1", "o2", "o3") if n != home)
+        coordinator.migrate("app/seg", away)
+        write_int(client, seg, "v", 2)
+        coordinator.migrate("app/seg", home)
+        assert read_int(client, seg, "v") == 2
+        assert "app/seg" in world.servers[home].segments
+        client.close()
+
+    def test_freeze_defers_to_a_live_writer(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        client = make_client(hub, clock)
+        seg = client.open_segment("app/seg")
+        write_int(client, seg, "v", 1)
+        source = directory.lookup("app/seg")[0]
+
+        # hold the write lease and try to freeze: the source refuses
+        client.wl_acquire(seg)
+        channel = hub.connect(source, "!probe")
+        reply = decode_message(channel.request(encode_message(
+            MigrateOutRequest("app/seg", client_id="!probe"))))
+        assert isinstance(reply, ErrorReply)
+        assert "write-locked" in reply.message
+        channel.close()
+        client.wl_release(seg)
+
+        # with the lease released the same migration goes through
+        target = next(n for n in ("o1", "o2", "o3") if n != source)
+        coordinator.migrate("app/seg", target)
+        assert read_int(client, seg, "v") == 1
+        client.close()
+
+    def test_migration_under_concurrent_writer(self, cluster):
+        """A writer loops while the segment migrates; nothing is lost
+        and no operation fails (redirect retries are invisible)."""
+        clock, hub, directory, coordinator, world = cluster
+        client = make_client(hub, clock)
+        seg = client.open_segment("app/seg")
+        write_int(client, seg, "v", 0)
+        source = directory.lookup("app/seg")[0]
+        target = next(n for n in ("o1", "o2", "o3") if n != source)
+
+        rounds = 30
+        failures = []
+
+        def writer():
+            try:
+                for value in range(1, rounds + 1):
+                    write_int(client, seg, "v", value)
+            except Exception as exc:  # noqa: BLE001 — the assertion
+                failures.append(exc)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        generation = coordinator.migrate("app/seg", target)
+        thread.join(30)
+        assert not thread.is_alive()
+        assert failures == []
+        assert directory.lookup("app/seg") == (target, generation, True)
+        # every committed version made it: the final value lives at the
+        # target and the version count matches the writes that happened
+        assert read_int(client, seg, "v") == rounds
+        state = world.servers[target].segments["app/seg"].state
+        assert state.version == seg.version
+        client.close()
+
+    def test_failed_transfer_aborts_and_thaws(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        client = make_client(hub, clock)
+        seg = client.open_segment("app/seg")
+        write_int(client, seg, "v", 1)
+        source = directory.lookup("app/seg")[0]
+        target = next(n for n in ("o1", "o2", "o3") if n != source)
+
+        # poison the target: a segment of the same name already there
+        blocker_resolver = StaticResolver()
+        blocker_resolver.on_redirect("app/seg", target, 1)  # pin to target
+        blocker = InterWeaveClient("b", X86_32, hub.connect,
+                                   resolver=blocker_resolver, clock=clock)
+        blocker_seg = blocker.open_segment("app/seg")
+        with pytest.raises(ServerError):
+            coordinator.migrate("app/seg", target)
+        # the source thawed: writes proceed and the binding is unchanged
+        assert directory.lookup("app/seg")[0] == source
+        write_int(client, seg, "v", 2)
+        assert read_int(client, seg, "v") == 2
+        blocker.close()
+        client.close()
+
+    def test_wire_driven_migration(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        client = make_client(hub, clock)
+        seg = client.open_segment("app/seg")
+        write_int(client, seg, "v", 5)
+        source = directory.lookup("app/seg")[0]
+        target = next(n for n in ("o1", "o2", "o3") if n != source)
+
+        channel = hub.connect("directory", "admin")
+        reply = decode_message(channel.request(encode_message(
+            DirectoryUpdateRequest(DIR_MIGRATE, origin=target,
+                                   segment="app/seg", client_id="admin"))))
+        channel.close()
+        assert isinstance(reply, DirectoryUpdateReply) and reply.ok
+        assert directory.lookup("app/seg")[0] == target
+        assert read_int(client, seg, "v") == 5
+        client.close()
+
+    def test_redirect_reply_carries_the_new_binding(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        client = make_client(hub, clock)
+        seg = client.open_segment("app/seg")
+        write_int(client, seg, "v", 1)
+        source = directory.lookup("app/seg")[0]
+        target = next(n for n in ("o1", "o2", "o3") if n != source)
+        generation = coordinator.migrate("app/seg", target)
+
+        channel = hub.connect(source, "probe")
+        reply = decode_message(channel.request(encode_message(
+            MigrateOutRequest("app/seg", client_id="probe"))))
+        channel.close()
+        assert isinstance(reply, RedirectReply)
+        assert (reply.origin, reply.generation) == (target, generation)
+        client.close()
+
+    def test_subscribers_hear_about_the_move(self, cluster):
+        """A push-subscribed reader must not serve a stale copy after
+        the segment migrates and is written at the new origin."""
+        clock, hub, directory, coordinator, world = cluster
+        writer = make_client(hub, clock, client_id="w")
+        reader = make_client(hub, clock, client_id="r")
+        seg_w = writer.open_segment("app/seg")
+        write_int(writer, seg_w, "v", 1)
+        seg_r = reader.open_segment("app/seg", create=False)
+        assert read_int(reader, seg_r, "v") == 1  # now subscribed
+
+        source = directory.lookup("app/seg")[0]
+        target = next(n for n in ("o1", "o2", "o3") if n != source)
+        coordinator.migrate("app/seg", target)
+        write_int(writer, seg_w, "v", 2)
+        assert read_int(reader, seg_r, "v") == 2
+        writer.close()
+        reader.close()
+
+
+class TestRebalance:
+    def test_membership_growth_rebalances_unpinned_segments(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        client = make_client(hub, clock)
+        segments = {}
+        for index in range(12):
+            name = f"app/seg-{index}"
+            segments[name] = client.open_segment(name)
+            write_int(client, segments[name], "v", index)
+
+        world.add_server("o4")
+        directory.add_origin("o4")
+        plan = directory.plan_rebalance()
+        moved = coordinator.rebalance()
+        assert moved == len(plan)
+        assert directory.plan_rebalance() == []  # converged
+
+        # data still reads back correctly wherever it landed
+        for index, (name, segment) in enumerate(segments.items()):
+            assert read_int(client, segment, "v") == index
+        client.close()
+
+    def test_remove_origin_drains_before_leaving(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        client = make_client(hub, clock)
+        segments = {}
+        for index in range(9):
+            name = f"app/seg-{index}"
+            segments[name] = client.open_segment(name)
+            write_int(client, segments[name], "v", index)
+        victim = directory.lookup("app/seg-0")[0]
+        had = directory.bindings_on(victim)
+
+        moved = coordinator.remove_origin(victim)
+        assert moved == len(had)
+        assert victim not in directory.ring
+        assert directory.bindings_on(victim) == []
+        for index, (name, segment) in enumerate(segments.items()):
+            assert read_int(client, segment, "v") == index
+        client.close()
+
+
+class TestClusterStats:
+    def test_server_snapshot_has_a_cluster_section(self, cluster):
+        clock, hub, directory, coordinator, world = cluster
+        client = make_client(hub, clock)
+        seg = client.open_segment("app/seg")
+        write_int(client, seg, "v", 1)
+        source = directory.lookup("app/seg")[0]
+        target = next(n for n in ("o1", "o2", "o3") if n != source)
+        coordinator.migrate("app/seg", target)
+        read_int(client, seg, "v")  # chases the redirect
+
+        section = world.servers[source].stats_snapshot()["cluster"]
+        assert section["migrations_out"] == 1
+        assert section["redirects_served"] >= 1
+        assert section["moved_segments"]["app/seg"]["target"] == target
+        assert directory.stats_snapshot()[
+            "cluster"]["migrations_completed"] == 1
+        client.close()

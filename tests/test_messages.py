@@ -6,8 +6,14 @@ from repro.errors import WireFormatError
 from repro.wire.diff import BlockDiff, DiffRun, SegmentDiff
 from repro.wire.messages import (
     COHERENCE_DELTA,
+    DIR_MIGRATE,
+    DIR_PIN,
     LOCK_READ,
     LOCK_WRITE,
+    DirectoryLookupReply,
+    DirectoryLookupRequest,
+    DirectoryUpdateReply,
+    DirectoryUpdateRequest,
     ErrorReply,
     FetchReply,
     FetchRequest,
@@ -15,9 +21,16 @@ from repro.wire.messages import (
     LockAcquireRequest,
     LockReleaseReply,
     LockReleaseRequest,
+    MigrateAbortRequest,
+    MigrateAck,
+    MigrateCommitRequest,
+    MigrateInRequest,
+    MigrateOutReply,
+    MigrateOutRequest,
     NotifyInvalidate,
     OpenSegmentReply,
     OpenSegmentRequest,
+    RedirectReply,
     SubscribeReply,
     SubscribeRequest,
     decode_message,
@@ -44,6 +57,23 @@ SAMPLES = [
     SubscribeReply(enabled=True),
     NotifyInvalidate("host/seg", 10),
     ErrorReply("segment not found"),
+    DirectoryLookupRequest("host/seg", client_id="c1"),
+    DirectoryLookupReply(origin="origin-1", generation=7, pinned=True),
+    DirectoryUpdateRequest(DIR_PIN, origin="origin-1", segment="host/seg",
+                           client_id="admin"),
+    DirectoryUpdateRequest(DIR_MIGRATE, origin="origin-0",
+                           segment="host/seg", client_id="admin"),
+    DirectoryUpdateReply(ok=True, generation=8),
+    RedirectReply("host/seg", origin="origin-1", generation=7),
+    MigrateOutRequest("host/seg", client_id="!cluster"),
+    MigrateOutReply(version=4, payload=b"\x00checkpoint",
+                    diffs=[(3, 4, b"\x01diff")]),
+    MigrateInRequest("host/seg", payload=b"\x00checkpoint",
+                     diffs=[(3, 4, b"\x01diff")], client_id="!cluster"),
+    MigrateCommitRequest("host/seg", target="origin-1", generation=8,
+                         client_id="!cluster"),
+    MigrateAbortRequest("host/seg", client_id="!cluster"),
+    MigrateAck(ok=True),
 ]
 
 

@@ -8,7 +8,16 @@ different servers — and swizzling must resolve them transparently.
 
 import pytest
 
-from repro import InProcHub, InterWeaveClient, InterWeaveServer, VirtualClock
+from repro import (
+    ClusterCoordinator,
+    DirectoryResolver,
+    InProcHub,
+    InterWeaveClient,
+    InterWeaveServer,
+    SegmentDirectory,
+    VirtualClock,
+)
+from repro.obs.metrics import MetricsRegistry
 from repro.arch import SPARC_V9, X86_32
 from repro.errors import SegmentError, ServerError, TransportError
 from repro.types import INT, ArrayDescriptor, PointerDescriptor
@@ -111,6 +120,99 @@ class TestCrossServerPointers:
         client.wl_release(seg_b)
         assert seg_a.version == 3
         assert seg_b.version == 1
+
+
+class TestDirectoryRoutedPointers:
+    """Cross-server pointers when routing goes through the segment
+    directory instead of URL prefixes — before, during, and after the
+    pointee's segment migrates to a different origin."""
+
+    @pytest.fixture
+    def directory_world(self, world):
+        clock, hub = world
+        directory = SegmentDirectory(origins=["alpha", "beta"],
+                                     metrics=MetricsRegistry())
+        # deterministic layout: the index lives on alpha, the data on
+        # beta, so the pointer genuinely crosses servers
+        directory.bind("alpha/index", "alpha", pinned=False)
+        directory.bind("beta/data", "beta", pinned=False)
+        hub.register_server("directory", directory)
+        coordinator = ClusterCoordinator(directory, hub.connect, clock=clock)
+        return clock, hub, directory, coordinator
+
+    def _publish(self, hub, clock):
+        writer = InterWeaveClient(
+            "w", X86_32, hub.connect, clock=clock,
+            resolver=DirectoryResolver(hub.connect, client_id="w"))
+        seg_data = writer.open_segment("beta/data")
+        writer.wl_acquire(seg_data)
+        payload = writer.malloc(seg_data, ArrayDescriptor(INT, 4),
+                                name="payload")
+        payload.write_values([9, 8, 7, 6])
+        writer.wl_release(seg_data)
+        seg_index = writer.open_segment("alpha/index")
+        writer.wl_acquire(seg_index)
+        pointer = writer.malloc(
+            seg_index, PointerDescriptor(ArrayDescriptor(INT, 4), "arr"),
+            name="entry")
+        pointer.set(payload)
+        writer.wl_release(seg_index)
+        return writer
+
+    def _follow(self, hub, clock, client_id):
+        reader = InterWeaveClient(
+            client_id, SPARC_V9, hub.connect, clock=clock,
+            resolver=DirectoryResolver(hub.connect, client_id=client_id))
+        seg_r = reader.open_segment("alpha/index", create=False)
+        reader.rl_acquire(seg_r)
+        remote = reader.accessor_for(seg_r, "entry").get()
+        reader.rl_release(seg_r)
+        seg_data_r = reader.segments["beta/data"]
+        reader.rl_acquire(seg_data_r)
+        values = list(remote.read_values())
+        reader.rl_release(seg_data_r)
+        return reader, values
+
+    def test_swizzling_resolves_through_the_directory(self, directory_world):
+        clock, hub, directory, coordinator = directory_world
+        writer = self._publish(hub, clock)
+        reader, values = self._follow(hub, clock, "r")
+        assert values == [9, 8, 7, 6]
+        writer.close()
+        reader.close()
+
+    def test_swizzling_after_the_pointee_migrates(self, directory_world):
+        clock, hub, directory, coordinator = directory_world
+        writer = self._publish(hub, clock)
+        coordinator.migrate("beta/data", "alpha")
+        # a fresh reader resolves both names through the directory and
+        # never notices the data segment no longer lives on beta
+        reader, values = self._follow(hub, clock, "r2")
+        assert values == [9, 8, 7, 6]
+        assert reader.stats.redirects_followed == 0
+        writer.close()
+        reader.close()
+
+    def test_open_reader_chases_the_move(self, directory_world):
+        clock, hub, directory, coordinator = directory_world
+        writer = self._publish(hub, clock)
+        reader, values = self._follow(hub, clock, "r3")
+        assert values == [9, 8, 7, 6]
+        # migrate under the reader's feet, then update through it
+        coordinator.migrate("beta/data", "alpha")
+        seg_data = writer.segments["beta/data"]
+        writer.wl_acquire(seg_data)
+        writer.accessor_for(seg_data, "payload").write_values([1, 2, 3, 4])
+        writer.wl_release(seg_data)
+        seg_data_r = reader.segments["beta/data"]
+        reader.rl_acquire(seg_data_r)
+        values = list(reader.accessor_for(seg_data_r, "payload").read_values())
+        reader.rl_release(seg_data_r)
+        assert values == [1, 2, 3, 4]
+        assert (writer.stats.redirects_followed
+                + reader.stats.redirects_followed) >= 1
+        writer.close()
+        reader.close()
 
 
 class TestClientAPIEdges:

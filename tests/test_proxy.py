@@ -414,6 +414,41 @@ class TestFreshness:
 # retries and dedup survive the extra hop
 # ---------------------------------------------------------------------------
 
+class TestClusterRedirects:
+    def test_proxy_chases_a_migrated_segment(self):
+        from repro import ClusterCoordinator, SegmentDirectory
+
+        world = ProxyWorld()
+        # a second origin and a directory turn the topology into a
+        # cluster fronted by the same relay
+        other = InterWeaveServer("h-other", sink=world.hub,
+                                 clock=world.clock,
+                                 metrics=MetricsRegistry())
+        world.hub.register_server("h-other", other)
+        directory = SegmentDirectory(origins=["h-origin", "h-other"],
+                                     metrics=MetricsRegistry())
+        world.hub.register_server("directory", directory)
+        coordinator = ClusterCoordinator(directory, world.hub.connect,
+                                         clock=world.clock)
+        directory.bind("h/s", "h-origin", pinned=False)
+
+        writer, seg = world.seed(value=1)
+        coordinator.migrate("h/s", "h-other")
+
+        # the write goes through the proxy, which follows the redirect
+        # to the new origin; the downstream client never sees it
+        write_value(writer, seg, 2)
+        assert read_value(writer, seg) == 2
+        assert writer.stats.redirects_followed == 0
+        assert world.proxy.stats.redirects_followed >= 1
+        snapshot = world.proxy.stats_snapshot()["proxy"]
+        assert snapshot["bindings"]["h/s"]["origin"] == "h-other"
+        assert other.segments["h/s"].state.version >= 2
+        writer.close()
+        coordinator.close()
+        world.proxy.close()
+
+
 class TestRetryDedup:
     def test_resent_sequence_replayed_not_reforwarded(self):
         """A downstream retry after a lost reply must be answered from

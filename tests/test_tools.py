@@ -114,6 +114,69 @@ class TestProxyTool:
         assert args.diff_cache_mb == 16
 
 
+class TestClusterTool:
+    def test_serve_shard_and_migrate(self):
+        from repro import DirectoryResolver, MuxConnectionPool
+        from repro.wire.messages import (
+            DIR_MIGRATE,
+            DirectoryUpdateReply,
+            DirectoryUpdateRequest,
+            decode_message,
+            encode_message,
+        )
+        from repro.tools import cluster_main
+
+        args = cluster_main.build_parser().parse_args(["--origins", "2"])
+        ready, stop = threading.Event(), threading.Event()
+        thread = threading.Thread(target=cluster_main.serve,
+                                  args=(args, ready, stop), daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        ports = ready.ready_ports
+        assert set(ports["origins"]) == {"origin-0", "origin-1"}
+        addresses = {"directory": ("127.0.0.1", ports["directory"])}
+        for name, port in ports["origins"].items():
+            addresses[name] = ("127.0.0.1", port)
+        pool = MuxConnectionPool(addresses)
+        try:
+            client = InterWeaveClient(
+                "c", X86_32, pool.connect,
+                resolver=DirectoryResolver(pool.connect, client_id="c"))
+            seg = client.open_segment("app/data")
+            client.wl_acquire(seg)
+            client.malloc(seg, INT, name="v").set(7)
+            client.wl_release(seg)
+
+            # drive a migration through the directory's wire protocol
+            home = client.resolver.resolve("app/data")
+            target = next(n for n in ports["origins"] if n != home)
+            channel = pool.connect("directory", "admin")
+            reply = decode_message(channel.request(encode_message(
+                DirectoryUpdateRequest(DIR_MIGRATE, origin=target,
+                                       segment="app/data",
+                                       client_id="admin"))))
+            channel.close()
+            assert isinstance(reply, DirectoryUpdateReply) and reply.ok
+
+            client.rl_acquire(seg)
+            assert client.accessor_for(seg, "v").get() == 7
+            client.rl_release(seg)
+            assert client.stats.redirects_followed >= 1
+            client.close()
+        finally:
+            pool.close()
+            stop.set()
+            thread.join(timeout=5)
+
+    def test_parser_defaults(self):
+        from repro.tools.cluster_main import build_parser
+
+        args = build_parser().parse_args([])
+        assert args.origins == 2
+        assert args.host == "127.0.0.1"
+        assert args.ring_replicas == 64
+
+
 class TestInspectTool:
     def test_describe_checkpoint(self, tmp_path, capsys):
         from repro.tools.inspect_main import main
