@@ -47,7 +47,8 @@ from repro.client.api import (
 from repro.coherence import delta, diff, full, temporal
 from repro.obs import MetricsRegistry, Tracer, get_registry, set_registry
 from repro.proxy import CachingProxy
-from repro.server import InterWeaveServer
+from repro.replication import ReplicationSender
+from repro.server import InterWeaveServer, WriteAheadLog
 from repro.transport import (
     FaultInjectingChannel,
     FaultPlan,
@@ -96,6 +97,7 @@ __all__ = [
     "MultiplexingChannel",
     "MuxConnectionPool",
     "NetworkModel",
+    "ReplicationSender",
     "ReplyCache",
     "ReplyFuture",
     "Resolver",
@@ -109,6 +111,7 @@ __all__ = [
     "Tracer",
     "VirtualClock",
     "WallClock",
+    "WriteAheadLog",
     "arch",
     "coherence",
     "delta",

@@ -38,6 +38,7 @@ from repro.errors import (
     MIPError,
     SegmentError,
     ServerError,
+    TransportError,
     WrongServerError,
 )
 from repro.memory import (
@@ -100,6 +101,11 @@ class ClientOptions:
     #: up (a migration moves a segment once; chains only appear when it
     #: moves again mid-retry)
     redirect_max_follows: int = 4
+    #: when a server becomes unreachable, drop the cached binding and ask
+    #: the resolver again — if the cluster failed the segment over to a
+    #: promoted backup, the re-resolved server differs and the operation
+    #: is retried there transparently
+    failover_reresolve: bool = True
 
 
 @dataclass
@@ -115,6 +121,7 @@ class ClientStats:
     lock_denials_seen: int = 0
     twins_created: int = 0
     redirects_followed: int = 0
+    failovers_followed: int = 0
 
 
 class Segment:
@@ -214,6 +221,9 @@ class InterWeaveClient:
         self._m_redirects = self.metrics.counter(
             "client.redirects_followed",
             "WrongServer redirects chased to a new origin")
+        self._m_failovers = self.metrics.counter(
+            "client.failovers_followed",
+            "unreachable-server operations retried at a re-resolved origin")
         self._api_lock = threading.RLock()
         self.memory = AddressSpace(metrics=self.metrics)
         self.memory.fault_handler = self._on_write_fault
@@ -765,11 +775,42 @@ class InterWeaveClient:
                                    reply.generation)
         return reply
 
+    def _failed_over(self, name: str) -> bool:
+        """A server became unreachable: drop the cached binding and ask
+        the resolver whether the segment now lives somewhere else.
+
+        Returns True only when the re-resolved server *differs* — the
+        cluster promoted a backup (or rebound the segment) and a retry
+        there can succeed.  When the name still resolves to the dead
+        server there is nothing to fail over to, and the transport error
+        propagates (retry policies below this layer already handled
+        transient blips).
+        """
+        if not self.options.failover_reresolve:
+            return False
+        try:
+            before = self.resolver.resolve(name)
+        except SegmentError:
+            return False
+        self.resolver.invalidate(name)
+        try:
+            after = self.resolver.resolve(name)
+        except (SegmentError, TransportError):
+            return False
+        if after == before:
+            return False
+        self.stats.failovers_followed += 1
+        self._m_failovers.inc()
+        return True
+
     def _rpc_named(self, name: str, request: Message) -> Message:
         """An RPC routed by segment name, chasing WrongServer redirects:
         each redirect teaches the resolver the new binding, and the
-        request is re-sent over the channel the name now resolves to."""
+        request is re-sent over the channel the name now resolves to.
+        An unreachable server additionally triggers one failover
+        re-resolve (see :meth:`_failed_over`)."""
         last: Optional[WrongServerError] = None
+        failed_over = False
         for _ in range(max(1, self.options.redirect_max_follows)):
             try:
                 return self._rpc(self._channel_for(name), request)
@@ -779,6 +820,10 @@ class InterWeaveClient:
                 self._m_redirects.inc()
                 self.resolver.on_redirect(exc.segment, exc.origin,
                                           exc.generation)
+            except TransportError:
+                if failed_over or not self._failed_over(name):
+                    raise
+                failed_over = True
         raise last
 
     def _rpc_segment(self, segment: Segment, request: Message) -> Message:
@@ -787,9 +832,12 @@ class InterWeaveClient:
         On a redirect the segment's cached channel is rebound to the new
         origin, and the poller falls back to polling — the new origin
         has no subscription for us, so trusting push freshness across a
-        migration would serve stale reads forever.
+        migration would serve stale reads forever.  An unreachable
+        server gets the same treatment after a successful failover
+        re-resolve: rebind the channel and drop push trust.
         """
         last: Optional[WrongServerError] = None
+        failed_over = False
         for _ in range(1 + max(0, self.options.redirect_max_follows)):
             try:
                 return self._rpc(segment.channel, request)
@@ -799,8 +847,12 @@ class InterWeaveClient:
                 self._m_redirects.inc()
                 self.resolver.on_redirect(exc.segment, exc.origin,
                                           exc.generation)
-                segment.channel = self._channel_for(segment.name)
-                segment.poller.on_disconnect()
+            except TransportError:
+                if failed_over or not self._failed_over(segment.name):
+                    raise
+                failed_over = True
+            segment.channel = self._channel_for(segment.name)
+            segment.poller.on_disconnect()
         raise last
 
     def _on_notification(self, data: bytes) -> None:

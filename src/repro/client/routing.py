@@ -41,6 +41,13 @@ class Resolver:
         """A server redirected ``segment_name`` to ``origin``; remember
         the new binding so the next :meth:`resolve` follows it."""
 
+    def invalidate(self, segment_name: str) -> None:
+        """Drop any cached binding for ``segment_name`` (the client saw
+        its server become unreachable); the next :meth:`resolve` should
+        consult the authoritative source again.  Resolvers with no cache
+        ignore this — re-resolving then yields the same answer, and the
+        client correctly concludes there is nowhere to fail over to."""
+
     def close(self) -> None:
         """Release any connections the resolver holds."""
 

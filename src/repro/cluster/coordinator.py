@@ -35,6 +35,7 @@ from repro.errors import ServerError, TransportError
 from repro.transport.base import Channel
 from repro.util.clock import Clock, VirtualClock, WallClock
 from repro.wire.messages import (
+    REPL_PROMOTE,
     ErrorReply,
     Message,
     MigrateAbortRequest,
@@ -43,6 +44,8 @@ from repro.wire.messages import (
     MigrateInRequest,
     MigrateOutReply,
     MigrateOutRequest,
+    ReplicateAck,
+    ReplicateAppendRequest,
     decode_message,
     encode_message,
 )
@@ -130,6 +133,30 @@ class ClusterCoordinator:
             raise
         return moved
 
+    def promote_backup(self, failed: str, backup: str) -> int:
+        """Fail ``failed`` over to its replicating ``backup``.
+
+        Tells the backup to start serving (REPL_PROMOTE), adds it to the
+        ring, rebinds every segment bound to the failed origin — clients
+        and relays holding stale bindings re-resolve through the usual
+        redirect/re-resolve path — and finally drops the failed origin
+        from the ring.  Returns the directory generation after the
+        rebinds.  No data moves: the backup already holds it.
+        """
+        self._request(backup, ReplicateAppendRequest(
+            kind=REPL_PROMOTE, client_id=self.client_id))
+        if backup not in self.directory.ring:
+            self.directory.add_origin(backup)
+        generation = self.directory.generation
+        for segment in self.directory.bindings_on(failed):
+            generation = self.directory.bind(segment, backup, pinned=True)
+        if failed in self.directory.ring:
+            self.directory.remove_origin(failed)
+        stale = self._channels.pop(failed, None)
+        if stale is not None:
+            stale.close()
+        return generation
+
     def close(self) -> None:
         channels, self._channels = dict(self._channels), {}
         for channel in channels.values():
@@ -193,4 +220,7 @@ class ClusterCoordinator:
         if isinstance(reply, MigrateAck) and not reply.ok:
             raise ServerError(
                 f"origin {origin!r} rejected {type(request).__name__}")
+        if isinstance(reply, ReplicateAck) and not reply.ok:
+            raise ServerError(
+                f"origin {origin!r} nacked {type(request).__name__}")
         return reply

@@ -104,3 +104,7 @@ class CoherenceError(InterWeaveError):
 
 class CheckpointError(InterWeaveError):
     """A segment checkpoint could not be written or recovered."""
+
+
+class WALError(InterWeaveError):
+    """A diff write-ahead log could not be appended to or replayed."""

@@ -1,0 +1,205 @@
+"""The primary's side of the replication stream.
+
+:class:`ReplicationSender` decouples commits from the backup link: the
+server enqueues records under its segment write lock (cheap — an append
+to an in-memory queue) and a worker thread ships them in order, so a slow
+or dead backup never stalls a client's release.  Replication is therefore
+*asynchronous*: the durability guarantee against a primary crash comes
+from the primary's WAL; the backup bounds recovery time, not data loss.
+
+The stream is self-healing.  Every record is acknowledged with the
+backup's resulting segment version; a nack (``ok=False``) means the
+backup cannot apply the record in sequence — it has never seen the
+segment, or the stream has a gap (records dropped while the link was
+down).  The sender then performs a *catchup*: it exports the segment from
+the primary (checkpoint image + cached diffs, the same payload migration
+uses) and ships it as one ``ReplicateCatchupRequest``, after which the
+incremental stream resumes.  Transport errors just drop the record and
+count it — the next record's nack triggers the catchup that heals the
+gap.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import deque
+from typing import Optional
+
+from repro.errors import InterWeaveError, ServerError, TransportError
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.transport.base import Channel
+from repro.wire.messages import (
+    REPL_DIFF,
+    REPL_LEASE,
+    REPL_PROMOTE,
+    ErrorReply,
+    ReplicateAck,
+    ReplicateAppendRequest,
+    ReplicateCatchupRequest,
+    decode_message,
+    encode_message,
+)
+
+_log = logging.getLogger(__name__)
+
+
+class ReplicationSender:
+    """Ships a primary server's diff/lease stream to one backup.
+
+    ``server`` is the primary (used to export segments for catchups);
+    ``channel`` is any request/reply channel to the backup.  Attach with
+    ``server.attach_replicator(sender)``.
+    """
+
+    def __init__(self, server, channel: Channel,
+                 client_id: str = "!replication",
+                 metrics: Optional[MetricsRegistry] = None,
+                 max_queue: int = 65536):
+        self.server = server
+        self.channel = channel
+        self.client_id = client_id
+        self._queue = deque()
+        self._max_queue = max_queue
+        self._cv = threading.Condition()
+        self._busy = False
+        self._stopped = False
+        registry = metrics or get_registry()
+        self._m_appends = registry.counter(
+            "replication.appends", "records shipped to the backup")
+        self._m_catchups = registry.counter(
+            "replication.catchups", "full-segment catchups shipped")
+        self._m_errors = registry.counter(
+            "replication.errors",
+            "records dropped on transport/server errors (healed by the "
+            "next catchup)")
+        self._m_lag = registry.gauge(
+            "replication.lag_versions",
+            "primary minus backup version at the last acknowledged record")
+        self._m_depth = registry.gauge(
+            "replication.queue_depth", "records waiting to be shipped")
+        self._worker = threading.Thread(target=self._run,
+                                        name=f"replication-{client_id}",
+                                        daemon=True)
+        self._worker.start()
+
+    # -- producer side (called by the server, under its segment lock) --------
+
+    def append_diff(self, segment: str, from_version: int, to_version: int,
+                    encoded: bytes, timestamp: float) -> None:
+        self._enqueue(ReplicateAppendRequest(
+            kind=REPL_DIFF, segment=segment, from_version=from_version,
+            to_version=to_version, timestamp=timestamp, payload=encoded,
+            client_id=self.client_id))
+
+    def append_lease(self, segment: str, writer: str, expiry: float) -> None:
+        self._enqueue(ReplicateAppendRequest(
+            kind=REPL_LEASE, segment=segment, writer=writer,
+            lease_expiry=expiry, client_id=self.client_id))
+
+    def _enqueue(self, record: ReplicateAppendRequest) -> None:
+        with self._cv:
+            if self._stopped:
+                return
+            if len(self._queue) >= self._max_queue:
+                # drop the oldest: the gap it opens is healed by the nack
+                # -> catchup path, and an unbounded queue would let a dead
+                # backup consume the primary's memory
+                self._queue.popleft()
+                self._m_errors.inc()
+            self._queue.append(record)
+            self._m_depth.set(len(self._queue))
+            self._cv.notify_all()
+
+    # -- worker side ----------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._stopped:
+                    self._cv.wait()
+                if not self._queue and self._stopped:
+                    return
+                record = self._queue.popleft()
+                self._m_depth.set(len(self._queue))
+                self._busy = True
+            try:
+                self._ship(record)
+            except Exception:  # noqa: BLE001 — the stream must survive
+                self._m_errors.inc()
+                _log.exception("replication record for %r dropped",
+                               record.segment)
+            finally:
+                with self._cv:
+                    self._busy = False
+                    self._cv.notify_all()
+
+    def _ship(self, record: ReplicateAppendRequest) -> None:
+        try:
+            ack = self._request(record)
+        except (TransportError, ServerError):
+            self._m_errors.inc()
+            return  # gap opens; the backup's next nack triggers catchup
+        self._m_appends.inc()
+        if ack.ok:
+            if record.kind == REPL_DIFF:
+                self._m_lag.set(max(0, record.to_version - ack.version))
+            return
+        self._catchup(record.segment)
+        if record.kind == REPL_LEASE:
+            # the lease preceded the data; now that the data is there,
+            # the lease must be re-asserted or failover would lose it
+            try:
+                self._request(record)
+            except (TransportError, ServerError):
+                self._m_errors.inc()
+
+    def _catchup(self, segment: str) -> None:
+        try:
+            version, payload, diffs = self.server.export_segment(segment)
+        except InterWeaveError:
+            self._m_errors.inc()
+            _log.exception("cannot export %r for catchup", segment)
+            return
+        try:
+            ack = self._request(ReplicateCatchupRequest(
+                segment=segment, version=version, payload=payload,
+                diffs=diffs, client_id=self.client_id))
+        except (TransportError, ServerError):
+            self._m_errors.inc()
+            return
+        self._m_catchups.inc()
+        if ack.ok:
+            self._m_lag.set(max(0, version - ack.version))
+
+    def _request(self, message) -> ReplicateAck:
+        raw = self.channel.request(encode_message(message))
+        reply = decode_message(raw)
+        if isinstance(reply, ErrorReply):
+            raise ServerError(reply.message)
+        if not isinstance(reply, ReplicateAck):
+            raise ServerError(
+                f"backup answered {type(reply).__name__}, not ReplicateAck")
+        return reply
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def send_promote(self) -> None:
+        """Synchronously tell the backup to become primary."""
+        self._request(ReplicateAppendRequest(kind=REPL_PROMOTE,
+                                             client_id=self.client_id))
+
+    def flush(self, timeout: float = 30.0) -> bool:
+        """Block until every enqueued record has been shipped (or
+        dropped); False if the queue did not drain in time."""
+        with self._cv:
+            return self._cv.wait_for(
+                lambda: not self._queue and not self._busy, timeout)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Drain outstanding records, then stop the worker."""
+        self.flush(timeout)
+        with self._cv:
+            self._stopped = True
+            self._cv.notify_all()
+        self._worker.join(timeout)

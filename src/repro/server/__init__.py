@@ -16,6 +16,7 @@ from repro.server.segment_state import (
 )
 from repro.server.server import InterWeaveServer, ServerStats
 from repro.server.version_list import VersionList
+from repro.server.wal import SegmentWAL, WALRecord, WriteAheadLog, read_wal, replay_records
 
 __all__ = [
     "ClientView",
@@ -24,12 +25,17 @@ __all__ = [
     "SERVER_ARCH",
     "SUBBLOCK_UNITS",
     "SegmentCoherence",
+    "SegmentWAL",
     "ServerBlock",
     "ServerSegment",
     "ServerStats",
     "VersionList",
+    "WALRecord",
+    "WriteAheadLog",
     "decode_checkpoint",
     "encode_checkpoint",
     "read_checkpoint",
+    "read_wal",
+    "replay_records",
     "write_checkpoint",
 ]

@@ -79,7 +79,10 @@ def decode_checkpoint(data: bytes) -> ServerSegment:
 
     try:
         return _decode_checkpoint(data)
-    except WireFormatError as exc:
+    except (WireFormatError, ValueError) as exc:
+        # ValueError covers payloads whose framing decodes but whose
+        # content is impossible — e.g. a truncated ``subblock_versions``
+        # blob makes ``np.frombuffer`` raise a raw ValueError
         raise CheckpointError(f"corrupt checkpoint: {exc}") from exc
 
 
@@ -137,24 +140,82 @@ def _decode_checkpoint(data: bytes) -> ServerSegment:
     return segment
 
 
-def write_checkpoint(segment: ServerSegment, directory: str) -> str:
-    """Atomically write a checkpoint file; returns its path."""
-    os.makedirs(directory, exist_ok=True)
-    safe_name = segment.name.replace("/", "_").replace(":", "_")
-    path = os.path.join(directory, f"{safe_name}.iwck")
-    data = encode_checkpoint(segment)
+def safe_file_name(segment_name: str) -> str:
+    """A segment name flattened for use as a file name."""
+    return segment_name.replace("/", "_").replace(":", "_")
+
+
+def checkpoint_path(directory: str, segment_name: str) -> str:
+    return os.path.join(directory, f"{safe_file_name(segment_name)}.iwck")
+
+
+def fsync_directory(directory: str) -> None:
+    """fsync a directory so a rename into it survives a crash.
+
+    Best-effort: platforms without directory file descriptors (or
+    filesystems that reject the fsync) are silently tolerated — the
+    rename itself is still atomic, only its durability ordering is
+    weaker there.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def replace_durably(path: str, data: bytes) -> None:
+    """Atomically and *durably* replace ``path`` with ``data``.
+
+    Write to a temp file in the same directory, flush and fsync it, then
+    ``os.replace`` over the target and fsync the directory.  Without the
+    fsyncs a crash shortly after "atomic" replacement can leave an empty
+    or torn file once the page cache is lost — the rename may be durable
+    while the data it points at is not.  Shared by checkpoint writes and
+    WAL compaction (``repro.server.wal``).
+    """
+    directory = os.path.dirname(path) or "."
     fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(temp_path, path)
     except OSError as exc:
         try:
             os.unlink(temp_path)
         except OSError:
             pass
-        raise CheckpointError(f"cannot write checkpoint: {exc}") from exc
+        raise CheckpointError(f"cannot write {path!r}: {exc}") from exc
+    fsync_directory(directory)
+
+
+def write_checkpoint_data(segment_name: str, data: bytes,
+                          directory: str) -> str:
+    """Durably write pre-encoded checkpoint bytes; returns the path.
+
+    Split from :func:`write_checkpoint` so the server can encode under
+    the segment lock but perform the disk write after releasing it.
+    """
+    try:
+        os.makedirs(directory, exist_ok=True)
+    except OSError as exc:
+        raise CheckpointError(f"cannot create {directory!r}: {exc}") from exc
+    path = checkpoint_path(directory, segment_name)
+    replace_durably(path, data)
     return path
+
+
+def write_checkpoint(segment: ServerSegment, directory: str) -> str:
+    """Atomically and durably write a checkpoint file; returns its path."""
+    return write_checkpoint_data(segment.name, encode_checkpoint(segment),
+                                 directory)
 
 
 def read_checkpoint(path: str) -> ServerSegment:

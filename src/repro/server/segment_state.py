@@ -291,9 +291,16 @@ class ServerSegment:
         if 0 < client_version < self.compact_floor:
             client_version = 0
         diff = SegmentDiff(self.name, client_version, self.version)
-        diff.new_types = [(serial, self.registry.encoded(serial))
-                          for version, serial in self.type_log
-                          if version > client_version]
+        if client_version == 0:
+            # full transfer: compaction may have pruned the type-log
+            # entries recording creation-era types, so ship every
+            # registered descriptor rather than the log survivors
+            diff.new_types = [(serial, self.registry.encoded(serial))
+                              for serial, _ in self.registry.items()]
+        else:
+            diff.new_types = [(serial, self.registry.encoded(serial))
+                              for version, serial in self.type_log
+                              if version > client_version]
         for version, serial in self.freed_log:
             if version > client_version:
                 diff.block_diffs.append(

@@ -32,11 +32,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.coherence import CoherencePolicy
-from repro.errors import InterWeaveError, ServerError
+from repro.errors import CheckpointError, InterWeaveError, ServerError, WALError
 from repro.obs.metrics import DualCounter, MetricsRegistry, get_registry
 from repro.server.coherence import SegmentCoherence
 from repro.server.diff_cache import DiffCache
 from repro.server.segment_state import ServerSegment
+from repro.server.wal import WriteAheadLog, replay_records
 from repro.transport.base import Dispatcher, NotificationSink, NullSink
 from repro.util.clock import Clock, WallClock
 from repro.util.rwlock import ReaderWriterLock
@@ -44,6 +45,9 @@ from repro.wire import SegmentDiff, encode_segment_diff
 from repro.wire.messages import (
     LOCK_READ,
     LOCK_WRITE,
+    REPL_DIFF,
+    REPL_LEASE,
+    REPL_PROMOTE,
     DeleteSegmentReply,
     DeleteSegmentRequest,
     ErrorReply,
@@ -66,6 +70,9 @@ from repro.wire.messages import (
     OpenSegmentReply,
     OpenSegmentRequest,
     RedirectReply,
+    ReplicateAck,
+    ReplicateAppendRequest,
+    ReplicateCatchupRequest,
     SubscribeReply,
     SubscribeRequest,
     decode_message,
@@ -191,9 +198,14 @@ class InterWeaveServer(Dispatcher):
                  checkpoint_dir: Optional[str] = None,
                  checkpoint_every: int = 0,
                  metrics: Optional[MetricsRegistry] = None,
-                 lease_duration: float = 30.0):
+                 lease_duration: float = 30.0,
+                 wal_dir: Optional[str] = None,
+                 wal_fsync: bool = True,
+                 role: str = "primary"):
         if lease_duration <= 0:
             raise ServerError("lease_duration must be positive")
+        if role not in ("primary", "backup"):
+            raise ServerError(f"unknown server role {role!r}")
         self.name = name
         self.sink = sink or NullSink()
         self.clock = clock or WallClock()
@@ -225,8 +237,36 @@ class InterWeaveServer(Dispatcher):
         self._m_write_wait = self.metrics.histogram(
             "server.lock.write_wait_seconds",
             help="time spent waiting for a per-segment write lock")
+        self._m_checkpoint_errors = self.metrics.counter(
+            "server.checkpoint_errors",
+            "periodic checkpoints that failed to reach disk (the release "
+            "they rode on still succeeded)")
+        self._m_wal_errors = self.metrics.counter(
+            "server.wal_errors",
+            "WAL appends or replays that failed (durability degraded, "
+            "the commit itself still succeeded)")
+        self._m_promotions = self.metrics.counter(
+            "server.promotions", "backup-to-primary promotions")
+        self._m_replica_appends = self.metrics.counter(
+            "server.replica_appends",
+            "replication records applied while acting as a backup")
+        self._m_replica_catchups = self.metrics.counter(
+            "server.replica_catchups",
+            "full-segment catchups installed while acting as a backup")
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
+        #: durable diff log: every committed diff is appended (and synced)
+        #: before its release reply is sent, closing the crash window
+        #: between periodic checkpoints
+        self.wal = (WriteAheadLog(wal_dir, fsync=wal_fsync,
+                                  metrics=self.metrics)
+                    if wal_dir else None)
+        #: "primary" serves clients; "backup" only accepts the replication
+        #: stream (and stats) until promoted
+        self.role = role
+        #: a :class:`~repro.replication.ReplicationSender` once attached;
+        #: primaries feed it committed diffs and lease transitions
+        self.replicator = None
         #: metadata compaction cadence (versions) and history depth
         self.compact_every = 256
         self.compact_keep_back = 128
@@ -304,6 +344,17 @@ class InterWeaveServer(Dispatcher):
     def _handle(self, client_id: str, request) -> Message:
         if isinstance(request, GetStatsRequest):
             return self._get_stats()
+        if isinstance(request, ReplicateAppendRequest):
+            return self._replicate_append(request)
+        if isinstance(request, ReplicateCatchupRequest):
+            return self._replicate_catchup(request)
+        if self.role == "backup":
+            # a backup mirrors its primary but must not accept writes (or
+            # serve possibly-lagging reads) until promotion, or the two
+            # copies would diverge
+            raise ServerError(
+                f"server {self.name!r} is a backup; not serving client "
+                f"traffic until promoted")
         if isinstance(request, MigrateInRequest):
             # exempt from the moved check: a segment that migrated away
             # may migrate back, which reclaims the tombstone
@@ -570,9 +621,14 @@ class InterWeaveServer(Dispatcher):
             if not denied:
                 entry.writer = client_id
                 entry.writer_expires = self.clock.now() + self.lease_duration
+                expires = entry.writer_expires
         if denied:
             self.stats.lock_denials_counter.inc()
             return LockAcquireReply(granted=False, version=state.version)
+        if self.replicator is not None:
+            # mirror the grant so a promoted backup honors this writer's
+            # lease instead of handing the lock to someone else mid-write
+            self.replicator.append_lease(state.name, client_id, expires)
         # a writer must build on the current version, regardless of its
         # coherence model for reads
         diff = self._update_for(state, request.client_version)
@@ -624,6 +680,7 @@ class InterWeaveServer(Dispatcher):
     def _release(self, client_id: str, request: LockReleaseRequest) -> Message:
         entry = self._entry(request.segment)
         pending = None
+        checkpoint = None
         with self._write_locked(entry):
             self._lease_touch(entry, client_id)
             state = entry.state
@@ -642,10 +699,16 @@ class InterWeaveServer(Dispatcher):
                 entry.writer = None
             if request.diff is None or (not request.diff.block_diffs
                                         and not request.diff.new_types):
+                if self.replicator is not None:
+                    # nothing committed, but the backup must learn the
+                    # lease is free — no diff record will imply it
+                    self.replicator.append_lease(state.name, "", 0.0)
                 return LockReleaseReply(version=state.version)
             diff = request.diff
+            from_version = diff.from_version
+            now = self.clock.now()
             modified_units = sum(bd.covered_units() for bd in diff.block_diffs)
-            new_version = state.apply_client_diff(diff, now=self.clock.now())
+            new_version = state.apply_client_diff(diff, now=now)
             self.stats.diffs_applied_counter.inc()
             entry.coherence.on_new_version(modified_units)
             entry.coherence.on_client_updated(client_id, new_version,
@@ -654,16 +717,36 @@ class InterWeaveServer(Dispatcher):
             for block_diff in diff.block_diffs:
                 block_diff.version = new_version
             diff.to_version = new_version
-            self.diff_cache.put(state.name, diff.from_version, new_version,
-                                encode_segment_diff(diff))
+            encoded = encode_segment_diff(diff)
+            self.diff_cache.put(state.name, from_version, new_version, encoded)
+            # The commit becomes durable *before* the reply leaves: once a
+            # client sees the ack, no crash may lose this version.  WAL
+            # appends stay under the segment write lock so records land in
+            # version order.  An append failure degrades durability but
+            # must not fail a commit other clients can already see.
+            if self.wal is not None:
+                try:
+                    self.wal.append(state.name, from_version, new_version,
+                                    encoded, timestamp=now)
+                except WALError:
+                    self._m_wal_errors.inc()
+                    _log.exception("WAL append failed for %r @%d",
+                                   state.name, new_version)
+            if self.replicator is not None:
+                self.replicator.append_diff(state.name, from_version,
+                                            new_version, encoded, now)
             pending = self._stale_notifications(entry)
-            self._maybe_checkpoint(state)
+            # encode the periodic checkpoint under the lock (it must be a
+            # consistent image) but keep the disk write for after release —
+            # fsync-ing a large segment must not stall this segment's traffic
+            checkpoint = self._encode_checkpoint_if_due(state)
             if new_version % self.compact_every == 0:
                 state.compact(keep_back=self.compact_keep_back)
             reply = LockReleaseReply(version=new_version)
         # pushes run outside the segment lock: a slow subscriber link must
         # not stall other clients' traffic on this segment
         self._push_notifications(pending)
+        self._write_checkpoint_async_safe(checkpoint)
         return reply
 
     # -- fetch / subscribe ---------------------------------------------------------------
@@ -734,7 +817,8 @@ class InterWeaveServer(Dispatcher):
             moved = {name: {"target": target, "generation": generation}
                      for name, (target, generation) in self._moved.items()}
         return {
-            "server": {"name": self.name, "segments": segments},
+            "server": {"name": self.name, "role": self.role,
+                       "segments": segments},
             "cluster": {
                 "moved_segments": moved,
                 "redirects_served": self.stats.redirects_served,
@@ -816,22 +900,248 @@ class InterWeaveServer(Dispatcher):
 
     # -- checkpointing --------------------------------------------------------------------
 
-    def _maybe_checkpoint(self, state: ServerSegment) -> None:
-        """Periodic checkpoint, called from ``_release`` with the segment
-        write lock already held (the rwlock is not reentrant, so this must
-        not go through :meth:`checkpoint_segment`)."""
-        if (self.checkpoint_dir and self.checkpoint_every
-                and state.version % self.checkpoint_every == 0):
-            from repro.server.checkpoint import write_checkpoint
+    def _encode_checkpoint_if_due(self, state: ServerSegment):
+        """Encode a periodic checkpoint image under the segment lock.
 
-            write_checkpoint(state, self.checkpoint_dir)
+        Returns ``(segment name, image, version)`` for
+        :meth:`_write_checkpoint_async_safe` to persist after the lock is
+        dropped, or ``None`` when no checkpoint is due.  Encoding must
+        happen under the lock (the image has to be a consistent cut);
+        the disk write and fsync must not.
+        """
+        if not (self.checkpoint_dir and self.checkpoint_every
+                and state.version % self.checkpoint_every == 0):
+            return None
+        from repro.server.checkpoint import encode_checkpoint
+
+        return state.name, encode_checkpoint(state), state.version
+
+    def _write_checkpoint_async_safe(self, checkpoint) -> None:
+        """Persist an encoded checkpoint; never raises.
+
+        The release that triggered the checkpoint has already committed
+        (and been WAL-logged), so a disk failure here must not turn into
+        an ErrorReply — the client would believe its committed write
+        failed and its retry would be rejected as a double release.
+        Failures are counted in ``server.checkpoint_errors`` instead.
+        A successful checkpoint makes every logged record at or below its
+        version redundant, so the segment's WAL is compacted.
+        """
+        if checkpoint is None:
+            return
+        name, data, version = checkpoint
+        from repro.server.checkpoint import write_checkpoint_data
+
+        try:
+            write_checkpoint_data(name, data, self.checkpoint_dir)
+        except (CheckpointError, OSError):
+            self._m_checkpoint_errors.inc()
+            _log.exception("checkpoint of %r @%d failed", name, version)
+            return
+        if self.wal is not None:
+            try:
+                self.wal.compact(name, version)
+            except WALError:
+                self._m_wal_errors.inc()
+                _log.exception("WAL compaction of %r @%d failed", name,
+                               version)
 
     def checkpoint_segment(self, segment_name: str) -> str:
         """Checkpoint one segment now; returns the file path."""
         if not self.checkpoint_dir:
             raise ServerError("server has no checkpoint directory configured")
-        from repro.server.checkpoint import write_checkpoint
+        from repro.server.checkpoint import encode_checkpoint, write_checkpoint_data
 
         entry = self._entry(segment_name)
         with self._read_locked(entry):
-            return write_checkpoint(entry.state, self.checkpoint_dir)
+            data = encode_checkpoint(entry.state)
+            version = entry.state.version
+        path = write_checkpoint_data(segment_name, data, self.checkpoint_dir)
+        if self.wal is not None:
+            self.wal.compact(segment_name, version)
+        return path
+
+    # -- durability and replication ---------------------------------------------------
+
+    def recover_segments(self) -> Dict[str, tuple]:
+        """Restore state after a restart: checkpoints, then the WAL on top.
+
+        Loads every checkpoint in ``checkpoint_dir``, then replays each
+        segment's WAL over it — records the checkpoint already covers are
+        skipped, torn tails are truncated, and a log whose history cannot
+        extend the checkpoint (gap) keeps the checkpoint state rather
+        than fabricate versions.  Segments that only ever existed in the
+        WAL (crash before the first checkpoint) are rebuilt from scratch,
+        since a fresh segment starts at version 0 exactly like the log's
+        first record expects.
+
+        Returns ``segment name -> (records applied, records skipped)``.
+        """
+        import glob
+        import os
+
+        from repro.server.checkpoint import read_checkpoint
+
+        if self.checkpoint_dir and os.path.isdir(self.checkpoint_dir):
+            for path in sorted(glob.glob(
+                    os.path.join(self.checkpoint_dir, "*.iwck"))):
+                state = read_checkpoint(path)
+                with self._table():
+                    known = state.name in self.segments
+                if not known:
+                    self.add_segment(state)
+        replayed: Dict[str, tuple] = {}
+        if self.wal is None:
+            return replayed
+        for name, records in self.wal.recover().items():
+            with self._table():
+                entry = self.segments.get(name)
+            if entry is None:
+                entry = _SegmentEntry(ServerSegment(name))
+                with self._table():
+                    self.segments.setdefault(name, entry)
+                    self._m_segments.set(len(self.segments))
+            with self._write_locked(entry):
+                try:
+                    applied, skipped = replay_records(entry.state, records,
+                                                      self.diff_cache)
+                except WALError:
+                    self._m_wal_errors.inc()
+                    _log.exception("WAL replay for %r stopped early", name)
+                    applied, skipped = 0, len(records)
+            self.wal.record_replayed(applied)
+            replayed[name] = (applied, skipped)
+        return replayed
+
+    def attach_replicator(self, replicator) -> None:
+        """Feed committed diffs and lease transitions to ``replicator``
+        (a :class:`~repro.replication.ReplicationSender`)."""
+        self.replicator = replicator
+
+    def export_segment(self, segment_name: str):
+        """A consistent (version, checkpoint image, cached diffs) triple
+        for one segment — the payload of a replication catchup."""
+        from repro.server.checkpoint import encode_checkpoint
+
+        entry = self._entry(segment_name)
+        with self._read_locked(entry):
+            version = entry.state.version
+            payload = encode_checkpoint(entry.state)
+        diffs = self.diff_cache.entries_for(segment_name)
+        return version, payload, diffs
+
+    def promote(self) -> None:
+        """Backup becomes primary: start serving client traffic.
+
+        Lease state replicated from the failed primary is preserved, so
+        an in-flight writer's lock is honored here until its lease lapses
+        — another client cannot steal the write lock just because the
+        segment changed servers.
+        """
+        if self.role != "backup":
+            return
+        self.role = "primary"
+        self._m_promotions.inc()
+        _log.info("server %r promoted to primary", self.name)
+
+    def _replicate_append(self, request: ReplicateAppendRequest) -> Message:
+        if request.kind == REPL_PROMOTE:
+            self.promote()
+            return ReplicateAck(ok=True)
+        if request.kind == REPL_LEASE:
+            with self._table():
+                entry = self.segments.get(request.segment)
+            if entry is None:
+                # lease for a segment this backup has never seen: it needs
+                # the data before the lease means anything
+                return ReplicateAck(ok=False)
+            with entry.meta:
+                entry.writer = request.writer or None
+                entry.writer_expires = request.lease_expiry
+            self._m_replica_appends.inc()
+            return ReplicateAck(ok=True, version=entry.state.version)
+        if request.kind != REPL_DIFF:
+            raise ServerError(f"unknown replication record kind {request.kind}")
+        with self._table():
+            entry = self.segments.get(request.segment)
+        if entry is None:
+            return ReplicateAck(ok=False)
+        from repro.wire import decode_segment_diff
+
+        with self._write_locked(entry):
+            state = entry.state
+            if request.to_version <= state.version:
+                # duplicate delivery (sender retry): already applied
+                return ReplicateAck(ok=True, version=state.version)
+            if request.from_version != state.version:
+                # gap: the stream skipped versions (e.g. the backup
+                # attached late); only a catchup can close it
+                return ReplicateAck(ok=False, version=state.version)
+            diff = decode_segment_diff(request.payload)
+            new_version = state.apply_client_diff(diff, now=request.timestamp)
+            self.diff_cache.put(state.name, request.from_version, new_version,
+                                request.payload)
+            # a replicated diff is a completed release at the primary
+            with entry.meta:
+                entry.writer = None
+            if self.wal is not None:
+                try:
+                    self.wal.append(state.name, request.from_version,
+                                    new_version, request.payload,
+                                    timestamp=request.timestamp)
+                except WALError:
+                    self._m_wal_errors.inc()
+                    _log.exception("backup WAL append failed for %r @%d",
+                                   state.name, new_version)
+        self._m_replica_appends.inc()
+        return ReplicateAck(ok=True, version=new_version)
+
+    def _replicate_catchup(self, request: ReplicateCatchupRequest) -> Message:
+        from repro.server.checkpoint import decode_checkpoint
+
+        state = decode_checkpoint(request.payload)
+        if state.name != request.segment:
+            raise ServerError(
+                f"catchup payload is for {state.name!r}, "
+                f"not {request.segment!r}")
+        fresh = _SegmentEntry(state)
+        with self._table():
+            old = self.segments.get(request.segment)
+        if old is not None:
+            with self._write_locked(old, require_live=False):
+                old.deleted = True
+        with self._table():
+            self.segments[request.segment] = fresh
+            self._m_segments.set(len(self.segments))
+        self.diff_cache.invalidate_segment(request.segment)
+        for from_version, to_version, encoded in request.diffs:
+            self.diff_cache.put(request.segment, from_version, to_version,
+                                encoded)
+        # make the catchup locally durable, then drop WAL records the
+        # image supersedes — otherwise a restart would replay a log that
+        # no longer extends this segment's history
+        checkpointed = False
+        if self.checkpoint_dir:
+            from repro.server.checkpoint import write_checkpoint_data
+
+            try:
+                write_checkpoint_data(request.segment, request.payload,
+                                      self.checkpoint_dir)
+                checkpointed = True
+            except CheckpointError:
+                self._m_checkpoint_errors.inc()
+                _log.exception("catchup checkpoint of %r failed",
+                               request.segment)
+        if self.wal is not None and checkpointed:
+            try:
+                self.wal.compact(request.segment, state.version)
+            except WALError:
+                self._m_wal_errors.inc()
+        self._m_replica_catchups.inc()
+        return ReplicateAck(ok=True, version=state.version)
+
+    def close(self) -> None:
+        """Release file handles (WAL); the server object stays usable for
+        stats but should not serve further commits."""
+        if self.wal is not None:
+            self.wal.close()

@@ -4,25 +4,28 @@ Usage::
 
     python -m repro.tools.server_main [--host H] [--port P]
         [--checkpoint-dir DIR] [--checkpoint-every N] [--restore]
+        [--wal-dir DIR] [--no-wal-fsync] [--role primary|backup]
 
 Runs an :class:`~repro.server.InterWeaveServer` behind a
-:class:`~repro.transport.TCPServerTransport`.  With ``--restore``, every
-``*.iwck`` checkpoint in the checkpoint directory is loaded before
-serving, so a crashed server resumes with its persistent segments.
-Clients connect with :class:`~repro.transport.TCPChannel`; push
-notifications are unavailable over TCP, so clients poll (the adaptive
-protocol handles this automatically).
+:class:`~repro.transport.TCPServerTransport`.  With ``--restore``, the
+server recovers its persistent segments before serving: checkpoints from
+``--checkpoint-dir``, then the diff write-ahead log from ``--wal-dir``
+replayed on top (torn tails truncated), so a SIGKILL'd server resumes
+with every committed version.  ``--role backup`` starts the server as a
+replication target: it only accepts the ReplicateAppend/ReplicateCatchup
+stream (and stats) until a coordinator promotes it.  Clients connect
+with :class:`~repro.transport.TCPChannel`; push notifications are
+unavailable over TCP, so clients poll (the adaptive protocol handles
+this automatically).
 """
 
 from __future__ import annotations
 
 import argparse
-import glob
-import os
 import sys
 import threading
 
-from repro.server import InterWeaveServer, read_checkpoint
+from repro.server import InterWeaveServer
 from repro.tools.common import run_service
 from repro.transport import TCPServerTransport
 
@@ -41,7 +44,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--checkpoint-every", type=int, default=16,
                         help="checkpoint a segment every N versions")
     parser.add_argument("--restore", action="store_true",
-                        help="load existing checkpoints before serving")
+                        help="recover checkpoints (and replay the WAL) "
+                             "before serving")
+    parser.add_argument("--wal-dir", default=None,
+                        help="directory for per-segment diff write-ahead "
+                             "logs (commits become durable before they "
+                             "are acknowledged)")
+    parser.add_argument("--no-wal-fsync", action="store_true",
+                        help="skip the per-append fsync (page-cache "
+                             "durability only; survives process crashes, "
+                             "not power loss)")
+    parser.add_argument("--role", choices=("primary", "backup"),
+                        default="primary",
+                        help="'backup' only accepts the replication stream "
+                             "until promoted")
     parser.add_argument("--diff-cache-mb", type=int, default=16,
                         help="diff cache capacity in MiB")
     return parser
@@ -54,12 +70,16 @@ def serve(args, ready_event: "threading.Event" = None,
         args.name,
         diff_cache_bytes=args.diff_cache_mb * 1024 * 1024,
         checkpoint_dir=args.checkpoint_dir,
-        checkpoint_every=args.checkpoint_every if args.checkpoint_dir else 0)
+        checkpoint_every=args.checkpoint_every if args.checkpoint_dir else 0,
+        wal_dir=args.wal_dir,
+        wal_fsync=not args.no_wal_fsync,
+        role=args.role)
     restored = 0
-    if args.restore and args.checkpoint_dir:
-        for path in sorted(glob.glob(os.path.join(args.checkpoint_dir, "*.iwck"))):
-            server.add_segment(read_checkpoint(path))
-            restored += 1
+    replayed = 0
+    if args.restore and (args.checkpoint_dir or args.wal_dir):
+        recovery = server.recover_segments()
+        restored = len(server.segments)
+        replayed = sum(applied for applied, _skipped in recovery.values())
     transport = TCPServerTransport(server, host=args.host, port=args.port)
 
     def cleanup() -> None:
@@ -69,11 +89,13 @@ def serve(args, ready_event: "threading.Event" = None,
                 if server.segments[name].state.version > 0:
                     server.checkpoint_segment(name)
             print("[repro-server] final checkpoints written", flush=True)
+        server.close()
 
     return run_service(
-        f"[repro-server] {args.name!r} listening on "
+        f"[repro-server] {args.name!r} ({args.role}) listening on "
         f"{transport.host}:{transport.port} "
-        f"({restored} segment(s) restored)",
+        f"({restored} segment(s) restored, {replayed} WAL record(s) "
+        f"replayed)",
         ready_event, stop_event,
         ready_attrs={"ready_port": transport.port},
         cleanup=cleanup)

@@ -633,3 +633,98 @@ class MigrateAck(Message):
     @classmethod
     def decode_body(cls, reader: Reader) -> "MigrateAck":
         return cls(reader.boolean())
+
+
+# ---------------------------------------------------------------------------
+# primary-backup replication (repro.replication; docs/PROTOCOL.md §11)
+# ---------------------------------------------------------------------------
+
+#: ReplicateAppendRequest kinds.
+REPL_DIFF = 0      # one committed diff (the WAL record, re-shipped)
+REPL_LEASE = 1     # a write-lease grant or release at the primary
+REPL_PROMOTE = 2   # control: backup becomes primary for its segments
+
+
+@_register
+@dataclass
+class ReplicateAppendRequest(Message):
+    """One record of the primary's replication stream.
+
+    ``REPL_DIFF`` carries the same encoded diff bytes the primary
+    appended to its WAL; the backup applies it only when
+    ``from_version`` matches its copy (otherwise it nacks and the
+    primary falls back to :class:`ReplicateCatchupRequest`).
+    ``REPL_LEASE`` mirrors write-lease grants/releases so the backup
+    can honor an in-flight writer's lease after failover (``writer`` is
+    empty for a release); ``lease_expiry`` is the primary-clock expiry
+    time.  ``REPL_PROMOTE`` tells the backup to start serving as
+    primary (``segment`` is empty: promotion is server-wide).
+    """
+
+    TAG = 14
+    kind: int
+    segment: str = ""
+    from_version: int = 0
+    to_version: int = 0
+    timestamp: float = 0.0
+    payload: bytes = b""
+    writer: str = ""          # REPL_LEASE: lease holder ("" = released)
+    lease_expiry: float = 0.0
+    client_id: str = ""
+
+    def encode_body(self, out: Writer) -> None:
+        (out.u8(self.kind).text(self.segment).u32(self.from_version)
+            .u32(self.to_version).f64(self.timestamp).blob(self.payload)
+            .text(self.writer).f64(self.lease_expiry).text(self.client_id))
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "ReplicateAppendRequest":
+        return cls(reader.u8(), reader.text(), reader.u32(), reader.u32(),
+                   reader.f64(), reader.blob(), reader.text(), reader.f64(),
+                   reader.text())
+
+
+@_register
+@dataclass
+class ReplicateCatchupRequest(Message):
+    """Full-state resync for one segment: a checkpoint image plus the
+    diff-cache entries worth re-seeding, exactly like migration's
+    export.  Sent when the backup nacks an append (version gap) or when
+    a segment first joins the stream."""
+
+    TAG = 15
+    segment: str
+    version: int
+    payload: bytes
+    diffs: List[Tuple[int, int, bytes]] = field(default_factory=list)
+    client_id: str = ""
+
+    def encode_body(self, out: Writer) -> None:
+        out.text(self.segment).u32(self.version).blob(self.payload)
+        _encode_diff_entries(out, self.diffs)
+        out.text(self.client_id)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "ReplicateCatchupRequest":
+        return cls(reader.text(), reader.u32(), reader.blob(),
+                   _decode_diff_entries(reader), reader.text())
+
+
+@_register
+@dataclass
+class ReplicateAck(Message):
+    """Acknowledges a replication record; ``version`` is the backup's
+    version of the segment after applying (the primary derives
+    replication lag from it).  ``ok=False`` means the record could not
+    be applied in sequence and the segment needs a catchup."""
+
+    TAG = 77
+    ok: bool = True
+    version: int = 0
+
+    def encode_body(self, out: Writer) -> None:
+        out.boolean(self.ok).u32(self.version)
+
+    @classmethod
+    def decode_body(cls, reader: Reader) -> "ReplicateAck":
+        return cls(reader.boolean(), reader.u32())

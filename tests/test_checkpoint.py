@@ -1,5 +1,6 @@
 """Tests for segment checkpointing and recovery."""
 
+import os
 import struct
 
 import pytest
@@ -147,3 +148,95 @@ class TestServerIntegration:
 
         with pytest.raises(ServerError):
             server.checkpoint_segment("host/x")
+
+
+class TestCrashSafety:
+    """Regression tests for the checkpoint path's crash-safety bugs."""
+
+    def test_truncated_subblock_versions_raises_checkpoint_error(self):
+        """A subblock_versions blob whose length is not a multiple of 4
+        used to escape as a raw ValueError from np.frombuffer; it must
+        surface as CheckpointError like every other corruption."""
+        from repro.wire.codec import Reader
+
+        state, _ = make_segment_with_array(16)
+        data = encode_checkpoint(state)
+        # walk the framing to the first block's subblock_versions blob
+        reader = Reader(data)
+        reader.raw(4)
+        reader.u32()
+        reader.text()
+        reader.u32()
+        reader.u32()
+        for _ in range(reader.u32()):   # types
+            reader.u32()
+            reader.blob()
+        for _ in range(reader.u32()):   # freed log
+            reader.u32()
+            reader.u32()
+        for _ in range(reader.u32()):   # type log
+            reader.u32()
+            reader.u32()
+        for _ in range(reader.u32()):   # version times
+            reader.u32()
+            reader.f64()
+        assert reader.u32() >= 1        # block count
+        reader.u32()                    # serial
+        if reader.boolean():
+            reader.text()
+        reader.u32()                    # type serial
+        reader.u32()                    # version
+        reader.u32()                    # created version
+        blob_offset = reader.offset
+        blob = reader.blob()
+        corrupted = (data[:blob_offset]
+                     + struct.pack(">I", len(blob) - 1) + blob[:-1]
+                     + data[blob_offset + 4 + len(blob):])
+        with pytest.raises(CheckpointError):
+            decode_checkpoint(corrupted)
+
+    def test_write_checkpoint_fsyncs_file_and_directory(self, tmp_path,
+                                                        monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd) or
+                            real_fsync(fd))
+        state, _ = make_segment_with_array(16)
+        write_checkpoint(state, str(tmp_path))
+        # one fsync for the temp file's data, one for the directory entry
+        assert len(synced) >= 2
+
+    def test_checkpoint_failure_does_not_fail_committed_release(
+            self, tmp_path, monkeypatch):
+        """A release whose piggybacked checkpoint cannot reach disk has
+        still committed; the client must see success and the failure is
+        only counted in server.checkpoint_errors."""
+        import repro.server.checkpoint as checkpoint_module
+        from repro.obs.metrics import MetricsRegistry
+
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock)
+        server = InterWeaveServer("host", sink=hub, clock=clock,
+                                  checkpoint_dir=str(tmp_path),
+                                  checkpoint_every=1,
+                                  metrics=MetricsRegistry())
+        hub.register_server("host", server)
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("host/ck")
+
+        def explode(name, data, directory):
+            raise CheckpointError("disk full")
+
+        monkeypatch.setattr(checkpoint_module, "write_checkpoint_data",
+                            explode)
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 8), name="a")
+        array.write_values(list(range(8)))
+        client.wl_release(seg)  # must not raise despite the failed checkpoint
+        assert server.segments["host/ck"].state.version == 1
+        assert server._m_checkpoint_errors.value == 1
+        # the server keeps serving normally afterwards
+        client.wl_acquire(seg)
+        array[0] = 99
+        client.wl_release(seg)
+        assert server._m_checkpoint_errors.value == 2

@@ -57,6 +57,20 @@ class TestCompact:
         assert update.is_full
         assert update.block_diffs[0].is_new
 
+    def test_fresh_client_gets_types_after_compaction(self):
+        """Regression: compaction pruned the creation-era type_log entry,
+        so a version-0 client's full transfer arrived without the
+        descriptor its is_new block references — the client then failed
+        to apply the update with an unknown type serial."""
+        state, type_serial = make_segment_with_array(64)
+        advance_versions(state, 20)
+        state.compact(keep_back=5)
+        for client_version in (0, 2):  # fresh, and remapped-below-floor
+            update = state.build_update(client_version)
+            assert update.is_full
+            shipped = [serial for serial, _ in update.new_types]
+            assert type_serial in shipped, (client_version, shipped)
+
     def test_recent_client_still_gets_incremental(self):
         state, _ = make_segment_with_array(64)
         advance_versions(state, 20)

@@ -1,0 +1,245 @@
+"""Tests for primary-backup replication, promotion, and client failover."""
+
+import pytest
+
+from repro import (
+    ClusterCoordinator,
+    DirectoryResolver,
+    InProcHub,
+    InterWeaveClient,
+    InterWeaveServer,
+    ReplicationSender,
+    SegmentDirectory,
+    VirtualClock,
+)
+from repro.arch import X86_32
+from repro.errors import ServerError, TransportError
+from repro.obs.metrics import MetricsRegistry
+from repro.transport.base import Dispatcher
+from repro.types import INT, ArrayDescriptor
+from repro.wire.messages import (
+    LOCK_WRITE,
+    ErrorReply,
+    LockAcquireReply,
+    LockAcquireRequest,
+    decode_message,
+    encode_message,
+)
+
+
+class FailableDispatcher(Dispatcher):
+    """Wraps a server; once ``dead``, every request fails like a cut TCP
+    connection would."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.dead = False
+
+    def dispatch(self, client_id: str, data: bytes) -> bytes:
+        if self.dead:
+            raise TransportError("connection refused (server killed)")
+        return self.inner.dispatch(client_id, data)
+
+
+def build_pair(clock, lease_duration=30.0):
+    """A replicating primary/backup pair sharing one in-process hub."""
+    hub = InProcHub(clock=clock)
+    primary = InterWeaveServer("primary", sink=hub, clock=clock,
+                               lease_duration=lease_duration,
+                               metrics=MetricsRegistry())
+    backup = InterWeaveServer("backup", sink=hub, clock=clock,
+                              lease_duration=lease_duration,
+                              role="backup", metrics=MetricsRegistry())
+    hub.register_server("primary", primary)
+    hub.register_server("backup", backup)
+    sender = ReplicationSender(primary, hub.connect("backup", "!repl"),
+                               metrics=MetricsRegistry())
+    primary.attach_replicator(sender)
+    return hub, primary, backup, sender
+
+
+def write_round(client, seg, array, base):
+    client.wl_acquire(seg)
+    array.write_values([base + i for i in range(8)])
+    client.wl_release(seg)
+
+
+class TestStream:
+    def test_backup_converges_with_primary(self):
+        clock = VirtualClock()
+        hub, primary, backup, sender = build_pair(clock)
+        client = InterWeaveClient("w", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("primary/data")
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 8), name="a")
+        array.write_values(list(range(8)))
+        client.wl_release(seg)
+        for base in (100, 200):
+            write_round(client, seg, array, base)
+        assert sender.flush()
+        p_state = primary.segments["primary/data"].state
+        b_state = backup.segments["primary/data"].state
+        assert b_state.version == p_state.version == 3
+        assert b_state.read_block_wire(1) == p_state.read_block_wire(1)
+        sender.close()
+
+    def test_backup_rejects_client_traffic_until_promoted(self):
+        clock = VirtualClock()
+        hub, primary, backup, sender = build_pair(clock)
+        channel = hub.connect("backup", "intruder")
+        reply = decode_message(channel.request(encode_message(
+            LockAcquireRequest(segment="primary/data", mode=LOCK_WRITE,
+                               client_id="intruder", client_version=0))))
+        assert isinstance(reply, ErrorReply)
+        assert "backup" in reply.message
+        backup.promote()
+        assert backup.role == "primary"
+        sender.close()
+
+    def test_catchup_heals_late_attach(self):
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock)
+        primary = InterWeaveServer("primary", sink=hub, clock=clock,
+                                   metrics=MetricsRegistry())
+        backup = InterWeaveServer("backup", clock=clock, role="backup",
+                                  metrics=MetricsRegistry())
+        hub.register_server("primary", primary)
+        hub.register_server("backup", backup)
+        client = InterWeaveClient("w", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("primary/data")
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 8), name="a")
+        array.write_values(list(range(8)))
+        client.wl_release(seg)
+        write_round(client, seg, array, 100)  # versions the backup never saw
+
+        sender = ReplicationSender(primary, hub.connect("backup", "!repl"),
+                                   metrics=MetricsRegistry())
+        primary.attach_replicator(sender)
+        write_round(client, seg, array, 200)
+        assert sender.flush()
+        b_state = backup.segments["primary/data"].state
+        assert b_state.version == 3
+        assert (b_state.read_block_wire(1)
+                == primary.segments["primary/data"].state.read_block_wire(1))
+        assert backup._m_replica_catchups.value == 1
+        sender.close()
+
+    def test_replication_is_idempotent_under_duplicate_delivery(self):
+        clock = VirtualClock()
+        hub, primary, backup, sender = build_pair(clock)
+        client = InterWeaveClient("w", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("primary/data")
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 8), name="a")
+        array.write_values(list(range(8)))
+        client.wl_release(seg)
+        assert sender.flush()
+        # replay the whole diff cache as if the sender retried everything
+        for from_v, to_v, encoded in primary.diff_cache.entries_for(
+                "primary/data"):
+            from repro.wire.messages import REPL_DIFF, ReplicateAppendRequest
+
+            reply = decode_message(backup.dispatch("!repl", encode_message(
+                ReplicateAppendRequest(kind=REPL_DIFF, segment="primary/data",
+                                       from_version=from_v, to_version=to_v,
+                                       payload=encoded))))
+            assert reply.ok  # duplicate acks cleanly, applies nothing
+        assert backup.segments["primary/data"].state.version == 1
+        sender.close()
+
+
+class TestFailover:
+    def test_promoted_backup_honors_outstanding_lease(self):
+        clock = VirtualClock()
+        hub, primary, backup, sender = build_pair(clock, lease_duration=10.0)
+        client = InterWeaveClient("writerA", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("primary/data")
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 8), name="a")
+        array.write_values(list(range(8)))
+        client.wl_release(seg)
+        client.wl_acquire(seg)  # writerA holds the lease at the crash
+        assert sender.flush()
+        backup.promote()
+
+        probe = hub.connect("backup", "writerB")
+        request = encode_message(LockAcquireRequest(
+            segment="primary/data", mode=LOCK_WRITE, client_id="writerB",
+            client_version=0))
+        denied = decode_message(probe.request(request))
+        assert isinstance(denied, LockAcquireReply) and not denied.granted
+
+        clock.advance(11.0)  # writerA's lease lapses at the backup too
+        granted = decode_message(probe.request(request))
+        assert isinstance(granted, LockAcquireReply) and granted.granted
+        assert backup.stats.lease_expiries == 1
+        sender.close()
+
+    def test_coordinator_promotion_and_client_reresolve(self):
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock)
+        primary = InterWeaveServer("primary", sink=hub, clock=clock,
+                                   metrics=MetricsRegistry())
+        backup = InterWeaveServer("backup", sink=hub, clock=clock,
+                                  role="backup", metrics=MetricsRegistry())
+        failable = FailableDispatcher(primary)
+        hub.register_server("primary", failable)
+        hub.register_server("backup", backup)
+        directory = SegmentDirectory("directory", origins=["primary"])
+        hub.register_server("directory", directory)
+        coordinator = ClusterCoordinator(directory, hub.connect, clock=clock)
+        sender = ReplicationSender(primary, hub.connect("backup", "!repl"),
+                                   metrics=MetricsRegistry())
+        primary.attach_replicator(sender)
+
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock,
+                                  resolver=DirectoryResolver(hub.connect))
+        seg = client.open_segment("data")
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 8), name="a")
+        array.write_values(list(range(8)))
+        client.wl_release(seg)
+        write_round(client, seg, array, 100)
+        assert sender.flush()
+
+        failable.dead = True  # kill -9 the primary
+        coordinator.promote_backup("primary", "backup")
+        assert backup.role == "primary"
+        assert directory.lookup("data")[0] == "backup"
+
+        # the client's next operation hits the dead server, re-resolves,
+        # and lands at the promoted backup transparently
+        write_round(client, seg, array, 200)
+        assert client.stats.failovers_followed >= 1
+        b_state = backup.segments["data"].state
+        assert b_state.version == 3
+        reader = InterWeaveClient("r", X86_32, hub.connect, clock=clock,
+                                  resolver=DirectoryResolver(hub.connect))
+        seg_r = reader.open_segment("data", create=False)
+        reader.rl_acquire(seg_r)
+        values = list(reader.accessor_for(seg_r, "a").read_values())
+        reader.rl_release(seg_r)
+        assert values == [200 + i for i in range(8)]
+        sender.close()
+        coordinator.close()
+
+    def test_static_resolver_failover_is_a_noop(self):
+        """With no directory there is nowhere to fail over to: the
+        transport error propagates exactly as before this feature."""
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock)
+        server = InterWeaveServer("host", sink=hub, clock=clock,
+                                  metrics=MetricsRegistry())
+        failable = FailableDispatcher(server)
+        hub.register_server("host", failable)
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("host/data")
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 4), name="a")
+        array.write_values([1, 2, 3, 4])
+        client.wl_release(seg)
+        failable.dead = True
+        with pytest.raises(TransportError):
+            client.wl_acquire(seg)
+        assert client.stats.failovers_followed == 0
