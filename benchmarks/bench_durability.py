@@ -34,8 +34,26 @@ Two scenarios, both with real concurrency:
   ``final version == seed + acknowledged sections`` and zero failed
   client operations.
 
+- **relay_failover**: the same machine loss with a ``CachingProxy`` in
+  the request path — writers *and* readers only ever talk to the relay.
+  The relay re-resolves through the directory, re-attaches its upstream
+  channels at the promoted backup, and keeps serving; the bar is again
+  exact version accounting, zero failed downstream operations, and the
+  relay re-attach time is reported.
+
+- **quorum**: release-latency comparison between async replication and
+  ``quorum_ack=True``, then a *machine* kill — the primary dies together
+  with its replication sender (``abandon()``, no flush), so every record
+  still queued on the dead machine is lost.  Async replication may lose
+  the tail; quorum-ack may not: every acked release was already applied
+  by the backup, so the bar is ``max(0, acked - backup_version) == 0``
+  for the quorum run, with the latency cost reported alongside.
+
 Results land in ``BENCH_durability.json`` at the repo root plus a
-metrics sidecar in ``benchmarks/out/``.
+metrics sidecar in ``benchmarks/out/``.  The crash_recovery scenario is
+deadline-guarded (``REPRO_BENCH_DURABILITY_DEADLINE`` seconds): a hung
+recovery kills the server processes and fails fast instead of stalling
+CI until the job timeout.
 
 Run standalone::
 
@@ -71,12 +89,17 @@ from repro import (
 )
 from repro.arch import X86_32
 from repro.obs import get_registry, write_sidecar
-from repro.errors import TransportError
+from repro.errors import ServerError, TransportError
+from repro.proxy import CachingProxy
 from repro.transport.base import Dispatcher
 from repro.types import INT
 
 WRITERS = int(os.environ.get("REPRO_BENCH_DURABILITY_WRITERS", "3"))
 LOAD_SECONDS = float(os.environ.get("REPRO_BENCH_DURABILITY_SECONDS", "1.2"))
+QUORUM_SECTIONS = int(os.environ.get(
+    "REPRO_BENCH_DURABILITY_QUORUM_SECTIONS", "150"))
+DEADLINE_SECONDS = float(os.environ.get(
+    "REPRO_BENCH_DURABILITY_DEADLINE", "45"))
 CHECKPOINT_EVERY = 8
 OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -234,9 +257,11 @@ def run_crash_recovery(load_seconds: float = LOAD_SECONDS) -> dict:
 
     restart_start = time.perf_counter()
     restart = ServerProcess(port, checkpoint_dir, wal_dir)
-    restart.wait_ready()
-    # recovery time = restart exec to the first acked client operation
-    recovery_deadline = time.perf_counter() + 30.0
+    restart.wait_ready(timeout=DEADLINE_SECONDS)
+    # recovery time = restart exec to the first acked client operation;
+    # deadline-guarded so a hung recovery fails fast instead of stalling
+    # CI until the job timeout
+    recovery_deadline = restart_start + DEADLINE_SECONDS
     while time.perf_counter() < recovery_deadline:
         if any(t > restart_start
                for w in writers for t in w.success_times[-3:]):
@@ -244,6 +269,13 @@ def run_crash_recovery(load_seconds: float = LOAD_SECONDS) -> dict:
         time.sleep(0.01)
     first_success = min((t for w in writers for t in w.success_times
                          if t > restart_start), default=None)
+    if first_success is None:
+        stop.set()
+        restart.kill()
+        raise RuntimeError(
+            f"crash recovery missed the {DEADLINE_SECONDS:.0f}s deadline: "
+            "no writer completed an operation against the restarted "
+            "server")
     time.sleep(load_seconds / 2)      # keep writing on the recovered server
     stop.set()
     for writer in writers:
@@ -444,6 +476,253 @@ def run_failover(load_seconds: float = LOAD_SECONDS) -> dict:
 
 
 # =============================================================================
+# scenario 3: the same machine loss with a caching relay in the path
+# =============================================================================
+
+def run_relay_failover(load_seconds: float = LOAD_SECONDS) -> dict:
+    """Writers and readers behind a ``CachingProxy``; the primary origin
+    dies mid-load and the relay re-resolves to the promoted backup.
+
+    Downstream clients never talk to an origin: a lost write or a failed
+    operation here means the *relay's* failover path dropped it.
+    """
+    hub = InProcHub()
+    primary = InterWeaveServer("h-primary", sink=hub, lease_duration=5.0,
+                               metrics=MetricsRegistry())
+    backup = InterWeaveServer("h-backup", sink=hub, lease_duration=5.0,
+                              role="backup", metrics=MetricsRegistry())
+    failable = FailableDispatcher(primary)
+    hub.register_server("h-primary", failable)
+    hub.register_server("h-backup", backup)
+    directory = SegmentDirectory("directory", origins=["h-primary"])
+    hub.register_server("directory", directory)
+    coordinator = ClusterCoordinator(directory, hub.connect)
+    sender = ReplicationSender(primary, hub.connect("h-backup", "!repl"),
+                               metrics=MetricsRegistry())
+    primary.attach_replicator(sender)
+    proxy = CachingProxy("h", connector=hub.connect, origin="h-primary",
+                         sink=hub, metrics=MetricsRegistry(),
+                         max_staleness=0.05,
+                         resolver=DirectoryResolver(hub.connect))
+    hub.register_server("h", proxy)
+
+    def make_client(name):
+        return InterWeaveClient(
+            name, X86_32, hub.connect,
+            options=ClientOptions(enable_notifications=False))
+
+    segment_name = "h/hot"
+    seed = make_client("seed")
+    seg = seed.open_segment(segment_name)
+    seed.wl_acquire(seg)
+    seed.malloc(seg, INT, name="v").set(0)
+    seed.wl_release(seg)
+    seed_version = seg.version
+    seed.close()
+
+    writer_count = WRITERS
+    reader_count = 2
+    writers = []
+    for k in range(writer_count):
+        client = make_client(f"rw{k}")
+        writers.append((client, client.open_segment(segment_name,
+                                                    create=False)))
+    readers = []
+    for k in range(reader_count):
+        client = make_client(f"rr{k}")
+        readers.append((client, client.open_segment(segment_name,
+                                                    create=False)))
+    stop = threading.Event()
+    sections = [0] * writer_count
+    reads = [0] * reader_count
+    success_times = [[] for _ in range(writer_count)]
+    failures: list = []
+
+    # During the blackout (crash -> promotion) the relay's re-resolve
+    # finds no new binding yet and the upstream loss surfaces downstream
+    # as a typed error — TransportError, or ServerError once the relay
+    # wrapped it into a reply.  The primary refuses *before* dispatch,
+    # so nothing committed and retrying the section is safe; exact
+    # version accounting at the end catches any double-commit.
+    retryable = (TransportError, ServerError)
+
+    def write_loop(k: int, client, segment) -> None:
+        while not stop.is_set():
+            try:
+                if segment.lock_mode is None:
+                    client.wl_acquire(segment)
+                client.accessor_for(segment, "v").set(
+                    k + writer_count * (sections[k] + 1))
+                client.wl_release(segment)
+                sections[k] += 1
+                success_times[k].append(time.perf_counter())
+            except retryable:
+                time.sleep(0.02)
+            except Exception as exc:  # noqa: BLE001 — the acceptance bar
+                failures.append(exc)
+                return
+
+    def read_loop(k: int, client, segment) -> None:
+        while not stop.is_set():
+            try:
+                client.rl_acquire(segment)
+                client.accessor_for(segment, "v").get()
+                client.rl_release(segment)
+                reads[k] += 1
+            except retryable:
+                time.sleep(0.02)
+            except Exception as exc:  # noqa: BLE001
+                failures.append(exc)
+                return
+
+    threads = [threading.Thread(target=write_loop, args=(k, c, s))
+               for k, (c, s) in enumerate(writers)]
+    threads += [threading.Thread(target=read_loop, args=(k, c, s))
+                for k, (c, s) in enumerate(readers)]
+    for thread in threads:
+        thread.start()
+
+    time.sleep(load_seconds / 2)
+    kill_time = time.perf_counter()
+    failable.dead = True              # the origin machine is gone
+    while failable.active:            # in-flight dispatches drain
+        time.sleep(0.002)
+    coordinator.promote_backup("h-primary", "h-backup", sender=sender)
+    promote_done = time.perf_counter()
+    time.sleep(load_seconds / 2)      # traffic continues through the relay
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30)
+
+    first_after = min((t for times in success_times for t in times
+                       if t > promote_done), default=None)
+    committed = sum(sections)
+    state = backup.segments[segment_name].state
+    result = {
+        "writers": writer_count,
+        "readers": reader_count,
+        "write_sections": committed,
+        "reads": sum(reads),
+        "failed_operations": len(failures),
+        "relay_failovers_followed": proxy.stats.failovers_followed,
+        "final_version": state.version,
+        "expected_version": seed_version + committed,
+        "lost_versions": (seed_version + committed) - state.version,
+        "promotion_seconds": promote_done - kill_time,
+        "relay_reattach_seconds": (first_after - kill_time
+                                   if first_after else None),
+        "config": {
+            "load_seconds": load_seconds,
+            "topology": "clients -> CachingProxy -> primary+backup; "
+                        "relay re-resolves through the directory",
+        },
+    }
+    for client, _ in writers + readers:
+        try:
+            client.close()
+        except Exception:  # noqa: BLE001 — a lock still held at stop time
+            pass
+    proxy.close()
+    sender.close()
+    coordinator.close()
+    if failures:
+        raise failures[0]
+    return result
+
+
+# =============================================================================
+# scenario 4: quorum-ack vs async replication under a machine kill
+# =============================================================================
+
+def _latency_stats(samples: list) -> dict:
+    ordered = sorted(samples)
+    return {
+        "samples": len(ordered),
+        "mean_ms": sum(ordered) / len(ordered) * 1e3,
+        "p95_ms": ordered[int(0.95 * (len(ordered) - 1))] * 1e3,
+        "max_ms": ordered[-1] * 1e3,
+    }
+
+
+def _quorum_mode(quorum: bool, sections: int) -> dict:
+    """One primary-backup run: measure release latency, then model a
+    *machine* kill — the primary dies together with its replication
+    sender, so queued records are abandoned, never flushed."""
+    hub = InProcHub()
+    primary = InterWeaveServer("primary", sink=hub, lease_duration=5.0,
+                               quorum_ack=quorum, quorum_timeout=2.0,
+                               metrics=MetricsRegistry())
+    backup = InterWeaveServer("backup", sink=hub, lease_duration=5.0,
+                              role="backup", metrics=MetricsRegistry())
+    failable = FailableDispatcher(primary)
+    hub.register_server("primary", failable)
+    hub.register_server("backup", backup)
+    directory = SegmentDirectory("directory", origins=["primary"])
+    hub.register_server("directory", directory)
+    coordinator = ClusterCoordinator(directory, hub.connect)
+    sender = ReplicationSender(primary, hub.connect("backup", "!repl"),
+                               metrics=MetricsRegistry())
+    primary.attach_replicator(sender)
+
+    client = InterWeaveClient(
+        "qw", X86_32, hub.connect,
+        resolver=DirectoryResolver(hub.connect, client_id="qw"),
+        options=ClientOptions(enable_notifications=False))
+    segment_name = "app/q"
+    seg = client.open_segment(segment_name)
+    client.wl_acquire(seg)
+    client.malloc(seg, INT, name="v").set(0)
+    client.wl_release(seg)
+    seed_version = seg.version
+
+    acked = 0
+    latencies: list = []
+    for value in range(1, sections + 1):
+        client.wl_acquire(seg)
+        client.accessor_for(seg, "v").set(value)
+        started = time.perf_counter()
+        client.wl_release(seg)
+        latencies.append(time.perf_counter() - started)
+        acked += 1
+
+    # the machine kill: primary and sender die in the same instant — no
+    # flush, the queue's records are gone
+    failable.dead = True
+    abandoned = sender.abandon()
+    backup_version = backup.segments[segment_name].state.version
+    lost = max(0, (seed_version + acked) - backup_version)
+    coordinator.promote_backup("primary", "backup")
+
+    result = {
+        "mode": "quorum_ack" if quorum else "async",
+        "acked_releases": acked,
+        "abandoned_records": abandoned,
+        "backup_version_at_kill": backup_version,
+        "lost_acked_versions": lost,
+        "release_latency": _latency_stats(latencies),
+    }
+    if quorum:
+        result["quorum_acks"] = primary._m_quorum_acks.value
+        result["quorum_degrades"] = primary._m_quorum_degrades.value
+    client.close()
+    sender.close()
+    coordinator.close()
+    return result
+
+
+def run_quorum(sections: int = QUORUM_SECTIONS) -> dict:
+    async_run = _quorum_mode(False, sections)
+    quorum_run = _quorum_mode(True, sections)
+    return {
+        "async": async_run,
+        "quorum": quorum_run,
+        "latency_cost_x": (quorum_run["release_latency"]["mean_ms"] /
+                           async_run["release_latency"]["mean_ms"]),
+        "config": {"sections": sections, "quorum_timeout": 2.0},
+    }
+
+
+# =============================================================================
 # orchestration, acceptance tests, CLI
 # =============================================================================
 
@@ -453,6 +732,8 @@ def run_all(load_seconds: float = LOAD_SECONDS) -> dict:
     results = {
         "crash_recovery": run_crash_recovery(load_seconds),
         "failover": run_failover(load_seconds),
+        "relay_failover": run_relay_failover(load_seconds),
+        "quorum": run_quorum(),
     }
     os.makedirs(OUT_DIR, exist_ok=True)
     with open(RESULTS_PATH, "w") as handle:
@@ -501,6 +782,28 @@ def test_failover_loses_no_committed_versions():
     assert failover["failovers_followed"] >= 1, failover
 
 
+def test_relay_failover_loses_nothing_downstream():
+    """With the relay in the path: the relay re-resolved at least once,
+    no acked write was lost, and no downstream operation failed."""
+    relay = _results()["relay_failover"]
+    assert relay["write_sections"] > 0, relay
+    assert relay["reads"] > 0, relay
+    assert relay["lost_versions"] == 0, relay
+    assert relay["failed_operations"] == 0, relay
+    assert relay["relay_failovers_followed"] >= 1, relay
+    assert relay["relay_reattach_seconds"] is not None, relay
+
+
+def test_quorum_ack_survives_a_machine_kill():
+    """Quorum-ack mode: the primary machine dies with its replication
+    queue unflushed, yet every acked release is already at the backup."""
+    quorum = _results()["quorum"]
+    assert quorum["quorum"]["acked_releases"] > 0, quorum
+    assert quorum["quorum"]["lost_acked_versions"] == 0, quorum
+    assert quorum["quorum"]["quorum_acks"] > 0, quorum
+    assert quorum["latency_cost_x"] > 0, quorum
+
+
 def main() -> None:
     results = _results()
     crash = results["crash_recovery"]
@@ -523,6 +826,31 @@ def main() -> None:
     print(f"  failovers followed:  {failover['failovers_followed']}")
     print(f"  promotion:           {failover['promotion_seconds'] * 1e3:.0f} ms, "
           f"blackout: {failover['blackout_seconds'] * 1e3:.0f} ms")
+    relay = results["relay_failover"]
+    print(f"relay failover ({relay['writers']} writers + "
+          f"{relay['readers']} readers behind the relay):")
+    print(f"  write sections:      {relay['write_sections']}, "
+          f"reads: {relay['reads']}")
+    print(f"  lost versions:       {relay['lost_versions']} "
+          "(acceptance bar: 0, exact)")
+    print(f"  failed operations:   {relay['failed_operations']}")
+    print(f"  relay failovers:     {relay['relay_failovers_followed']}")
+    print(f"  relay re-attach:     "
+          f"{relay['relay_reattach_seconds'] * 1e3:.0f} ms "
+          "(crash -> first downstream ack)")
+    quorum = results["quorum"]
+    for mode in ("async", "quorum"):
+        row = quorum[mode]
+        latency = row["release_latency"]
+        print(f"{row['mode']} replication, machine kill "
+              f"(sender dies with the primary):")
+        print(f"  acked releases:      {row['acked_releases']}, "
+              f"abandoned records: {row['abandoned_records']}")
+        print(f"  lost acked versions: {row['lost_acked_versions']}"
+              + (" (acceptance bar: 0)" if mode == "quorum" else ""))
+        print(f"  release latency:     {latency['mean_ms']:.2f} ms mean, "
+              f"{latency['p95_ms']:.2f} ms p95")
+    print(f"  quorum latency cost: {quorum['latency_cost_x']:.1f}x async")
     print(f"[results -> {os.path.relpath(RESULTS_PATH)}]")
 
 

@@ -515,12 +515,17 @@ class InterWeaveClient:
 
     def _wl_release_traced(self, segment: Segment, span) -> None:
         diff, modified_units = self._collect(segment)
-        self._end_write_session(segment)
         payload = diff if (diff.block_diffs or diff.new_types) else None
         span.set_attr("payload_bytes",
                       0 if payload is None else payload.payload_bytes())
+        # the write session ends only once the server answered: if the
+        # RPC dies (origin crash, failover blackout) the pagemaps keep
+        # their dirty marks, so a retried release re-collects the same
+        # modifications instead of shipping an empty diff and silently
+        # dropping the committed section
         reply = self._rpc_segment(segment, LockReleaseRequest(
             segment.name, LOCK_WRITE, self.client_id, payload))
+        self._end_write_session(segment)
         if not isinstance(reply, LockReleaseReply):
             raise ServerError(f"unexpected reply {type(reply).__name__}")
         if payload is not None:

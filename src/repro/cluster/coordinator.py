@@ -28,6 +28,7 @@ directory already pointing at the target (or newer).
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Dict, Optional
 
 from repro.cluster.directory import SegmentDirectory
@@ -51,6 +52,8 @@ from repro.wire.messages import (
 )
 
 import time
+
+_log = logging.getLogger(__name__)
 
 
 class ClusterCoordinator:
@@ -133,8 +136,21 @@ class ClusterCoordinator:
             raise
         return moved
 
-    def promote_backup(self, failed: str, backup: str) -> int:
+    def promote_backup(self, failed: str, backup: str, sender=None,
+                       drain_timeout: float = 5.0) -> int:
         """Fail ``failed`` over to its replicating ``backup``.
+
+        When the primary process is still alive (planned failover, or a
+        machine partition where only the serving port died), pass its
+        :class:`~repro.replication.ReplicationSender` as ``sender``: the
+        coordinator drains the queued replication backlog into the backup
+        *before* the directory rebinds, so writes the primary already
+        acked cannot be missing from the promoted copy.  If the backlog
+        cannot drain within ``drain_timeout`` (dead channel, wedged
+        backup) the remaining records are explicitly abandoned — loudly —
+        rather than left racing the promotion: a record shipped after
+        REPL_PROMOTE would be applied by a *serving* origin whose clients
+        are already writing to those segments.
 
         Tells the backup to start serving (REPL_PROMOTE), adds it to the
         ring, rebinds every segment bound to the failed origin — clients
@@ -143,6 +159,17 @@ class ClusterCoordinator:
         from the ring.  Returns the directory generation after the
         rebinds.  No data moves: the backup already holds it.
         """
+        if sender is not None:
+            if sender.flush(timeout=drain_timeout):
+                _log.info("promotion of %r: replication backlog drained "
+                          "into %r", failed, backup)
+            else:
+                abandoned = sender.abandon()
+                _log.warning(
+                    "promotion of %r: replication backlog did not drain "
+                    "within %.1fs; abandoned %d queued record(s) — the "
+                    "promoted backup %r may be missing the newest acked "
+                    "writes", failed, drain_timeout, abandoned, backup)
         self._request(backup, ReplicateAppendRequest(
             kind=REPL_PROMOTE, client_id=self.client_id))
         if backup not in self.directory.ring:

@@ -59,8 +59,14 @@ import threading
 import time
 from typing import Callable, Dict, Optional
 
+from repro.client.routing import Resolver
 from repro.coherence import CoherencePolicy
-from repro.errors import InterWeaveError, ServerError
+from repro.errors import (
+    InterWeaveError,
+    SegmentError,
+    ServerError,
+    TransportError,
+)
 from repro.obs.metrics import DualCounter, MetricsRegistry, get_registry
 from repro.server.coherence import SegmentCoherence
 from repro.server.compose import compose_from_cache
@@ -121,6 +127,10 @@ class ProxyStats:
         self.redirects_counter = DualCounter(metrics.counter(
             "proxy.redirects_followed",
             "WrongServer redirects chased to a migrated segment's new origin"))
+        self.failovers_counter = DualCounter(metrics.counter(
+            "proxy.failovers_followed",
+            "unreachable-upstream re-resolves that rebound the relay to a "
+            "promoted origin"))
 
     @property
     def hits(self) -> int:
@@ -141,6 +151,10 @@ class ProxyStats:
     @property
     def redirects_followed(self) -> int:
         return self.redirects_counter.local
+
+    @property
+    def failovers_followed(self) -> int:
+        return self.failovers_counter.local
 
 
 class _SegmentRelay:
@@ -195,6 +209,18 @@ class CachingProxy(Dispatcher):
     (with an upstream subscription, pushes keep it current instead).
     ``0`` forwards every first-touch decision — the proxy still
     deduplicates update bytes, just not round trips.
+
+    ``resolver`` (typically a
+    :class:`~repro.cluster.DirectoryResolver`) lets the relay survive an
+    origin *failover*, not just a migration: when an upstream request
+    dies with :class:`~repro.errors.TransportError`, the relay drops the
+    resolver's cached binding, asks again, and — if the cluster promoted
+    a backup — closes the dead channels, rebinds every affected segment,
+    reopens its own and per-client channels against the new origin,
+    re-subscribes for pushes, and re-pushes invalidations to local
+    subscribers, so downstream readers never notice the machine loss.
+    Without a resolver the relay keeps the old behavior: upstream
+    transport errors surface downstream as typed errors.
     """
 
     def __init__(self, name: str,
@@ -205,7 +231,8 @@ class CachingProxy(Dispatcher):
                  metrics: Optional[MetricsRegistry] = None,
                  diff_cache_bytes: int = 16 * 1024 * 1024,
                  max_staleness: float = 0.05,
-                 compose_limit: int = 64):
+                 compose_limit: int = 64,
+                 resolver: Optional[Resolver] = None):
         if max_staleness < 0:
             raise ServerError("max_staleness must be >= 0")
         self.name = name
@@ -243,6 +270,11 @@ class CachingProxy(Dispatcher):
         #: default origin
         self._bindings: Dict[str, tuple] = {}
         self._binding_lock = threading.Lock()
+        self.resolver = resolver
+        #: serializes failover rebinds (close dead channels, rewrite
+        #: bindings) so two requests hitting the dead origin at once do
+        #: the teardown exactly once
+        self._failover_lock = threading.Lock()
         self._closed = False
 
     # -- upstream plumbing --------------------------------------------------------
@@ -305,9 +337,18 @@ class CachingProxy(Dispatcher):
     def _own_request(self, request: Message,
                      segment: Optional[str] = None) -> Message:
         origin = self._origin_of(segment)
+        failed_over = False
         for _follow in range(1 + _REDIRECT_FOLLOWS):
-            reply = decode_message(
-                self._own(origin).request(encode_message(request)))
+            try:
+                raw = self._own(origin).request(encode_message(request))
+            except TransportError:
+                if failed_over or segment is None or \
+                        not self._failed_over(segment):
+                    raise
+                failed_over = True
+                origin = self._origin_of(segment)
+                continue
+            reply = decode_message(raw)
             if isinstance(reply, RedirectReply) and segment is not None:
                 self.stats.redirects_counter.inc()
                 self._learn_binding(reply.segment, reply.origin,
@@ -330,6 +371,122 @@ class CachingProxy(Dispatcher):
             with entry.lock:
                 entry.upstream_subscribed = False
                 entry.fresh_until = float("-inf")
+
+    # -- failover re-resolution ---------------------------------------------------
+
+    def _failed_over(self, segment: str) -> bool:
+        """An upstream request died with TransportError: ask the resolver
+        whether the segment now lives somewhere else (the relay-side
+        mirror of the client's one-shot re-resolve).
+
+        Returns True only when the re-resolved origin *differs* from the
+        one the relay was using — the cluster promoted a backup (or
+        rebound the segment) and a retry there can succeed.  The rebind
+        itself (channel teardown, binding rewrite, re-subscription) is
+        done by :meth:`_rebind_after_failover` before this returns, so
+        the caller's retry already routes to the new origin.
+        """
+        if self.resolver is None or self._closed:
+            return False
+        dead = self._origin_of(segment)
+        try:
+            self.resolver.invalidate(segment)
+            fresh = self.resolver.resolve(segment)
+        except (SegmentError, TransportError):
+            return False
+        if fresh == dead:
+            return False  # nothing to fail over to
+        self._rebind_after_failover(dead, fresh)
+        self.stats.failovers_counter.inc()
+        _log.info("relay %r failed over %r: %r -> %r",
+                  self.name, segment, dead, fresh)
+        return True
+
+    def _rebind_after_failover(self, dead: str, fresh: str) -> None:
+        """Tear down everything that routes through ``dead`` and rebind
+        it to the re-resolved origin.
+
+        Order matters on hub-style transports that register channels by
+        client id: the dead channels must be *closed first*, otherwise
+        closing them after their replacements exist would deregister the
+        replacements (same client id) and pushes would vanish silently.
+        """
+        reattach: list = []
+        with self._failover_lock:
+            # 1. close every channel pointed at the dead origin (before
+            #    any replacement is opened — see docstring)
+            with self._channel_lock:
+                casualties = []
+                own = self._own_channels.pop(dead, None)
+                if own is not None:
+                    casualties.append(own)
+                for key in [k for k in self._up_channels if k[0] == dead]:
+                    casualties.append(self._up_channels.pop(key))
+            for channel in casualties:
+                try:
+                    channel.close()
+                except Exception:  # noqa: BLE001 — best-effort teardown
+                    pass
+            # 2. rebind every segment the relay routes at the dead origin,
+            #    re-resolving each (a promotion rebinds them all to the
+            #    backup; a partial rebind may scatter them)
+            with self._table_lock:
+                known = list(self._entries)
+            with self._binding_lock:
+                affected = {segment for segment, (origin, _generation)
+                            in self._bindings.items() if origin == dead}
+            affected.update(s for s in known if self._origin_of(s) == dead)
+            generation_of = getattr(self.resolver, "generation_of", None)
+            for segment in sorted(affected):
+                try:
+                    self.resolver.invalidate(segment)
+                    target = self.resolver.resolve(segment)
+                except (SegmentError, TransportError):
+                    target = fresh
+                generation = 0
+                if callable(generation_of):
+                    try:
+                        generation = int(generation_of(segment))
+                    except (InterWeaveError, TypeError, ValueError):
+                        generation = 0
+                with self._binding_lock:
+                    current = self._bindings.get(segment)
+                    if current is not None:
+                        # a stale redirect must never resurrect the dead
+                        # origin, whatever generation the resolver knows
+                        generation = max(generation, current[1] + 1)
+                    self._bindings[segment] = (target, generation)
+                entry = self._lookup(segment)
+                if entry is not None:
+                    with entry.lock:
+                        # pushes from the dead origin are gone and the new
+                        # origin has never heard of us: nothing is fresh
+                        # until we re-validate and re-subscribe
+                        entry.upstream_subscribed = False
+                        entry.fresh_until = float("-inf")
+                    if entry.coherence.subscriber_count():
+                        reattach.append(entry)
+        # 3. re-attach push fan-out asynchronously: refresh + re-subscribe
+        #    each entry with local subscribers, then re-push invalidations.
+        #    Not inline — the failover may have been detected *inside* a
+        #    refresh (refresh_lock held), and the retried request itself
+        #    re-subscribes its own segment on the way out.
+        if reattach:
+            threading.Thread(target=self._reattach, args=(reattach,),
+                             name=f"proxy-reattach-{self.name}",
+                             daemon=True).start()
+
+    def _reattach(self, entries) -> None:
+        for entry in entries:
+            if self._closed:
+                return
+            try:
+                self._refresh(entry, force=True)
+            except InterWeaveError:
+                _log.warning("failover re-attach refresh for %r failed",
+                             entry.name, exc_info=True)
+                continue
+            self._push_local_invalidations(entry)
 
     # -- segment table ------------------------------------------------------------
 
@@ -390,9 +547,20 @@ class CachingProxy(Dispatcher):
     def _forward(self, client_id: str, request: Message, raw: bytes) -> Message:
         segment = getattr(request, "segment", None)
         origin = self._origin_of(segment)
+        failed_over = False
+        reply: Message = ErrorReply(
+            f"redirect chase for {segment!r} exceeded {_REDIRECT_FOLLOWS} hops")
         for _follow in range(1 + _REDIRECT_FOLLOWS):
             channel = self._client_channel(origin, client_id)
-            reply = decode_message(channel.request(raw))
+            try:
+                reply = decode_message(channel.request(raw))
+            except TransportError:
+                if failed_over or segment is None or \
+                        not self._failed_over(segment):
+                    raise
+                failed_over = True
+                origin = self._origin_of(segment)
+                continue
             if not (isinstance(reply, RedirectReply) and segment is not None):
                 break
             self.stats.redirects_counter.inc()
@@ -816,6 +984,7 @@ class CachingProxy(Dispatcher):
                 "refreshes": self.stats.refreshes,
                 "notifications_pushed": self.stats.notifications_pushed,
                 "redirects_followed": self.stats.redirects_followed,
+                "failovers_followed": self.stats.failovers_followed,
                 "bindings": bindings,
                 "hit_rate": hits / (hits + forwards) if hits + forwards else 0.0,
                 "diff_cache_bytes": self.diff_cache.used_bytes,

@@ -10,6 +10,6 @@ into a serving primary that honors the failed primary's outstanding
 leases.
 """
 
-from repro.replication.sender import ReplicationSender
+from repro.replication.sender import ReplicationSender, ReplicationTicket
 
-__all__ = ["ReplicationSender"]
+__all__ = ["ReplicationSender", "ReplicationTicket"]

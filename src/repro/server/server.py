@@ -201,11 +201,15 @@ class InterWeaveServer(Dispatcher):
                  lease_duration: float = 30.0,
                  wal_dir: Optional[str] = None,
                  wal_fsync: bool = True,
-                 role: str = "primary"):
+                 role: str = "primary",
+                 quorum_ack: bool = False,
+                 quorum_timeout: float = 1.0):
         if lease_duration <= 0:
             raise ServerError("lease_duration must be positive")
         if role not in ("primary", "backup"):
             raise ServerError(f"unknown server role {role!r}")
+        if quorum_timeout <= 0:
+            raise ServerError("quorum_timeout must be positive")
         self.name = name
         self.sink = sink or NullSink()
         self.clock = clock or WallClock()
@@ -253,6 +257,18 @@ class InterWeaveServer(Dispatcher):
         self._m_replica_catchups = self.metrics.counter(
             "server.replica_catchups",
             "full-segment catchups installed while acting as a backup")
+        self._m_quorum_acks = self.metrics.counter(
+            "server.quorum_acks",
+            "releases acknowledged only after the backup confirmed the "
+            "replicated diff (quorum-ack mode)")
+        self._m_quorum_degrades = self.metrics.counter(
+            "server.quorum_degrades",
+            "quorum-ack releases that timed out waiting for the backup "
+            "and degraded to asynchronous replication")
+        self._m_quorum_wait = self.metrics.histogram(
+            "server.quorum_wait_seconds",
+            help="time a quorum-ack release spent waiting for the "
+                 "backup's ack")
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
         #: durable diff log: every committed diff is appended (and synced)
@@ -264,6 +280,13 @@ class InterWeaveServer(Dispatcher):
         #: "primary" serves clients; "backup" only accepts the replication
         #: stream (and stats) until promoted
         self.role = role
+        #: when True, a release reply waits (bounded by ``quorum_timeout``
+        #: seconds) for the backup to acknowledge the replicated diff —
+        #: RPO=0 across machine loss at the cost of release latency; a
+        #: timeout degrades that release to asynchronous replication
+        #: (counted in ``server.quorum_degrades``) rather than failing it
+        self.quorum_ack = quorum_ack
+        self.quorum_timeout = quorum_timeout
         #: a :class:`~repro.replication.ReplicationSender` once attached;
         #: primaries feed it committed diffs and lease transitions
         self.replicator = None
@@ -681,6 +704,7 @@ class InterWeaveServer(Dispatcher):
         entry = self._entry(request.segment)
         pending = None
         checkpoint = None
+        ticket = None
         with self._write_locked(entry):
             self._lease_touch(entry, client_id)
             state = entry.state
@@ -733,8 +757,9 @@ class InterWeaveServer(Dispatcher):
                     _log.exception("WAL append failed for %r @%d",
                                    state.name, new_version)
             if self.replicator is not None:
-                self.replicator.append_diff(state.name, from_version,
-                                            new_version, encoded, now)
+                ticket = self.replicator.append_diff(
+                    state.name, from_version, new_version, encoded, now,
+                    ticket=self.quorum_ack)
             pending = self._stale_notifications(entry)
             # encode the periodic checkpoint under the lock (it must be a
             # consistent image) but keep the disk write for after release —
@@ -747,7 +772,28 @@ class InterWeaveServer(Dispatcher):
         # not stall other clients' traffic on this segment
         self._push_notifications(pending)
         self._write_checkpoint_async_safe(checkpoint)
+        # the quorum wait also runs outside the segment lock — the
+        # release is not acknowledged yet, but readers and other
+        # segments' writers must not stall on the backup link
+        self._await_quorum(ticket)
         return reply
+
+    def _await_quorum(self, ticket) -> None:
+        """Quorum-ack mode: hold the release reply until the backup acks
+        the replicated diff (bounded), degrading to async on timeout."""
+        if ticket is None:
+            return
+        started = time.perf_counter()
+        acked = ticket.wait(self.quorum_timeout) and ticket.ok
+        self._m_quorum_wait.observe(time.perf_counter() - started)
+        if acked:
+            self._m_quorum_acks.inc()
+        else:
+            # the commit is already durable (WAL) and queued for the
+            # backup; replying now trades RPO=0 for availability
+            self._m_quorum_degrades.inc()
+            _log.warning("quorum-ack release degraded to async after "
+                         "%.3fs", time.perf_counter() - started)
 
     # -- fetch / subscribe ---------------------------------------------------------------
 
@@ -818,6 +864,7 @@ class InterWeaveServer(Dispatcher):
                      for name, (target, generation) in self._moved.items()}
         return {
             "server": {"name": self.name, "role": self.role,
+                       "quorum_ack": self.quorum_ack,
                        "segments": segments},
             "cluster": {
                 "moved_segments": moved,
@@ -1030,6 +1077,18 @@ class InterWeaveServer(Dispatcher):
         diffs = self.diff_cache.entries_for(segment_name)
         return version, payload, diffs
 
+    def lease_of(self, segment_name: str) -> tuple:
+        """The segment's current ``(writer, expiry)`` — ``("", 0.0)``
+        when unlocked or unknown.  The replication sender re-asserts
+        this after every catchup, since a catchup installs fresh segment
+        state at the backup and wipes the mirrored lease."""
+        with self._table():
+            entry = self.segments.get(segment_name)
+        if entry is None:
+            return "", 0.0
+        with entry.meta:
+            return entry.writer or "", entry.writer_expires
+
     def promote(self) -> None:
         """Backup becomes primary: start serving client traffic.
 
@@ -1058,6 +1117,11 @@ class InterWeaveServer(Dispatcher):
             with entry.meta:
                 entry.writer = request.writer or None
                 entry.writer_expires = request.lease_expiry
+            if self.replicator is not None:
+                # chained replication: a backup forwards every record it
+                # applies to its own downstream backup
+                self.replicator.append_lease(request.segment, request.writer,
+                                             request.lease_expiry)
             self._m_replica_appends.inc()
             return ReplicateAck(ok=True, version=entry.state.version)
         if request.kind != REPL_DIFF:
@@ -1093,6 +1157,13 @@ class InterWeaveServer(Dispatcher):
                     self._m_wal_errors.inc()
                     _log.exception("backup WAL append failed for %r @%d",
                                    state.name, new_version)
+            if self.replicator is not None:
+                # chained replication (primary → backup → backup): the
+                # enqueue happens under the segment write lock so the
+                # downstream stream preserves version order
+                self.replicator.append_diff(state.name, request.from_version,
+                                            new_version, request.payload,
+                                            request.timestamp)
         self._m_replica_appends.inc()
         return ReplicateAck(ok=True, version=new_version)
 
@@ -1137,6 +1208,11 @@ class InterWeaveServer(Dispatcher):
                 self.wal.compact(request.segment, state.version)
             except WALError:
                 self._m_wal_errors.inc()
+        if self.replicator is not None:
+            # a chained backup just replaced this segment wholesale; its
+            # own downstream now has a gap that no future nack may ever
+            # surface (quiet segment) — propagate the catchup explicitly
+            self.replicator.request_catchup(request.segment)
         self._m_replica_catchups.inc()
         return ReplicateAck(ok=True, version=state.version)
 

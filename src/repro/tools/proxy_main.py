@@ -13,6 +13,13 @@ one multiplexed connection to the origin
 (:class:`~repro.transport.MuxConnectionPool`) across all forwarded
 traffic.  Plain TCP cannot push, so freshness comes from the
 ``--max-staleness`` window (see ``docs/PROTOCOL.md`` §"Relay tier").
+
+In a cluster, ``--origin-server NAME=HOST:PORT`` (repeatable) teaches
+the upstream pool the other origins so redirects can be chased, and
+``--directory NAME`` attaches a
+:class:`~repro.cluster.DirectoryResolver` so the relay re-resolves and
+re-attaches when an origin fails over to a promoted backup (the
+directory itself must be one of the ``--origin-server`` entries).
 """
 
 from __future__ import annotations
@@ -21,9 +28,23 @@ import argparse
 import sys
 import threading
 
+from repro.cluster import DirectoryResolver
 from repro.proxy import CachingProxy
 from repro.tools.common import run_service
 from repro.transport import MuxConnectionPool, RetryPolicy, TCPServerTransport
+
+
+def _parse_origin_server(spec: str):
+    name, separator, address = spec.partition("=")
+    host, colon, port = address.rpartition(":")
+    if not separator or not name or not colon or not host:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=HOST:PORT, got {spec!r}")
+    try:
+        return name, host, int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"port in {spec!r} is not an integer")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="relay diff cache capacity in MiB")
     parser.add_argument("--upstream-timeout", type=float, default=10.0,
                         help="origin request timeout in seconds")
+    parser.add_argument("--origin-server", action="append", default=[],
+                        type=_parse_origin_server, metavar="NAME=HOST:PORT",
+                        help="additional upstream server (repeatable): other "
+                             "cluster origins, promoted backups, and the "
+                             "directory service")
+    parser.add_argument("--directory", default=None, metavar="NAME",
+                        help="directory server name for failover "
+                             "re-resolution (must be reachable through "
+                             "--origin-server)")
     return parser
 
 
@@ -57,15 +87,24 @@ def serve(args, ready_event: "threading.Event" = None,
     pool = MuxConnectionPool(
         {args.name: (args.origin_host, args.origin_port)},
         timeout=args.upstream_timeout, retry=RetryPolicy())
+    for name, host, port in args.origin_server:
+        pool.add_server(name, host, port)
+    resolver = None
+    if args.directory is not None:
+        resolver = DirectoryResolver(pool.connect, directory=args.directory,
+                                     client_id=f"{args.name}!resolver")
     proxy = CachingProxy(
         args.name, connector=pool.connect,
         diff_cache_bytes=args.diff_cache_mb * 1024 * 1024,
-        max_staleness=args.max_staleness)
+        max_staleness=args.max_staleness,
+        resolver=resolver)
     transport = TCPServerTransport(proxy, host=args.host, port=args.port)
 
     def cleanup() -> None:
         transport.close()
         proxy.close()
+        if resolver is not None:
+            resolver.close()
         pool.close()
 
     return run_service(

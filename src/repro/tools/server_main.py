@@ -58,6 +58,14 @@ def build_parser() -> argparse.ArgumentParser:
                         default="primary",
                         help="'backup' only accepts the replication stream "
                              "until promoted")
+    parser.add_argument("--quorum-ack", action="store_true",
+                        help="answer a write release only after the backup "
+                             "acked the replicated diff (RPO=0 across "
+                             "machine loss; degrades to async replication "
+                             "after --quorum-timeout)")
+    parser.add_argument("--quorum-timeout", type=float, default=1.0,
+                        help="seconds a quorum-ack release waits for the "
+                             "backup before degrading to async")
     parser.add_argument("--diff-cache-mb", type=int, default=16,
                         help="diff cache capacity in MiB")
     return parser
@@ -73,7 +81,9 @@ def serve(args, ready_event: "threading.Event" = None,
         checkpoint_every=args.checkpoint_every if args.checkpoint_dir else 0,
         wal_dir=args.wal_dir,
         wal_fsync=not args.no_wal_fsync,
-        role=args.role)
+        role=args.role,
+        quorum_ack=args.quorum_ack,
+        quorum_timeout=args.quorum_timeout)
     restored = 0
     replayed = 0
     if args.restore and (args.checkpoint_dir or args.wal_dir):

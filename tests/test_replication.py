@@ -1,5 +1,8 @@
 """Tests for primary-backup replication, promotion, and client failover."""
 
+import threading
+import time
+
 import pytest
 
 from repro import (
@@ -19,9 +22,12 @@ from repro.transport.base import Dispatcher
 from repro.types import INT, ArrayDescriptor
 from repro.wire.messages import (
     LOCK_WRITE,
+    REPL_DIFF,
+    REPL_LEASE,
     ErrorReply,
     LockAcquireReply,
     LockAcquireRequest,
+    ReplicateAppendRequest,
     decode_message,
     encode_message,
 )
@@ -39,6 +45,29 @@ class FailableDispatcher(Dispatcher):
         if self.dead:
             raise TransportError("connection refused (server killed)")
         return self.inner.dispatch(client_id, data)
+
+
+class GatedDispatcher(Dispatcher):
+    """Wraps a server; with the gate closed every request blocks until it
+    reopens — a reachable-but-slow backup link."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.gate = threading.Event()
+        self.gate.set()
+
+    def dispatch(self, client_id: str, data: bytes) -> bytes:
+        self.gate.wait(30.0)
+        return self.inner.dispatch(client_id, data)
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return predicate()
 
 
 def build_pair(clock, lease_duration=30.0):
@@ -243,3 +272,431 @@ class TestFailover:
         with pytest.raises(TransportError):
             client.wl_acquire(seg)
         assert client.stats.failovers_followed == 0
+
+
+class TestSelfHealingStream:
+    def _seed_segment(self, hub, clock):
+        client = InterWeaveClient("w", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("primary/data")
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 8), name="a")
+        array.write_values(list(range(8)))
+        client.wl_release(seg)
+        return client, seg, array
+
+    def test_overflow_never_evicts_lease_records(self):
+        """Regression: the queue bound used to drop the oldest record
+        unconditionally; a dropped REPL_LEASE is never healed by the
+        data-only catchup, so only diff records may be evicted."""
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock)
+        primary = InterWeaveServer("primary", sink=hub, clock=clock,
+                                   metrics=MetricsRegistry())
+        backup = InterWeaveServer("backup", clock=clock, role="backup",
+                                  metrics=MetricsRegistry())
+        gated = GatedDispatcher(backup)
+        hub.register_server("primary", primary)
+        hub.register_server("backup", gated)
+        metrics = MetricsRegistry()
+        sender = ReplicationSender(primary, hub.connect("backup", "!repl"),
+                                   metrics=metrics, max_queue=2)
+        primary.attach_replicator(sender)
+        client, seg, array = self._seed_segment(hub, clock)
+        assert sender.flush()
+
+        gated.gate.clear()
+        # the worker grabs this record and blocks mid-ship on the gate
+        sender.append_diff("primary/data", 1, 2, b"blocked", 0.0)
+        assert wait_until(lambda: sender._busy and not sender._queue)
+        sender.append_lease("primary/data", "writerA", 99.0)
+        sender.append_diff("primary/data", 2, 3, b"x", 0.0)
+        sender.append_diff("primary/data", 3, 4, b"y", 0.0)  # overflows
+
+        with sender._cv:
+            kinds = [item.record.kind for item in sender._queue]
+        assert REPL_LEASE in kinds  # the lease survived the eviction
+        assert kinds.count(REPL_DIFF) == 1  # a diff was evicted instead
+        assert metrics.counter("replication.overflow_drops").value >= 1
+        assert "primary/data" in sender.dirty_segments()
+
+        # once the link recovers, the probe heals the gap the eviction
+        # (and the garbage in-flight payloads) opened
+        gated.gate.set()
+        assert sender.flush(timeout=10.0)
+        assert (backup.segments["primary/data"].state.version
+                == primary.segments["primary/data"].state.version)
+        sender.close()
+
+    def test_catchup_reasserts_live_lease(self):
+        """A catchup installs fresh segment state at the backup, wiping
+        the mirrored lease — the sender must re-assert it, or a promoted
+        backup would hand the lock to a second writer mid-write."""
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock)
+        primary = InterWeaveServer("primary", sink=hub, clock=clock,
+                                   lease_duration=50.0,
+                                   metrics=MetricsRegistry())
+        backup = InterWeaveServer("backup", sink=hub, clock=clock,
+                                  lease_duration=50.0, role="backup",
+                                  metrics=MetricsRegistry())
+        hub.register_server("primary", primary)
+        hub.register_server("backup", backup)
+        client, seg, array = self._seed_segment(hub, clock)
+
+        # attach the sender only now: the backup has a gap, so the next
+        # record nacks and triggers a catchup
+        metrics = MetricsRegistry()
+        sender = ReplicationSender(primary, hub.connect("backup", "!repl"),
+                                   metrics=metrics)
+        primary.attach_replicator(sender)
+        client.wl_acquire(seg)  # writer holds the lease across the crash
+        assert sender.flush()
+        assert metrics.counter("replication.lease_reasserts").value >= 1
+
+        backup.promote()
+        probe = hub.connect("backup", "writerB")
+        denied = decode_message(probe.request(encode_message(
+            LockAcquireRequest(segment="primary/data", mode=LOCK_WRITE,
+                               client_id="writerB", client_version=0))))
+        assert isinstance(denied, LockAcquireReply) and not denied.granted
+        sender.close()
+
+    def test_probe_heals_quiet_segment_after_channel_recovery(self):
+        """A diff lost to a transport error on a quiet segment used to
+        leave the backup divergent until the next client write; the
+        dirty-segment probe converges it as soon as the link recovers."""
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock)
+        primary = InterWeaveServer("primary", sink=hub, clock=clock,
+                                   metrics=MetricsRegistry())
+        backup = InterWeaveServer("backup", clock=clock, role="backup",
+                                  metrics=MetricsRegistry())
+        failable = FailableDispatcher(backup)
+        hub.register_server("primary", primary)
+        hub.register_server("backup", failable)
+        metrics = MetricsRegistry()
+        sender = ReplicationSender(primary, hub.connect("backup", "!repl"),
+                                   metrics=metrics)
+        primary.attach_replicator(sender)
+        client, seg, array = self._seed_segment(hub, clock)
+        assert sender.flush()
+
+        failable.dead = True
+        write_round(client, seg, array, 100)  # the last write ever
+        assert not sender.flush(timeout=0.5)
+        assert "primary/data" in sender.dirty_segments()
+        assert (backup.segments["primary/data"].state.version
+                < primary.segments["primary/data"].state.version)
+
+        failable.dead = False
+        sender._on_reconnect()  # what Channel.reconnect_listener fires
+        assert sender.flush()
+        assert sender.dirty_segments() == set()
+        assert metrics.counter("replication.catchup_probes").value >= 1
+        b_state = backup.segments["primary/data"].state
+        p_state = primary.segments["primary/data"].state
+        assert b_state.version == p_state.version
+        assert b_state.read_block_wire(1) == p_state.read_block_wire(1)
+        sender.close()
+
+    def test_success_on_one_segment_wakes_probe_for_another(self):
+        """Convergence of a quiet segment must not wait for a reconnect
+        event either: any successful ship proves the channel works."""
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock)
+        primary = InterWeaveServer("primary", sink=hub, clock=clock,
+                                   metrics=MetricsRegistry())
+        backup = InterWeaveServer("backup", clock=clock, role="backup",
+                                  metrics=MetricsRegistry())
+        failable = FailableDispatcher(backup)
+        hub.register_server("primary", primary)
+        hub.register_server("backup", failable)
+        sender = ReplicationSender(primary, hub.connect("backup", "!repl"),
+                                   metrics=MetricsRegistry())
+        primary.attach_replicator(sender)
+        client, seg, array = self._seed_segment(hub, clock)
+        other = client.open_segment("primary/other")
+        client.wl_acquire(other)
+        brr = client.malloc(other, ArrayDescriptor(INT, 4), name="b")
+        brr.write_values([1, 2, 3, 4])
+        client.wl_release(other)
+        assert sender.flush()
+
+        failable.dead = True
+        write_round(client, seg, array, 100)  # quiet segment gets a gap
+        assert not sender.flush(timeout=0.5)
+        failable.dead = False
+        # a write on a *different* segment ships fine and wakes the probe
+        client.wl_acquire(other)
+        brr.write_values([5, 6, 7, 8])
+        client.wl_release(other)
+        assert sender.flush()
+        assert (backup.segments["primary/data"].state.version
+                == primary.segments["primary/data"].state.version)
+        sender.close()
+
+
+class TestPromotionUnderBacklog:
+    def test_promotion_drains_backlog_before_rebinding(self):
+        """Records queued at promote time must reach the backup before
+        the directory rebinds, or the promoted copy misses acked writes."""
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock)
+        primary = InterWeaveServer("primary", sink=hub, clock=clock,
+                                   metrics=MetricsRegistry())
+        backup = InterWeaveServer("backup", sink=hub, clock=clock,
+                                  role="backup", metrics=MetricsRegistry())
+        failable = FailableDispatcher(primary)
+        gated = GatedDispatcher(backup)
+        hub.register_server("primary", failable)
+        hub.register_server("backup", gated)
+        directory = SegmentDirectory("directory", origins=["primary"])
+        hub.register_server("directory", directory)
+        coordinator = ClusterCoordinator(directory, hub.connect, clock=clock)
+        sender = ReplicationSender(primary, hub.connect("backup", "!repl"),
+                                   metrics=MetricsRegistry())
+        primary.attach_replicator(sender)
+
+        client = InterWeaveClient("c", X86_32, hub.connect, clock=clock,
+                                  resolver=DirectoryResolver(hub.connect))
+        seg = client.open_segment("data")
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 8), name="a")
+        array.write_values(list(range(8)))
+        client.wl_release(seg)
+
+        gated.gate.clear()  # the backup link stalls...
+        for base in (100, 200, 300):
+            write_round(client, seg, array, base)  # ...but writes are acked
+        acked = primary.segments["data"].state.version
+        assert backup.segments.get("data") is None or \
+            backup.segments["data"].state.version < acked
+
+        # the link recovers mid-promotion; the coordinator's drain ships
+        # the whole backlog before REPL_PROMOTE and the rebind
+        opener = threading.Timer(0.2, gated.gate.set)
+        opener.start()
+        try:
+            coordinator.promote_backup("primary", "backup", sender=sender,
+                                       drain_timeout=20.0)
+        finally:
+            opener.cancel()
+            gated.gate.set()
+        assert backup.role == "primary"
+        assert backup.segments["data"].state.version == acked
+        assert directory.lookup("data")[0] == "backup"
+
+        failable.dead = True
+        reader = InterWeaveClient("r", X86_32, hub.connect, clock=clock,
+                                  resolver=DirectoryResolver(hub.connect))
+        seg_r = reader.open_segment("data", create=False)
+        reader.rl_acquire(seg_r)
+        values = list(reader.accessor_for(seg_r, "a").read_values())
+        reader.rl_release(seg_r)
+        assert values == [300 + i for i in range(8)]
+        sender.close()
+        coordinator.close()
+
+    def test_abandon_empties_queue_and_fails_tickets(self):
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock)
+        primary = InterWeaveServer("primary", sink=hub, clock=clock,
+                                   metrics=MetricsRegistry())
+        backup = InterWeaveServer("backup", clock=clock, role="backup",
+                                  metrics=MetricsRegistry())
+        gated = GatedDispatcher(backup)
+        hub.register_server("primary", primary)
+        hub.register_server("backup", gated)
+        metrics = MetricsRegistry()
+        sender = ReplicationSender(primary, hub.connect("backup", "!repl"),
+                                   metrics=metrics)
+        gated.gate.clear()
+        sender.append_diff("primary/data", 0, 1, b"swallowed", 0.0)
+        assert wait_until(lambda: sender._busy and not sender._queue)
+        tickets = [sender.append_diff("primary/data", v, v + 1, b"x", 0.0,
+                                      ticket=True) for v in (1, 2, 3)]
+        assert not sender.flush(timeout=0.2)
+        abandoned = sender.abandon()
+        assert abandoned == 3
+        assert metrics.counter("replication.abandoned").value == 3
+        for ticket in tickets:
+            assert ticket.wait(1.0) and not ticket.ok
+        assert sender.dirty_segments() == set()
+        gated.gate.set()
+        sender.close()
+
+
+class TestQuorumAck:
+    def build(self, clock, **server_kw):
+        hub = InProcHub(clock=clock)
+        primary = InterWeaveServer("primary", sink=hub, clock=clock,
+                                   metrics=MetricsRegistry(), **server_kw)
+        backup = InterWeaveServer("backup", clock=clock, role="backup",
+                                  metrics=MetricsRegistry())
+        failable = FailableDispatcher(backup)
+        hub.register_server("primary", primary)
+        hub.register_server("backup", failable)
+        sender = ReplicationSender(primary, hub.connect("backup", "!repl"),
+                                   metrics=MetricsRegistry())
+        primary.attach_replicator(sender)
+        return hub, primary, backup, failable, sender
+
+    def test_release_waits_for_backup_ack(self):
+        clock = VirtualClock()
+        hub, primary, backup, failable, sender = self.build(
+            clock, quorum_ack=True, quorum_timeout=5.0)
+        client = InterWeaveClient("w", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("primary/data")
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 8), name="a")
+        array.write_values(list(range(8)))
+        client.wl_release(seg)
+        # no flush: the release reply itself guaranteed the backup copy
+        assert (backup.segments["primary/data"].state.version
+                == primary.segments["primary/data"].state.version == 1)
+        assert primary._m_quorum_acks.value == 1
+        assert primary._m_quorum_degrades.value == 0
+        sender.close()
+
+    def test_release_degrades_to_async_when_backup_is_dead(self):
+        clock = VirtualClock()
+        hub, primary, backup, failable, sender = self.build(
+            clock, quorum_ack=True, quorum_timeout=0.05)
+        client = InterWeaveClient("w", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("primary/data")
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 8), name="a")
+        array.write_values(list(range(8)))
+        client.wl_release(seg)
+        failable.dead = True
+        write_round(client, seg, array, 100)  # must not hang or fail
+        assert primary.segments["primary/data"].state.version == 2
+        assert primary._m_quorum_degrades.value >= 1
+        sender.close()
+
+    def test_quorum_timeout_must_be_positive(self):
+        with pytest.raises(ServerError):
+            InterWeaveServer("s", quorum_timeout=0.0,
+                             metrics=MetricsRegistry())
+
+
+class TestChainedReplication:
+    def build_chain(self, clock):
+        hub = InProcHub(clock=clock)
+        primary = InterWeaveServer("primary", sink=hub, clock=clock,
+                                   metrics=MetricsRegistry())
+        b1 = InterWeaveServer("b1", sink=hub, clock=clock, role="backup",
+                              metrics=MetricsRegistry())
+        b2 = InterWeaveServer("b2", clock=clock, role="backup",
+                              metrics=MetricsRegistry())
+        hub.register_server("primary", primary)
+        hub.register_server("b1", b1)
+        hub.register_server("b2", b2)
+        sender1 = ReplicationSender(primary, hub.connect("b1", "!repl1"),
+                                    metrics=MetricsRegistry())
+        primary.attach_replicator(sender1)
+        sender2 = ReplicationSender(b1, hub.connect("b2", "!repl2"),
+                                    metrics=MetricsRegistry())
+        b1.attach_replicator(sender2)
+        return hub, primary, b1, b2, sender1, sender2
+
+    def test_diffs_and_leases_propagate_down_the_chain(self):
+        clock = VirtualClock()
+        hub, primary, b1, b2, sender1, sender2 = self.build_chain(clock)
+        client = InterWeaveClient("w", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("primary/data")
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 8), name="a")
+        array.write_values(list(range(8)))
+        client.wl_release(seg)
+        write_round(client, seg, array, 100)
+        client.wl_acquire(seg)  # lease held; must be mirrored twice over
+        assert sender1.flush() and sender2.flush()
+        p = primary.segments["primary/data"].state
+        assert b1.segments["primary/data"].state.version == p.version
+        assert b2.segments["primary/data"].state.version == p.version
+        assert (b2.segments["primary/data"].state.read_block_wire(1)
+                == p.read_block_wire(1))
+        # the tail of the chain honors the writer's lease after promotion
+        b2.promote()
+        probe = hub.connect("b2", "writerB")
+        denied = decode_message(probe.request(encode_message(
+            LockAcquireRequest(segment="primary/data", mode=LOCK_WRITE,
+                               client_id="writerB", client_version=0))))
+        assert isinstance(denied, LockAcquireReply) and not denied.granted
+        sender2.close()
+        sender1.close()
+
+    def test_catchup_propagates_down_the_chain(self):
+        """A catchup installed at a chained backup opens a gap at *its*
+        downstream that no future nack may surface (quiet segment); the
+        backup schedules a probe so the whole chain converges."""
+        clock = VirtualClock()
+        hub = InProcHub(clock=clock)
+        primary = InterWeaveServer("primary", sink=hub, clock=clock,
+                                   metrics=MetricsRegistry())
+        b1 = InterWeaveServer("b1", sink=hub, clock=clock, role="backup",
+                              metrics=MetricsRegistry())
+        b2 = InterWeaveServer("b2", clock=clock, role="backup",
+                              metrics=MetricsRegistry())
+        hub.register_server("primary", primary)
+        hub.register_server("b1", b1)
+        hub.register_server("b2", b2)
+        client = InterWeaveClient("w", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("primary/data")
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 8), name="a")
+        array.write_values(list(range(8)))
+        client.wl_release(seg)
+        write_round(client, seg, array, 100)
+
+        # both links attach late: b1 heals via nack->catchup, and that
+        # catchup must cascade to b2 without any new client write
+        sender2 = ReplicationSender(b1, hub.connect("b2", "!repl2"),
+                                    metrics=MetricsRegistry())
+        b1.attach_replicator(sender2)
+        sender1 = ReplicationSender(primary, hub.connect("b1", "!repl1"),
+                                    metrics=MetricsRegistry())
+        primary.attach_replicator(sender1)
+        write_round(client, seg, array, 200)
+        assert sender1.flush() and sender2.flush(timeout=10.0)
+        p = primary.segments["primary/data"].state
+        assert b2.segments["primary/data"].state.version == p.version
+        assert (b2.segments["primary/data"].state.read_block_wire(1)
+                == p.read_block_wire(1))
+        sender2.close()
+        sender1.close()
+
+    def test_promotion_climbs_the_chain(self):
+        clock = VirtualClock()
+        hub, primary, b1, b2, sender1, sender2 = self.build_chain(clock)
+        client = InterWeaveClient("w", X86_32, hub.connect, clock=clock)
+        seg = client.open_segment("primary/data")
+        client.wl_acquire(seg)
+        array = client.malloc(seg, ArrayDescriptor(INT, 8), name="a")
+        array.write_values(list(range(8)))
+        client.wl_release(seg)
+        assert sender1.flush() and sender2.flush()
+
+        b1.promote()  # the primary machine is gone; b1 takes over
+        # route the new writer at b1 explicitly: segment names are
+        # unchanged, only the serving origin moved
+        from repro import StaticResolver
+        resolver = StaticResolver()
+        resolver.on_redirect("primary/data", "b1", 1)
+        writer2 = InterWeaveClient("w2", X86_32, hub.connect, clock=clock,
+                                   resolver=resolver)
+        seg2 = writer2.open_segment("primary/data", create=False)
+        writer2.wl_acquire(seg2)
+        arr2 = writer2.accessor_for(seg2, "a")
+        arr2.write_values([500 + i for i in range(8)])
+        writer2.wl_release(seg2)
+        # b1 keeps feeding its own downstream: b2 is a valid next backup
+        assert sender2.flush()
+        assert (b2.segments["primary/data"].state.version
+                == b1.segments["primary/data"].state.version == 2)
+        b2.promote()
+        assert (b2.segments["primary/data"].state.read_block_wire(1)
+                == b1.segments["primary/data"].state.read_block_wire(1))
+        sender2.close()
+        sender1.close()
