@@ -64,12 +64,12 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import pytest
 
-from common import LatencyRelay, make_world
+from common import LatencyRelay, make_tcp_server_transport, make_world
 
 from repro import ClientOptions, InterWeaveClient, InterWeaveServer, temporal
 from repro.arch import X86_32
 from repro.obs import get_registry, write_sidecar
-from repro.transport import MultiplexingChannel, TCPChannel, TCPServerTransport
+from repro.transport import MultiplexingChannel, TCPChannel
 from repro.types import INT
 from repro.wire.codec import Writer
 from repro.wire.messages import (
@@ -117,7 +117,7 @@ def inproc():
 @pytest.fixture(scope="module")
 def tcp():
     server = InterWeaveServer("bench")
-    transport = TCPServerTransport(server)
+    transport = make_tcp_server_transport(server)
 
     def connector(server_name, client_id):
         return TCPChannel("127.0.0.1", transport.port, client_id)
@@ -238,7 +238,7 @@ def _drive(channel, pairs, duration: float) -> dict:
 
 def run_pipelining_comparison(duration: float = DURATION) -> dict:
     server = InterWeaveServer("bench")
-    transport = TCPServerTransport(server)
+    transport = make_tcp_server_transport(server)
     relay = LatencyRelay("127.0.0.1", transport.port, delay=LINK_DELAY)
     try:
         # segment setup goes straight to the server — only the measured

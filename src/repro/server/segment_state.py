@@ -382,3 +382,52 @@ class ServerSegment:
             raise ServerError(f"segment {self.name!r}: no block {serial}")
         layout = flat_layout(block.info.descriptor, SERVER_ARCH)
         return collect_range(self._tctx, layout, block.info.address, 0, block.prim_count)
+
+    def read_block_values(self, serial: int) -> list:
+        """A block's contents decoded to plain Python values (JSON gateway).
+
+        Walks the wire image in primitive-offset order and decodes each
+        unit by its layout kind: integers as ints, floats as floats,
+        strings as text, pointers as MIP strings (``None`` for NULL).
+        The flat value list mirrors the machine-independent primitive
+        numbering every diff run is addressed in, so a gateway consumer
+        can line values up against the type descriptor.
+        """
+        import struct as _struct
+
+        from repro.arch import PrimKind, WIRE_SIZES
+        from repro.types.layout import iter_units
+
+        block = self.blocks.get(serial)
+        if block is None:
+            raise ServerError(f"segment {self.name!r}: no block {serial}")
+        layout = flat_layout(block.info.descriptor, SERVER_ARCH)
+        wire = self.read_block_wire(serial)
+        length_struct = _struct.Struct(">I")
+        values: list = []
+        offset = 0
+        for _prim, run, _i, _j in iter_units(layout, 0, block.prim_count):
+            kind = run.kind
+            if kind is PrimKind.STRING:
+                (size,) = length_struct.unpack_from(wire, offset)
+                offset += length_struct.size
+                values.append(wire[offset:offset + size].decode("utf-8", "replace"))
+                offset += size
+            elif kind is PrimKind.POINTER:
+                (size,) = length_struct.unpack_from(wire, offset)
+                offset += length_struct.size
+                text = wire[offset:offset + size]
+                offset += size
+                values.append(text.decode("utf-8") if size else None)
+            elif kind is PrimKind.FLOAT:
+                values.append(_struct.unpack_from(">f", wire, offset)[0])
+                offset += 4
+            elif kind is PrimKind.DOUBLE:
+                values.append(_struct.unpack_from(">d", wire, offset)[0])
+                offset += 8
+            else:
+                width = WIRE_SIZES[kind]
+                values.append(int.from_bytes(
+                    wire[offset:offset + width], "big", signed=True))
+                offset += width
+        return values

@@ -823,6 +823,35 @@ class InterWeaveServer(Dispatcher):
     def _get_stats(self) -> Message:
         return GetStatsReply(json.dumps(self.stats_snapshot(), sort_keys=True))
 
+    def read_segment_json(self, name: str) -> dict:
+        """One segment's decoded contents + version, as a JSON-ready dict.
+
+        Serves the HTTP gateway's ``GET /segments/{name}``: block values
+        are decoded from the server's wire-format heap to plain Python
+        values (see ``ServerSegment.read_block_values``) under the
+        segment read lock, so the snapshot is a consistent version.
+        Raises :class:`ServerError` for an unknown segment.
+        """
+        with self._table():
+            entry = self.segments.get(name)
+        if entry is None:
+            raise ServerError(f"no segment named {name!r}")
+        with self._read_locked(entry):
+            state = entry.state
+            blocks = []
+            for serial in sorted(state.blocks):
+                block = state.blocks[serial]
+                blocks.append({
+                    "serial": serial,
+                    "name": block.info.name,
+                    "type_serial": block.info.type_serial,
+                    "version": int(block.version),
+                    "prim_count": block.prim_count,
+                    "values": state.read_block_values(serial),
+                })
+            return {"segment": name, "version": state.version,
+                    "blocks": blocks}
+
     def stats_snapshot(self) -> dict:
         """The server's introspection payload as a plain dict.
 

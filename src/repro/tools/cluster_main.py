@@ -29,8 +29,8 @@ import threading
 from repro.cluster import ClusterCoordinator, SegmentDirectory
 from repro.obs.metrics import MetricsRegistry
 from repro.server import InterWeaveServer
-from repro.tools.common import run_service
-from repro.transport import MuxConnectionPool, RetryPolicy, TCPServerTransport
+from repro.tools.common import add_io_arguments, make_server_transport, run_service
+from repro.transport import MuxConnectionPool, RetryPolicy
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,6 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-origin diff cache capacity in MiB")
     parser.add_argument("--ring-replicas", type=int, default=64,
                         help="virtual ring points per origin")
+    add_io_arguments(parser)
     return parser
 
 
@@ -64,15 +65,18 @@ def serve(args, ready_event: "threading.Event" = None,
         server = InterWeaveServer(
             name, metrics=MetricsRegistry(),
             diff_cache_bytes=args.diff_cache_mb * 1024 * 1024)
-        transport = TCPServerTransport(server, host=args.host, port=0)
+        # origins inherit the --io backend; the gateway (if any) mounts
+        # on the directory below, the one address clients already know
+        transport = make_server_transport(server, args, host=args.host,
+                                          port=0, gateway=False)
         transports.append(transport)
         addresses[name] = (transport.host, transport.port)
 
     directory = SegmentDirectory(origins=origin_names,
                                  replicas=args.ring_replicas,
                                  metrics=MetricsRegistry())
-    directory_transport = TCPServerTransport(
-        directory, host=args.host, port=args.directory_port)
+    directory_transport = make_server_transport(
+        directory, args, host=args.host, port=args.directory_port)
     transports.append(directory_transport)
 
     pool = MuxConnectionPool(dict(addresses), retry=RetryPolicy())
@@ -90,13 +94,20 @@ def serve(args, ready_event: "threading.Event" = None,
         coordinator.close()
         pool.close()
 
+    gateway = ""
+    if getattr(directory_transport, "gateway_port", None) is not None:
+        gateway = (f"; gateway at http://{directory_transport.gateway_host}:"
+                   f"{directory_transport.gateway_port}")
     return run_service(
         f"[repro-cluster] directory on "
-        f"{directory_transport.host}:{directory_transport.port}; "
+        f"{directory_transport.host}:{directory_transport.port} "
+        f"[{args.io}]{gateway}; "
         f"{args.origins} origin(s): {listing}",
         ready_event, stop_event,
         ready_attrs={"ready_port": directory_transport.port,
-                     "ready_ports": ports},
+                     "ready_ports": ports,
+                     "ready_gateway_port": getattr(directory_transport,
+                                                   "gateway_port", None)},
         cleanup=cleanup)
 
 

@@ -30,8 +30,8 @@ import threading
 
 from repro.cluster import DirectoryResolver
 from repro.proxy import CachingProxy
-from repro.tools.common import run_service
-from repro.transport import MuxConnectionPool, RetryPolicy, TCPServerTransport
+from repro.tools.common import add_io_arguments, make_server_transport, run_service
+from repro.transport import MuxConnectionPool, RetryPolicy
 
 
 def _parse_origin_server(spec: str):
@@ -78,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory server name for failover "
                              "re-resolution (must be reachable through "
                              "--origin-server)")
+    add_io_arguments(parser)
     return parser
 
 
@@ -98,7 +99,7 @@ def serve(args, ready_event: "threading.Event" = None,
         diff_cache_bytes=args.diff_cache_mb * 1024 * 1024,
         max_staleness=args.max_staleness,
         resolver=resolver)
-    transport = TCPServerTransport(proxy, host=args.host, port=args.port)
+    transport = make_server_transport(proxy, args)
 
     def cleanup() -> None:
         transport.close()
@@ -107,12 +108,18 @@ def serve(args, ready_event: "threading.Event" = None,
             resolver.close()
         pool.close()
 
+    gateway = ""
+    if getattr(transport, "gateway_port", None) is not None:
+        gateway = (f", gateway at http://{transport.gateway_host}:"
+                   f"{transport.gateway_port}")
     return run_service(
         f"[repro-proxy] {args.name!r} listening on "
-        f"{transport.host}:{transport.port}, origin at "
+        f"{transport.host}:{transport.port} [{args.io}]{gateway}, origin at "
         f"{args.origin_host}:{args.origin_port}",
         ready_event, stop_event,
-        ready_attrs={"ready_port": transport.port},
+        ready_attrs={"ready_port": transport.port,
+                     "ready_gateway_port": getattr(transport, "gateway_port",
+                                                   None)},
         cleanup=cleanup)
 
 

@@ -26,8 +26,7 @@ import sys
 import threading
 
 from repro.server import InterWeaveServer
-from repro.tools.common import run_service
-from repro.transport import TCPServerTransport
+from repro.tools.common import add_io_arguments, make_server_transport, run_service
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "backup before degrading to async")
     parser.add_argument("--diff-cache-mb", type=int, default=16,
                         help="diff cache capacity in MiB")
+    add_io_arguments(parser)
     return parser
 
 
@@ -90,7 +90,7 @@ def serve(args, ready_event: "threading.Event" = None,
         recovery = server.recover_segments()
         restored = len(server.segments)
         replayed = sum(applied for applied, _skipped in recovery.values())
-    transport = TCPServerTransport(server, host=args.host, port=args.port)
+    transport = make_server_transport(server, args)
 
     def cleanup() -> None:
         transport.close()
@@ -101,13 +101,19 @@ def serve(args, ready_event: "threading.Event" = None,
             print("[repro-server] final checkpoints written", flush=True)
         server.close()
 
+    gateway = ""
+    if getattr(transport, "gateway_port", None) is not None:
+        gateway = (f", gateway at http://{transport.gateway_host}:"
+                   f"{transport.gateway_port}")
     return run_service(
         f"[repro-server] {args.name!r} ({args.role}) listening on "
-        f"{transport.host}:{transport.port} "
+        f"{transport.host}:{transport.port} [{args.io}]{gateway} "
         f"({restored} segment(s) restored, {replayed} WAL record(s) "
         f"replayed)",
         ready_event, stop_event,
-        ready_attrs={"ready_port": transport.port},
+        ready_attrs={"ready_port": transport.port,
+                     "ready_gateway_port": getattr(transport, "gateway_port",
+                                                   None)},
         cleanup=cleanup)
 
 

@@ -1,0 +1,602 @@
+"""Asyncio server transport: one event loop instead of threads-per-connection.
+
+The thread-per-connection :class:`~repro.transport.tcp.TCPServerTransport`
+spends two OS threads on every socket, which tops out at a few thousand
+connections; this module holds the same wire protocol behind a single
+event loop so one origin can keep tens of thousands of mostly-idle
+clients attached (see ``benchmarks/bench_connscale.py`` for the
+measured crossover).  :class:`AsyncTCPServerTransport` is a drop-in
+behind the ``TCPServerTransport`` surface:
+
+- **same wire protocol** — length-prefixed (nonce, seq) frames, no new
+  tags; clients cannot tell the backends apart;
+- **same dedup semantics** — requests run through the shared
+  :class:`~repro.transport.ReplyCache` (a shared cache may be passed in
+  so retries straddling a restart stay idempotent);
+- **same dispatch contract** — frames are handed to the daemon-thread
+  dispatch pool (the PR 3 Dispatcher thread-safety contract permits
+  concurrent dispatch), and replies are marshalled back onto the loop
+  with ``call_soon_threadsafe``;
+- **same close() contract** — the listening port is released before
+  ``close()`` returns and in-flight dispatches are drained into the
+  reply cache.
+
+Per connection the loop runs one *reader* task (decodes frames, bounded
+by the same in-flight cap as the threaded backend) and one *writer*
+task (coalesces queued replies into one gathered write, the
+``sendmsg``-batching analogue).  Backpressure is explicit: the write
+queue is bounded and a peer that stops reading long enough for a write
+to stall past ``write_stall_timeout`` is dropped — one slow downstream
+can cost itself its connection but can never block the loop.
+
+On the same loop an optional minimal HTTP/1.1 JSON gateway (hand-rolled
+parsing, stdlib only) exposes shared state to non-Python clients:
+``GET /stats`` answers with the dispatcher's GetStats snapshot and
+``GET /segments/{name}`` with a decoded segment image (origin servers
+only).  See ``docs/GATEWAY.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+from typing import Optional
+from urllib.parse import unquote
+
+from repro.obs.metrics import get_registry
+from repro.transport.base import Dispatcher, ReplyCache
+from repro.transport.tcp import (
+    _LEN,
+    _MAX_FRAME,
+    _MAX_REPLY_BATCH,
+    _REPLY_HEADER,
+    _SEQ,
+    RequestFrameCore,
+    _DispatchPool,
+)
+from repro.wire.messages import (
+    ErrorReply,
+    GetStatsReply,
+    GetStatsRequest,
+    decode_message,
+    encode_message,
+)
+
+#: how often the loop-lag probe samples its own scheduling delay
+_LAG_INTERVAL = 0.1
+#: largest HTTP request head (request line + headers) the gateway accepts
+_GATEWAY_HEAD_LIMIT = 16 * 1024
+
+
+class _AioConnection:
+    """Per-connection state: streams, bounded write queue, in-flight cap."""
+
+    __slots__ = ("reader", "writer", "queue", "inflight", "writer_task",
+                 "serve_task", "dropped")
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 queue_frames: int, max_inflight: int):
+        self.reader = reader
+        self.writer = writer
+        self.queue: "asyncio.Queue" = asyncio.Queue(maxsize=queue_frames)
+        self.inflight = asyncio.Semaphore(max_inflight)
+        self.writer_task: Optional[asyncio.Task] = None
+        self.serve_task: Optional[asyncio.Task] = None
+        self.dropped = False
+
+
+class AsyncTCPServerTransport(RequestFrameCore):
+    """Accepts connections on one event loop and feeds a :class:`Dispatcher`.
+
+    The event loop runs in a dedicated daemon thread; the constructor
+    binds the listening socket synchronously, so ``host``/``port`` are
+    available immediately and a ``port=0`` caller learns the chosen
+    port exactly as with the threaded transport.  ``gateway_port``
+    (``None`` = disabled, ``0`` = ephemeral) additionally mounts the
+    HTTP/1.1 JSON gateway on the same loop; the chosen port is exposed
+    as ``gateway_port`` after construction.
+    """
+
+    def __init__(self, dispatcher: Dispatcher, host: str = "127.0.0.1",
+                 port: int = 0, reply_cache: Optional[ReplyCache] = None,
+                 dispatch_workers: int = 8, max_inflight: int = 64,
+                 write_queue_frames: int = 256,
+                 write_stall_timeout: float = 5.0,
+                 gateway_port: Optional[int] = None):
+        self._dispatcher = dispatcher
+        self.reply_cache = reply_cache if reply_cache is not None else ReplyCache()
+        self._max_inflight = max_inflight
+        self._write_queue_frames = max(write_queue_frames, max_inflight)
+        self._write_stall_timeout = write_stall_timeout
+        self._init_frame_metrics()
+        metrics = get_registry()
+        self._m_conn_gauge = metrics.gauge(
+            "server.connections",
+            "connections currently attached to the asyncio server core")
+        self._m_loop_lag = metrics.histogram(
+            "server.loop_lag_seconds",
+            help="event-loop scheduling delay sampled by a periodic probe")
+        self._m_gateway_requests = metrics.counter(
+            "gateway.requests", "HTTP requests answered by the JSON gateway")
+        self._m_slow_drops = metrics.counter(
+            "transport.server.slow_reader_drops",
+            "connections dropped because the peer stopped reading replies")
+        self._pool = _DispatchPool(dispatch_workers)
+        self._dispatch_lock = threading.Lock()
+        self._dispatch_inflight = 0
+        self._dispatch_idle = threading.Event()
+        self._dispatch_idle.set()
+        self._listen_sock = self._bind(host, port)
+        self.host, self.port = self._listen_sock.getsockname()
+        self.gateway_host: Optional[str] = None
+        self.gateway_port: Optional[int] = None
+        self._gw_sock: Optional[socket.socket] = None
+        if gateway_port is not None:
+            self._gw_sock = self._bind(host, gateway_port)
+            self.gateway_host, self.gateway_port = self._gw_sock.getsockname()
+        self._running = True
+        self._conns: "set[_AioConnection]" = set()
+        self._gw_writers: "set[asyncio.StreamWriter]" = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._gw_server: Optional[asyncio.AbstractServer] = None
+        self._lag_task: Optional[asyncio.Task] = None
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-aio-loop", daemon=True)
+        self._thread.start()
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self._start(), self._loop).result(timeout=10.0)
+        except Exception:
+            self.close()
+            raise
+
+    @staticmethod
+    def _bind(host: str, port: int) -> socket.socket:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind((host, port))
+            sock.listen(512)
+        except OSError:
+            sock.close()
+            raise
+        return sock
+
+    # -- event loop lifecycle -------------------------------------------------
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_forever()
+        finally:
+            try:
+                tasks = asyncio.all_tasks(self._loop)
+                for task in tasks:
+                    task.cancel()
+                if tasks:
+                    self._loop.run_until_complete(
+                        asyncio.gather(*tasks, return_exceptions=True))
+                self._loop.run_until_complete(self._loop.shutdown_asyncgens())
+            finally:
+                self._loop.close()
+
+    async def _start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection, sock=self._listen_sock)
+        if self._gw_sock is not None:
+            self._gw_server = await asyncio.start_server(
+                self._on_gateway_connection, sock=self._gw_sock)
+        self._lag_task = self._loop.create_task(self._lag_monitor())
+
+    async def _lag_monitor(self) -> None:
+        """Sample how late the loop wakes from a fixed-interval sleep.
+
+        The delay beyond the requested interval is exactly the time the
+        loop spent unable to schedule new work — the single number that
+        tells an operator the loop (not the dispatch pool) is the
+        bottleneck.
+        """
+        while self._running:
+            target = self._loop.time() + _LAG_INTERVAL
+            await asyncio.sleep(_LAG_INTERVAL)
+            self._m_loop_lag.observe(max(0.0, self._loop.time() - target))
+
+    # -- binary protocol ------------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        if not self._running:
+            writer.close()
+            return
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                # accepted sockets must carry SO_REUSEADDR themselves, or
+                # their TIME_WAIT remnants block a restarted transport
+                # from rebinding the port (same as the threaded backend)
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            except OSError:
+                pass
+        conn = _AioConnection(reader, writer,
+                              self._write_queue_frames, self._max_inflight)
+        conn.serve_task = asyncio.current_task()
+        self._conns.add(conn)
+        self._m_connections.inc()
+        self._m_open.set(len(self._conns))
+        self._m_conn_gauge.set(len(self._conns))
+        conn.writer_task = self._loop.create_task(self._write_loop(conn))
+        try:
+            await self._read_loop(conn)
+        finally:
+            # replies still in flight when the reader exits are for a
+            # client that is gone (or a transport shutting down): the
+            # sentinel lets the writer drain what is already queued
+            self._put_sentinel(conn)
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(conn.writer_task), timeout=5.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError, Exception):
+                conn.writer_task.cancel()
+            self._conns.discard(conn)
+            self._m_open.set(len(self._conns))
+            self._m_conn_gauge.set(len(self._conns))
+            self._close_writer(writer)
+
+    async def _read_loop(self, conn: _AioConnection) -> None:
+        reader = conn.reader
+        while self._running and not conn.dropped:
+            try:
+                header = await reader.readexactly(_LEN.size)
+                (length,) = _LEN.unpack(header)
+                if length > _MAX_FRAME:
+                    return  # framing is lost, drop the link
+                frame = await reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return
+            # bounds dispatches in flight for this connection: a client
+            # that floods frames faster than the dispatcher drains them
+            # stalls in the kernel receive path instead of growing the
+            # pool queue unboundedly
+            await conn.inflight.acquire()
+            if not self._running or conn.dropped:
+                return
+            with self._dispatch_lock:
+                self._dispatch_inflight += 1
+                self._dispatch_idle.clear()
+            self._pool.submit(
+                lambda f=frame, c=conn: self._dispatch_to_loop(c, f))
+
+    def _dispatch_to_loop(self, conn: _AioConnection, frame: bytes) -> None:
+        """Pool task (dispatch thread): handle one frame, marshal the
+        reply back onto the event loop."""
+        try:
+            item = self._handle_frame(frame) + (time.perf_counter(),)
+            try:
+                self._loop.call_soon_threadsafe(self._deliver, conn, item)
+            except RuntimeError:
+                pass  # loop already closed; the reply is in the cache
+        finally:
+            with self._dispatch_lock:
+                self._dispatch_inflight -= 1
+                if self._dispatch_inflight == 0:
+                    self._dispatch_idle.set()
+
+    def _deliver(self, conn: _AioConnection, item) -> None:
+        """Loop callback: release the in-flight slot and queue the reply."""
+        conn.inflight.release()
+        if conn.dropped:
+            return
+        try:
+            conn.queue.put_nowait(item)
+        except asyncio.QueueFull:
+            # the writer has been wedged long enough for a full in-flight
+            # window to pile up behind it: treat as a slow reader
+            self._drop_slow(conn)
+
+    def _put_sentinel(self, conn: _AioConnection) -> None:
+        try:
+            conn.queue.put_nowait(None)
+        except asyncio.QueueFull:
+            conn.writer_task.cancel()
+
+    def _drop_slow(self, conn: _AioConnection) -> None:
+        if conn.dropped:
+            return
+        conn.dropped = True
+        self._m_slow_drops.inc()
+        transport = conn.writer.transport
+        if transport is not None:
+            transport.abort()  # discards buffered bytes, fails the reader
+
+    async def _write_loop(self, conn: _AioConnection) -> None:
+        """Per-connection writer: drain replies, batching opportunistically.
+
+        Mirrors the threaded backend's writer: block for the first
+        reply, then gather whatever else queued up (bounded by
+        ``_MAX_REPLY_BATCH``) into one ``writelines``.  ``drain()``
+        bounded by ``write_stall_timeout`` is the slow-reader guard: a
+        peer that stops reading long enough for the send buffer to stay
+        full past the deadline is dropped, not waited on.
+        """
+        queue = conn.queue
+        writer = conn.writer
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            batch = [item]
+            finished = False
+            while len(batch) < _MAX_REPLY_BATCH:
+                try:
+                    nxt = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is None:
+                    finished = True
+                    break
+                batch.append(nxt)
+            now = time.perf_counter()
+            buffers = []
+            for nonce, seq, reply, enqueued in batch:
+                self._m_reply_queue_wait.observe(now - enqueued)
+                buffers.append(_LEN.pack(_REPLY_HEADER + len(reply)))
+                buffers.append(_SEQ.pack(nonce))
+                buffers.append(_SEQ.pack(seq))
+                buffers.append(reply)
+            self._m_reply_batch.observe(len(batch))
+            try:
+                writer.writelines(buffers)
+                await asyncio.wait_for(writer.drain(),
+                                       timeout=self._write_stall_timeout)
+            except asyncio.TimeoutError:
+                self._drop_slow(conn)
+                return
+            except (ConnectionError, OSError):
+                return
+            if finished:
+                return
+
+    # -- HTTP/1.1 JSON gateway ------------------------------------------------
+
+    async def _on_gateway_connection(self, reader: asyncio.StreamReader,
+                                     writer: asyncio.StreamWriter) -> None:
+        self._gw_writers.add(writer)
+        try:
+            while self._running:
+                try:
+                    head = await asyncio.wait_for(
+                        reader.readuntil(b"\r\n\r\n"), timeout=30.0)
+                except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                        ConnectionError, OSError):
+                    return
+                except asyncio.LimitOverrunError:
+                    await self._gateway_respond(
+                        writer, 431, {"error": "request head too large"})
+                    return
+                if len(head) > _GATEWAY_HEAD_LIMIT:
+                    await self._gateway_respond(
+                        writer, 431, {"error": "request head too large"})
+                    return
+                keep_alive = await self._gateway_handle(writer, head)
+                if not keep_alive:
+                    return
+        finally:
+            self._gw_writers.discard(writer)
+            self._close_writer(writer)
+
+    async def _gateway_handle(self, writer: asyncio.StreamWriter,
+                              head: bytes) -> bool:
+        """Parse one request head, route it, write the response.
+
+        Returns whether the connection should stay open (HTTP/1.1
+        keep-alive unless the client asked to close).  Requests with
+        bodies are rejected — the gateway is read-only, so nothing ever
+        needs to consume an entity body.
+        """
+        self._m_gateway_requests.inc()
+        try:
+            request_line, *header_lines = head.decode("latin-1").split("\r\n")
+            method, target, version = request_line.split(" ", 2)
+        except ValueError:
+            await self._gateway_respond(
+                writer, 400, {"error": "malformed request line"}, close=True)
+            return False
+        headers = {}
+        for line in header_lines:
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        keep_alive = (version.upper() != "HTTP/1.0"
+                      and headers.get("connection", "").lower() != "close")
+        has_body = (headers.get("content-length", "0") not in ("", "0")
+                    or "chunked" in headers.get("transfer-encoding", "").lower())
+        if method.upper() != "GET":
+            # answer 405 before the body complaint — but a body we will
+            # not read means the connection cannot be reused
+            await self._gateway_respond(
+                writer, 405, {"error": f"method {method} not allowed"},
+                keep_alive=keep_alive and not has_body,
+                close=has_body)
+            return keep_alive and not has_body
+        if has_body:
+            await self._gateway_respond(
+                writer, 400, {"error": "request bodies are not accepted"},
+                close=True)
+            return False
+        path = target.split("?", 1)[0]
+        try:
+            if path == "/stats":
+                status, body = await self._gateway_stats()
+            elif path.startswith("/segments/") and len(path) > len("/segments/"):
+                name = unquote(path[len("/segments/"):])
+                status, body = await self._gateway_segment(name)
+            else:
+                status, body = 404, {"error": f"no route for {path}"}
+        except Exception as exc:  # noqa: BLE001 — a handler bug must answer
+            status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        await self._gateway_respond(writer, status, body, keep_alive=keep_alive)
+        return keep_alive
+
+    async def _gateway_stats(self):
+        """Mirror GetStats by dispatching the real request: every role
+        (server, proxy, directory) answers it, so the gateway works
+        wherever the transport is mounted."""
+        payload = encode_message(GetStatsRequest("gateway"))
+        reply = decode_message(await self._run_on_pool(
+            lambda: self._dispatcher.dispatch("gateway", payload)))
+        if isinstance(reply, GetStatsReply):
+            return 200, reply.payload
+        return 502, {"error": getattr(reply, "message", str(reply))}
+
+    async def _gateway_segment(self, name: str):
+        read_segment = getattr(self._dispatcher, "read_segment_json", None)
+        if read_segment is None:
+            return 501, {"error": "segment reads require an origin server "
+                                  "(this endpoint serves stats only)"}
+        from repro.errors import ServerError
+
+        try:
+            snapshot = await self._run_on_pool(lambda: read_segment(name))
+        except ServerError as exc:
+            return 404, {"error": str(exc)}
+        return 200, snapshot
+
+    async def _run_on_pool(self, func):
+        """Run blocking work on the dispatch pool, await the result.
+
+        The pool's daemon FIFO workers are reused instead of a
+        ``ThreadPoolExecutor`` so a wedged handler can never block
+        interpreter exit (executor threads are joined at shutdown)."""
+        future = self._loop.create_future()
+
+        def task():
+            try:
+                result = func()
+            except BaseException as exc:  # noqa: BLE001 — marshal, don't lose
+                self._loop.call_soon_threadsafe(self._resolve, future, None, exc)
+            else:
+                self._loop.call_soon_threadsafe(self._resolve, future, result, None)
+
+        self._pool.submit(task)
+        return await future
+
+    @staticmethod
+    def _resolve(future: "asyncio.Future", result, error) -> None:
+        if future.done():
+            return
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+
+    async def _gateway_respond(self, writer: asyncio.StreamWriter, status: int,
+                               body, keep_alive: bool = True,
+                               close: bool = False) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   405: "Method Not Allowed", 431: "Request Header Fields Too Large",
+                   500: "Internal Server Error", 501: "Not Implemented",
+                   502: "Bad Gateway"}
+        if isinstance(body, str):
+            payload = body.encode("utf-8")
+        else:
+            payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        connection = "close" if (close or not keep_alive) else "keep-alive"
+        head = (f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: {connection}\r\n\r\n")
+        try:
+            writer.write(head.encode("latin-1") + payload)
+            await asyncio.wait_for(writer.drain(),
+                                   timeout=self._write_stall_timeout)
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+
+    # -- introspection (tests, stats) -----------------------------------------
+
+    def connection_count(self) -> int:
+        """Connections currently attached (binary protocol only)."""
+        return len(self._conns)
+
+    def task_count(self) -> int:
+        """Tasks alive on the loop (readers, writers, servers, probes)."""
+        if not self._loop.is_running():
+            return 0
+        future = asyncio.run_coroutine_threadsafe(self._count_tasks(), self._loop)
+        return future.result(timeout=5.0)
+
+    async def _count_tasks(self) -> int:
+        return len(asyncio.all_tasks(self._loop))
+
+    # -- shutdown -------------------------------------------------------------
+
+    @staticmethod
+    def _close_writer(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+        if self._gw_server is not None:
+            self._gw_server.close()
+        if self._lag_task is not None:
+            self._lag_task.cancel()
+        # mirror the threaded close(): force connections closed (their
+        # readers fail, their writers see the sentinel or a dead socket)
+        # rather than waiting for queued replies to clients that will
+        # never be answered
+        for conn in list(self._conns):
+            conn.dropped = True
+            transport = conn.writer.transport
+            if transport is not None:
+                transport.abort()
+        for writer in list(self._gw_writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        serve_tasks = [conn.serve_task for conn in list(self._conns)
+                       if conn.serve_task is not None]
+        if serve_tasks:
+            await asyncio.wait(serve_tasks, timeout=3.0)
+        if self._server is not None:
+            try:
+                await asyncio.wait_for(self._server.wait_closed(), timeout=1.0)
+            except asyncio.TimeoutError:
+                pass
+
+    def close(self) -> None:
+        self._running = False
+        if self._loop.is_running():
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self._shutdown(), self._loop).result(timeout=10.0)
+            except Exception:
+                pass
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        # drain in-flight dispatches, bounded exactly like the threaded
+        # backend's per-thread join: a handler wedged past the timeout
+        # must not block shutdown or interpreter exit
+        self._dispatch_idle.wait(timeout=1.0)
+        self._thread.join(timeout=5.0)
+        # belt and braces: if the loop wedged before closing its servers,
+        # closing the raw sockets here still releases the ports
+        # synchronously (socket.close() is idempotent)
+        for sock in (self._listen_sock, self._gw_sock):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._conns.clear()
+        self._m_open.set(0)
+        self._m_conn_gauge.set(0)
+        self._pool.close()

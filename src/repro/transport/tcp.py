@@ -347,6 +347,81 @@ class TCPChannel(Channel):
         self._break()
 
 
+class RequestFrameCore:
+    """Shared request-frame decode/dispatch core for server transports.
+
+    Both the thread-per-connection server below and the asyncio server
+    (``repro.transport.aio``) speak the identical wire protocol and
+    answer through the same :class:`ReplyCache`; this mixin keeps the
+    header parsing, dedup, and error-answering semantics in one place so
+    the two backends cannot drift.  Subclasses must set
+    ``self._dispatcher`` and ``self.reply_cache`` before calling
+    :meth:`_init_frame_metrics`.
+    """
+
+    def _init_frame_metrics(self) -> None:
+        metrics = get_registry()
+        self._m_connections = metrics.counter(
+            "transport.server.connections", "TCP connections accepted")
+        self._m_open = metrics.gauge(
+            "transport.server.open_connections", "TCP connections currently open")
+        self._m_requests = metrics.counter(
+            "transport.server.requests", "frames dispatched by the TCP server")
+        self._m_bytes_received = metrics.counter(
+            "transport.server.bytes_received", "request frame bytes received")
+        self._m_bytes_sent = metrics.counter(
+            "transport.server.bytes_sent", "reply frame bytes sent")
+        self._m_frame_errors = metrics.counter(
+            "transport.server.frame_errors",
+            "malformed frames answered with ErrorReply")
+        self._m_dispatch_errors = metrics.counter(
+            "transport.server.dispatch_errors",
+            "dispatcher exceptions answered with ErrorReply")
+        self._m_reply_batch = metrics.histogram(
+            "transport.server.reply_batch_frames",
+            help="reply frames coalesced into each sendmsg batch")
+        self._m_reply_queue_wait = metrics.histogram(
+            "transport.server.reply_queue_wait_seconds",
+            help="time replies spent queued behind the per-connection writer")
+
+    def _handle_frame(self, frame: bytes) -> Tuple[int, int, bytes]:
+        """Decode one request frame, dispatch it, return (nonce, seq, reply).
+
+        A malformed header (short client-id prefix, bad UTF-8, missing
+        nonce or sequence number) or a dispatcher exception must not kill
+        the connection: both are answered with an encoded ErrorReply so
+        the client sees a typed failure and the connection survives.  A
+        reply to an unparseable header carries the reserved ``(0, 0)``
+        identity, since the request's own could not be read.
+        """
+        try:
+            (id_length,) = _LEN.unpack_from(frame, 0)
+            header_end = _LEN.size + id_length + 2 * _SEQ.size
+            if header_end > len(frame):
+                raise TransportError(
+                    f"request header claims {id_length} id bytes but the "
+                    f"frame holds {len(frame)}")
+            client_id = frame[_LEN.size:_LEN.size + id_length].decode("utf-8")
+            (nonce,) = _SEQ.unpack_from(frame, _LEN.size + id_length)
+            (seq,) = _SEQ.unpack_from(frame, _LEN.size + id_length + _SEQ.size)
+            payload = frame[header_end:]
+        except (struct.error, UnicodeDecodeError, TransportError) as exc:
+            self._m_frame_errors.inc()
+            return 0, 0, encode_message(ErrorReply(f"malformed request frame: {exc}"))
+        self._m_requests.inc()
+        self._m_bytes_received.inc(len(frame))
+        try:
+            reply = self.reply_cache.execute(
+                client_id, seq,
+                lambda: self._dispatcher.dispatch(client_id, payload),
+                nonce=nonce)
+        except Exception as exc:  # noqa: BLE001 — any dispatcher bug
+            self._m_dispatch_errors.inc()
+            reply = encode_message(ErrorReply(f"request failed: {exc}"))
+        self._m_bytes_sent.inc(len(reply))
+        return nonce, seq, reply
+
+
 class _DispatchPool:
     """A fixed pool of daemon worker threads with FIFO start order.
 
@@ -388,7 +463,7 @@ class _DispatchPool:
             self._queue.put(None)
 
 
-class TCPServerTransport:
+class TCPServerTransport(RequestFrameCore):
     """Accepts connections and feeds requests to a :class:`Dispatcher`.
 
     One *reader* thread per connection decodes frames and submits them
@@ -413,34 +488,14 @@ class TCPServerTransport:
         self._dispatcher = dispatcher
         self.reply_cache = reply_cache if reply_cache is not None else ReplyCache()
         self._max_inflight = max_inflight
-        metrics = get_registry()
-        self._m_connections = metrics.counter(
-            "transport.server.connections", "TCP connections accepted")
-        self._m_open = metrics.gauge(
-            "transport.server.open_connections", "TCP connections currently open")
-        self._m_requests = metrics.counter(
-            "transport.server.requests", "frames dispatched by the TCP server")
-        self._m_bytes_received = metrics.counter(
-            "transport.server.bytes_received", "request frame bytes received")
-        self._m_bytes_sent = metrics.counter(
-            "transport.server.bytes_sent", "reply frame bytes sent")
-        self._m_frame_errors = metrics.counter(
-            "transport.server.frame_errors",
-            "malformed frames answered with ErrorReply")
-        self._m_dispatch_errors = metrics.counter(
-            "transport.server.dispatch_errors",
-            "dispatcher exceptions answered with ErrorReply")
-        self._m_reply_batch = metrics.histogram(
-            "transport.server.reply_batch_frames",
-            help="reply frames coalesced into each sendmsg batch")
-        self._m_reply_queue_wait = metrics.histogram(
-            "transport.server.reply_queue_wait_seconds",
-            help="time replies spent queued behind the per-connection writer")
+        self._init_frame_metrics()
         self._pool = _DispatchPool(dispatch_workers)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(16)
+        # deep backlog: a reconnect storm after a failover (or the
+        # connection-scale bench) arrives faster than threads spawn
+        self._listener.listen(512)
         self.host, self.port = self._listener.getsockname()
         self._running = True
         self._threads = []
@@ -465,11 +520,9 @@ class TCPServerTransport:
                 self._conns.add(conn)
                 self._m_open.set(len(self._conns))
             thread = threading.Thread(target=self._serve, args=(conn,), daemon=True)
+            with self._conn_lock:
+                self._threads.append(thread)
             thread.start()
-            # reap finished connection threads so churn cannot grow the
-            # list without bound
-            self._threads = [t for t in self._threads if t.is_alive()]
-            self._threads.append(thread)
 
     def _serve(self, conn: socket.socket) -> None:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -511,6 +564,13 @@ class TCPServerTransport:
             with self._conn_lock:
                 self._conns.discard(conn)
                 self._m_open.set(len(self._conns))
+                # reap this connection's thread record as the connection
+                # closes: a burst-then-idle workload must not pin the
+                # peak thread-object list until the next accept
+                try:
+                    self._threads.remove(threading.current_thread())
+                except ValueError:
+                    pass  # already reaped by close()
             try:
                 conn.close()
             except OSError:
@@ -567,43 +627,6 @@ class TCPServerTransport:
             if finished:
                 return
 
-    def _handle_frame(self, frame: bytes) -> Tuple[int, int, bytes]:
-        """Decode one request frame, dispatch it, return (nonce, seq, reply).
-
-        A malformed header (short client-id prefix, bad UTF-8, missing
-        nonce or sequence number) or a dispatcher exception must not kill
-        the connection: both are answered with an encoded ErrorReply so
-        the client sees a typed failure and the connection survives.  A
-        reply to an unparseable header carries the reserved ``(0, 0)``
-        identity, since the request's own could not be read.
-        """
-        try:
-            (id_length,) = _LEN.unpack_from(frame, 0)
-            header_end = _LEN.size + id_length + 2 * _SEQ.size
-            if header_end > len(frame):
-                raise TransportError(
-                    f"request header claims {id_length} id bytes but the "
-                    f"frame holds {len(frame)}")
-            client_id = frame[_LEN.size:_LEN.size + id_length].decode("utf-8")
-            (nonce,) = _SEQ.unpack_from(frame, _LEN.size + id_length)
-            (seq,) = _SEQ.unpack_from(frame, _LEN.size + id_length + _SEQ.size)
-            payload = frame[header_end:]
-        except (struct.error, UnicodeDecodeError, TransportError) as exc:
-            self._m_frame_errors.inc()
-            return 0, 0, encode_message(ErrorReply(f"malformed request frame: {exc}"))
-        self._m_requests.inc()
-        self._m_bytes_received.inc(len(frame))
-        try:
-            reply = self.reply_cache.execute(
-                client_id, seq,
-                lambda: self._dispatcher.dispatch(client_id, payload),
-                nonce=nonce)
-        except Exception as exc:  # noqa: BLE001 — any dispatcher bug
-            self._m_dispatch_errors.inc()
-            reply = encode_message(ErrorReply(f"request failed: {exc}"))
-        self._m_bytes_sent.inc(len(reply))
-        return nonce, seq, reply
-
     def close(self) -> None:
         self._running = False
         # shutdown() wakes the thread blocked in accept(); close() alone
@@ -631,7 +654,8 @@ class TCPServerTransport:
             except OSError:
                 pass
         self._accept_thread.join(timeout=1.0)
-        for thread in self._threads:
+        with self._conn_lock:
+            threads, self._threads = self._threads, []
+        for thread in threads:
             thread.join(timeout=1.0)
-        self._threads = []
         self._pool.close()

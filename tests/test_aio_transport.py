@@ -1,0 +1,280 @@
+"""Asyncio server core: connection churn at scale, slow-reader
+isolation, and the HTTP/1.1 JSON gateway.
+
+The reconnect/dedup/fault matrix runs against this backend through the
+parametrized suites (``test_transport.py``, ``test_pipelining.py``,
+``test_robustness.py``); this file covers what only the asyncio core
+has — resource hygiene under churn, the bounded write path, and the
+gateway mounted on the same loop.
+"""
+
+import json
+import os
+import socket
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro import InterWeaveClient, InterWeaveServer
+from repro.arch import X86_64
+from repro.client import ClientOptions
+from repro.errors import TransportError
+from repro.transport import AsyncTCPServerTransport, Dispatcher, TCPChannel
+from repro.transport.tcp import request_frame_buffers
+from repro.types import INT, ArrayDescriptor, StringDescriptor
+
+
+class EchoServer(Dispatcher):
+    def dispatch(self, client_id, data):
+        return b"echo:" + data
+
+
+def _fd_count():
+    return len(os.listdir("/proc/self/fd"))
+
+
+def _wait_until(predicate, timeout=10.0, message="condition never held"):
+    deadline = time.time() + timeout
+    while not predicate():
+        assert time.time() < deadline, message
+        time.sleep(0.02)
+
+
+# ---------------------------------------------------------------------------
+# connection churn at scale
+# ---------------------------------------------------------------------------
+
+class TestConnectionChurn:
+    def test_2k_open_close_soak_returns_to_baseline(self):
+        """2000 connections opened and closed must leave no fd, task, or
+        connection-record residue — reap-on-close, not reap-on-accept."""
+        transport = AsyncTCPServerTransport(EchoServer())
+        try:
+            # settle, then take baselines with the server idle
+            probe = TCPChannel("127.0.0.1", transport.port, "probe")
+            probe.request(b"warm")
+            probe.close()
+            _wait_until(lambda: transport.connection_count() == 0)
+            fd_base = _fd_count()
+            task_base = transport.task_count()
+
+            for batch in range(20):  # 20 x 100 = 2000 connections
+                socks = []
+                for i in range(100):
+                    sock = socket.create_connection(
+                        ("127.0.0.1", transport.port), timeout=5.0)
+                    socks.append(sock)
+                # every other batch talks before closing, so the soak
+                # covers both used and idle (accept-then-drop) churn
+                if batch % 2 == 0:
+                    for i, sock in enumerate(socks):
+                        sock.sendall(b"".join(request_frame_buffers(
+                            b"churn", 7, i + 1, b"ping")))
+                    for sock in socks:
+                        sock.recv(4)  # first reply bytes = server answered
+                for sock in socks:
+                    sock.close()
+
+            _wait_until(lambda: transport.connection_count() == 0,
+                        message="connection records leaked after churn")
+            _wait_until(lambda: _fd_count() <= fd_base,
+                        message=f"fds leaked: {_fd_count()} > {fd_base}")
+            _wait_until(lambda: transport.task_count() <= task_base,
+                        message=f"tasks leaked: {transport.task_count()} "
+                                f"> {task_base}")
+        finally:
+            transport.close()
+
+
+# ---------------------------------------------------------------------------
+# slow readers cannot block the loop
+# ---------------------------------------------------------------------------
+
+class TestSlowReader:
+    def test_stalled_downstream_is_dropped_not_the_server(self):
+        """A client that sends requests but never reads replies fills its
+        socket and the bounded write queue; the server must drop that one
+        connection (write-stall timeout) while the loop keeps serving
+        everyone else at full speed."""
+        transport = AsyncTCPServerTransport(
+            EchoServer(), max_inflight=16, write_queue_frames=16,
+            write_stall_timeout=0.3)
+        stalled = socket.create_connection(("127.0.0.1", transport.port),
+                                           timeout=5.0)
+        healthy = TCPChannel("127.0.0.1", transport.port, "healthy")
+        try:
+            # big replies fill the kernel socket buffers fast, then the
+            # write queue, then the drain stall fires
+            payload = b"x" * (256 * 1024)
+            seq = 0
+            dropped = False
+            deadline = time.time() + 15.0
+            stalled.settimeout(0.5)
+            while time.time() < deadline and not dropped:
+                try:
+                    for _ in range(8):
+                        seq += 1
+                        stalled.sendall(b"".join(request_frame_buffers(
+                            b"stall", 9, seq, payload)))
+                except (BrokenPipeError, ConnectionResetError,
+                        socket.timeout, OSError):
+                    dropped = True
+            # ...and while the stalled link was being wedged, a healthy
+            # client on the same loop stays responsive
+            started = time.perf_counter()
+            assert healthy.request(b"hi") == b"echo:hi"
+            assert time.perf_counter() - started < 2.0
+            assert dropped, "server never dropped the stalled connection"
+            _wait_until(
+                lambda: transport._m_slow_drops.value >= 1,
+                message="slow-reader drop was not counted")
+            _wait_until(lambda: transport.connection_count() == 1,
+                        message="dropped connection record lingered")
+            assert healthy.request(b"still") == b"echo:still"
+        finally:
+            stalled.close()
+            healthy.close()
+            transport.close()
+
+
+# ---------------------------------------------------------------------------
+# the HTTP/1.1 JSON gateway
+# ---------------------------------------------------------------------------
+
+def _http_get(port, path, timeout=5.0):
+    request = urllib.request.Request(f"http://127.0.0.1:{port}{path}")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+class TestGateway:
+    @pytest.fixture
+    def server(self):
+        dispatcher = InterWeaveServer("s")
+        transport = AsyncTCPServerTransport(dispatcher, gateway_port=0)
+        yield transport, dispatcher
+        transport.close()
+
+    def _publish(self, transport):
+        client = InterWeaveClient(
+            "pub", X86_64,
+            lambda name, client_id: TCPChannel("127.0.0.1", transport.port,
+                                               client_id),
+            options=ClientOptions(enable_notifications=False))
+        try:
+            seg = client.open_segment("s/gw")
+            client.wl_acquire(seg)
+            values = client.malloc(seg, ArrayDescriptor(INT, 3), name="ints")
+            for i in range(3):
+                values.element_accessor(i).set(10 * (i + 1))
+            client.malloc(seg, StringDescriptor(32), name="label").set("hi")
+            client.wl_release(seg)
+        finally:
+            client.close()
+
+    def test_get_segment_returns_decoded_contents_and_version(self, server):
+        transport, _dispatcher = server
+        self._publish(transport)
+        status, body = _http_get(transport.gateway_port, "/segments/s/gw")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["segment"] == "s/gw"
+        assert doc["version"] == 1
+        blocks = {block["name"]: block for block in doc["blocks"]}
+        assert blocks["ints"]["values"] == [10, 20, 30]
+        assert blocks["label"]["values"] == ["hi"]
+
+    def test_get_unknown_segment_is_404(self, server):
+        transport, _dispatcher = server
+        status, body = _http_get(transport.gateway_port, "/segments/s/nope")
+        assert status == 404
+        assert "error" in json.loads(body)
+
+    def test_get_stats_mirrors_getstats(self, server):
+        transport, dispatcher = server
+        self._publish(transport)
+        status, body = _http_get(transport.gateway_port, "/stats")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["server"]["name"] == "s"
+        assert (dispatcher.stats_snapshot()["server"]["segments"]
+                == doc["server"]["segments"])
+
+    def test_unknown_path_is_404_and_post_is_405(self, server):
+        transport, _dispatcher = server
+        assert _http_get(transport.gateway_port, "/nope")[0] == 404
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{transport.gateway_port}/stats",
+            data=b"{}", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5.0)
+        assert excinfo.value.code == 405
+
+    def test_segments_route_is_501_without_segment_access(self):
+        """Relays and directories answer /stats but have no segment
+        table; the gateway says so instead of crashing."""
+        transport = AsyncTCPServerTransport(EchoServer(), gateway_port=0)
+        try:
+            status, body = _http_get(transport.gateway_port, "/segments/x")
+            assert status == 501
+        finally:
+            transport.close()
+
+    def test_keep_alive_serves_sequential_requests_on_one_socket(self, server):
+        transport, _dispatcher = server
+        sock = socket.create_connection(
+            ("127.0.0.1", transport.gateway_port), timeout=5.0)
+        try:
+            for _ in range(3):
+                sock.sendall(b"GET /stats HTTP/1.1\r\n"
+                             b"Host: x\r\n\r\n")
+                head = b""
+                while b"\r\n\r\n" not in head:
+                    head += sock.recv(1)
+                headers = head.decode("latin-1").lower()
+                assert " 200 " in headers.splitlines()[0]
+                length = int(headers.split("content-length:")[1]
+                             .split("\r\n")[0])
+                body = b""
+                while len(body) < length:
+                    body += sock.recv(length - len(body))
+                json.loads(body)
+        finally:
+            sock.close()
+
+
+class TestCloseContract:
+    def test_close_drains_inflight_dispatches(self):
+        """close() must not return while dispatcher threads are still
+        running request handlers (the drain half of the contract)."""
+        release = threading.Event()
+        inside = threading.Event()
+
+        class Stalling(Dispatcher):
+            def dispatch(self, client_id, data):
+                inside.set()
+                release.wait(timeout=5.0)
+                return data
+
+        transport = AsyncTCPServerTransport(Stalling())
+        channel = TCPChannel("127.0.0.1", transport.port, "c", timeout=0.3)
+        try:
+            with pytest.raises(TransportError):
+                channel.request(b"wedge")  # times out; dispatch keeps going
+            inside.wait(timeout=5.0)
+            closer = threading.Thread(target=transport.close)
+            closer.start()
+            time.sleep(0.2)
+            assert closer.is_alive(), "close() returned mid-dispatch"
+            release.set()
+            closer.join(timeout=10.0)
+            assert not closer.is_alive()
+        finally:
+            release.set()
+            channel.close()
+            transport.close()

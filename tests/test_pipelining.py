@@ -12,6 +12,8 @@ import time
 
 import pytest
 
+from tests._support import SERVER_BACKENDS, make_server_transport
+
 from repro import (
     ClientOptions,
     InterWeaveClient,
@@ -30,7 +32,6 @@ from repro.transport import (
     MultiplexingChannel,
     MuxConnectionPool,
     RetryPolicy,
-    TCPServerTransport,
 )
 from repro.transport.base import Dispatcher, ReplyCache
 from repro.types import INT
@@ -72,9 +73,15 @@ class CountingServer(Dispatcher):
         return b"echo:" + data
 
 
+@pytest.fixture(params=SERVER_BACKENDS)
+def backend(request):
+    """Run each transport-facing test against both server backends."""
+    return request.param
+
+
 @pytest.fixture
-def echo_transport():
-    transport = TCPServerTransport(EchoServer())
+def echo_transport(backend):
+    transport = make_server_transport(backend, EchoServer())
     yield transport
     transport.close()
 
@@ -90,10 +97,10 @@ def _mux(transport, client_id="m", timeout=2.0, retry=None):
 # ---------------------------------------------------------------------------
 
 class TestOutOfOrderDelivery:
-    def test_fast_reply_overtakes_slow_request(self):
+    def test_fast_reply_overtakes_slow_request(self, backend):
         dispatcher = SlowFastServer(delay=0.1)
         dispatcher.release.clear()  # hold the slow dispatch open
-        transport = TCPServerTransport(dispatcher)
+        transport = make_server_transport(backend, dispatcher)
         channel = _mux(transport)
         try:
             slow = channel.submit(b"slow:a")
@@ -150,10 +157,10 @@ class TestOutOfOrderDelivery:
 # ---------------------------------------------------------------------------
 
 class TestFailureIsolation:
-    def test_timed_out_request_fails_alone(self):
+    def test_timed_out_request_fails_alone(self, backend):
         dispatcher = SlowFastServer(delay=0.0)
         dispatcher.release.clear()
-        transport = TCPServerTransport(dispatcher)
+        transport = make_server_transport(backend, dispatcher)
         channel = _mux(transport, timeout=0.3)
         try:
             results = {}
@@ -200,10 +207,10 @@ class TestFailureIsolation:
             clean.close()
             pool.close()
 
-    def test_orphan_reply_is_counted_not_delivered(self):
+    def test_orphan_reply_is_counted_not_delivered(self, backend):
         dispatcher = SlowFastServer(delay=0.0)
         dispatcher.release.clear()
-        transport = TCPServerTransport(dispatcher)
+        transport = make_server_transport(backend, dispatcher)
         channel = _mux(transport, timeout=0.2)
         try:
             with pytest.raises(TransportTimeout):
@@ -225,9 +232,9 @@ class TestFailureIsolation:
 # ---------------------------------------------------------------------------
 
 class TestPipelinedRetryDedup:
-    def test_reconnect_resends_window_and_dedups(self):
+    def test_reconnect_resends_window_and_dedups(self, backend):
         dispatcher = CountingServer(delay=0.25)
-        transport = TCPServerTransport(dispatcher)
+        transport = make_server_transport(backend, dispatcher)
         channel = _mux(transport, timeout=5.0,
                        retry=RetryPolicy(max_attempts=8, base_delay=0.05,
                                          max_delay=0.3, seed=2003))
@@ -255,9 +262,10 @@ class TestPipelinedRetryDedup:
             channel.close()
             transport.close()
 
-    def test_server_restart_mid_window_dedups_through_shared_cache(self):
+    def test_server_restart_mid_window_dedups_through_shared_cache(
+            self, backend):
         dispatcher = CountingServer(delay=0.15)
-        transports = [TCPServerTransport(dispatcher)]
+        transports = [make_server_transport(backend, dispatcher)]
         port = transports[0].port
         channel = _mux(transports[0], timeout=5.0,
                        retry=RetryPolicy(max_attempts=10, base_delay=0.05,
@@ -275,8 +283,8 @@ class TestPipelinedRetryDedup:
             time.sleep(0.08)  # mid-window, dispatches in progress
             old = transports[-1]
             old.close()
-            transports.append(TCPServerTransport(
-                dispatcher, port=port, reply_cache=old.reply_cache))
+            transports.append(make_server_transport(
+                backend, dispatcher, port=port, reply_cache=old.reply_cache))
             for thread in threads:
                 thread.join()
             for payload in payloads:
@@ -288,8 +296,8 @@ class TestPipelinedRetryDedup:
             channel.close()
             transports[-1].close()
 
-    def test_retry_exhaustion_when_server_stays_down(self):
-        transport = TCPServerTransport(EchoServer())
+    def test_retry_exhaustion_when_server_stays_down(self, backend):
+        transport = make_server_transport(backend, EchoServer())
         channel = _mux(transport, timeout=1.0,
                        retry=RetryPolicy(max_attempts=3, base_delay=0.02,
                                          max_delay=0.05, seed=1))
@@ -341,9 +349,9 @@ class TestPipelinedRetryDedup:
 # ---------------------------------------------------------------------------
 
 class TestClientOverSharedConnection:
-    def test_two_clients_share_one_socket_and_stay_coherent(self):
+    def test_two_clients_share_one_socket_and_stay_coherent(self, backend):
         server = InterWeaveServer("s")
-        transport = TCPServerTransport(server)
+        transport = make_server_transport(backend, server)
         pool = MuxConnectionPool({"s": ("127.0.0.1", transport.port)},
                                  timeout=5.0,
                                  retry=RetryPolicy(max_attempts=4, seed=3))
@@ -376,11 +384,11 @@ class TestClientOverSharedConnection:
             pool.close()
             transport.close()
 
-    def test_lease_expiry_holds_over_multiplexed_channel(self):
+    def test_lease_expiry_holds_over_multiplexed_channel(self, backend):
         # a dead virtual channel's write lease must lapse and be
         # reclaimed exactly as with the serial transport
         server = InterWeaveServer("s", lease_duration=0.4)
-        transport = TCPServerTransport(server)
+        transport = make_server_transport(backend, server)
         pool = MuxConnectionPool({"s": ("127.0.0.1", transport.port)},
                                  timeout=5.0)
         dead = InterWeaveClient(

@@ -10,6 +10,8 @@ import time
 
 import pytest
 
+from tests._support import SERVER_BACKENDS, make_server_transport
+
 from repro import (
     ClientOptions,
     InProcHub,
@@ -34,7 +36,6 @@ from repro.transport import (
     RetryingChannel,
     RetryPolicy,
     TCPChannel,
-    TCPServerTransport,
     is_retryable,
 )
 from repro.obs.metrics import get_registry
@@ -157,11 +158,12 @@ class TestFaultInjection:
         plan = dict(drop_request=0.3, drop_reply=0.1, disconnect=0.1)
         assert run(FaultPlan(seed=SEED, **plan)) == run(FaultPlan(seed=SEED, **plan))
 
-    def test_reconnect_listener_reaches_inner_channel(self):
+    @pytest.mark.parametrize("backend", SERVER_BACKENDS)
+    def test_reconnect_listener_reaches_inner_channel(self, backend):
         """The client installs its poller-reset callback on the outermost
         wrapper; the inner TCP channel is what actually reconnects, so
         the wrapper must delegate the listener, not shadow it."""
-        transport = TCPServerTransport(EchoServer())
+        transport = make_server_transport(backend, EchoServer())
         inner = TCPChannel("127.0.0.1", transport.port, "c", timeout=2.0)
         channel = FaultInjectingChannel(inner, FaultPlan(seed=SEED))
         fired = []
@@ -250,12 +252,13 @@ class TestRetryingChannel:
             channel.request(b"x")
         assert len(fired) == channel.reconnects > 0
 
-    def test_reopen_connect_failure_is_retried(self):
+    @pytest.mark.parametrize("backend", SERVER_BACKENDS)
+    def test_reopen_connect_failure_is_retried(self, backend):
         """While the server is down, the factory's own connect fails too;
         each refusal must consume a retry and back off — the restart is
         ridden out inside request(), not surfaced to the caller."""
         dispatcher = EchoServer()
-        transport = TCPServerTransport(dispatcher)
+        transport = make_server_transport(backend, dispatcher)
         port = transport.port
         policy = RetryPolicy(max_attempts=30, base_delay=0.05, max_delay=0.1,
                              jitter=0.0)
@@ -269,8 +272,8 @@ class TestRetryingChannel:
 
             def restart():
                 time.sleep(0.3)
-                restarted.append(TCPServerTransport(
-                    dispatcher, port=port, reply_cache=cache))
+                restarted.append(make_server_transport(
+                    backend, dispatcher, port=port, reply_cache=cache))
 
             thread = threading.Thread(target=restart)
             thread.start()
@@ -391,9 +394,10 @@ class TestReplyCache:
 # ---------------------------------------------------------------------------
 
 class TestTCPRetry:
-    def test_channel_reconnects_after_server_restart(self):
+    @pytest.mark.parametrize("backend", SERVER_BACKENDS)
+    def test_channel_reconnects_after_server_restart(self, backend):
         dispatcher = EchoServer()
-        transport = TCPServerTransport(dispatcher)
+        transport = make_server_transport(backend, dispatcher)
         port = transport.port
         policy = RetryPolicy(max_attempts=10, base_delay=0.02, max_delay=0.1,
                              jitter=0.0)
@@ -401,8 +405,9 @@ class TestTCPRetry:
         try:
             assert channel.request(b"one") == b"echo:one"
             transport.close()
-            transport = TCPServerTransport(dispatcher, port=port,
-                                           reply_cache=transport.reply_cache)
+            transport = make_server_transport(
+                backend, dispatcher, port=port,
+                reply_cache=transport.reply_cache)
             assert channel.request(b"two") == b"echo:two"
             assert channel.reconnects >= 1
             assert channel.health()["reconnects"] >= 1
@@ -410,9 +415,10 @@ class TestTCPRetry:
             channel.close()
             transport.close()
 
-    def test_resent_sequence_is_dispatched_once(self):
+    @pytest.mark.parametrize("backend", SERVER_BACKENDS)
+    def test_resent_sequence_is_dispatched_once(self, backend):
         dispatcher = EchoServer()
-        transport = TCPServerTransport(dispatcher)
+        transport = make_server_transport(backend, dispatcher)
         try:
             channel = TCPChannel("127.0.0.1", transport.port, "c", timeout=2.0)
             try:
@@ -428,12 +434,13 @@ class TestTCPRetry:
         finally:
             transport.close()
 
-    def test_fresh_channel_reusing_client_id_is_not_replayed(self):
+    @pytest.mark.parametrize("backend", SERVER_BACKENDS)
+    def test_fresh_channel_reusing_client_id_is_not_replayed(self, backend):
         """repro-stats hardcodes client_id='stats-cli': a second run must
         get its own reply, not the first run's cached one — the random
         session nonce keeps the two channels' sequence spaces apart."""
         dispatcher = EchoServer()
-        transport = TCPServerTransport(dispatcher)
+        transport = make_server_transport(backend, dispatcher)
         try:
             first = TCPChannel("127.0.0.1", transport.port, "stats-cli",
                                timeout=2.0)
@@ -449,10 +456,11 @@ class TestTCPRetry:
         finally:
             transport.close()
 
-    def test_close_interrupts_retry_backoff(self):
+    @pytest.mark.parametrize("backend", SERVER_BACKENDS)
+    def test_close_interrupts_retry_backoff(self, backend):
         """close() must abort a pending backoff at once, not wait out the
         schedule (request() holds the channel lock the whole time)."""
-        transport = TCPServerTransport(EchoServer())
+        transport = make_server_transport(backend, EchoServer())
         policy = RetryPolicy(max_attempts=50, base_delay=30.0, jitter=0.0)
         channel = TCPChannel("127.0.0.1", transport.port, "c", timeout=0.5,
                              retry=policy)
@@ -480,8 +488,9 @@ class TestTCPRetry:
             channel.close()
             transport.close()
 
-    def test_break_connection_recovers_without_policy(self):
-        transport = TCPServerTransport(EchoServer())
+    @pytest.mark.parametrize("backend", SERVER_BACKENDS)
+    def test_break_connection_recovers_without_policy(self, backend):
+        transport = make_server_transport(backend, EchoServer())
         try:
             channel = TCPChannel("127.0.0.1", transport.port, "c", timeout=2.0)
             try:

@@ -7,8 +7,11 @@ import time
 
 import pytest
 
+from tests._support import SERVER_BACKENDS, make_server_transport
+
 from repro.errors import TransportError, TransportTimeout
 from repro.transport import (
+    AsyncTCPServerTransport,
     Dispatcher,
     InProcHub,
     NetworkModel,
@@ -120,10 +123,10 @@ class TestNetworkModel:
 
 
 class TestTCP:
-    @pytest.fixture
-    def server(self):
+    @pytest.fixture(params=SERVER_BACKENDS)
+    def server(self, request):
         dispatcher = EchoServer()
-        transport = TCPServerTransport(dispatcher)
+        transport = make_server_transport(request.param, dispatcher)
         yield transport, dispatcher
         transport.close()
 
@@ -184,13 +187,14 @@ class TestTCP:
         finally:
             channel.close()
 
-    def test_slow_reply_raises_typed_timeout(self):
+    @pytest.mark.parametrize("backend", SERVER_BACKENDS)
+    def test_slow_reply_raises_typed_timeout(self, backend):
         class StalledServer(Dispatcher):
             def dispatch(self, client_id, data):
                 time.sleep(2.0)
                 return data
 
-        transport = TCPServerTransport(StalledServer())
+        transport = make_server_transport(backend, StalledServer())
         try:
             channel = TCPChannel("127.0.0.1", transport.port, "c", timeout=0.2)
             try:
@@ -236,10 +240,10 @@ def _raw_exchange(sock, frame, expect=None):
 class TestTCPFaultPaths:
     """The server must answer bad input with ErrorReply, not die."""
 
-    @pytest.fixture
-    def server(self):
+    @pytest.fixture(params=SERVER_BACKENDS)
+    def server(self, request):
         dispatcher = EchoServer()
-        transport = TCPServerTransport(dispatcher)
+        transport = make_server_transport(request.param, dispatcher)
         yield transport, dispatcher
         transport.close()
 
@@ -273,7 +277,8 @@ class TestTCPFaultPaths:
         finally:
             sock.close()
 
-    def test_dispatcher_exception_answered_and_connection_survives(self):
+    @pytest.mark.parametrize("backend", SERVER_BACKENDS)
+    def test_dispatcher_exception_answered_and_connection_survives(self, backend):
         class Flaky(Dispatcher):
             def __init__(self):
                 self.calls = 0
@@ -285,7 +290,7 @@ class TestTCPFaultPaths:
                 return b"ok:" + data
 
         dispatcher = Flaky()
-        transport = TCPServerTransport(dispatcher)
+        transport = make_server_transport(backend, dispatcher)
         channel = TCPChannel("127.0.0.1", transport.port, "c")
         try:
             reply = decode_message(channel.request(b"boom"))
@@ -298,7 +303,8 @@ class TestTCPFaultPaths:
             channel.close()
             transport.close()
 
-    def test_timed_out_socket_is_never_reused(self):
+    @pytest.mark.parametrize("backend", SERVER_BACKENDS)
+    def test_timed_out_socket_is_never_reused(self, backend):
         """After a timeout the reply is still in flight; reusing the
         socket would hand request N's reply to request N+1."""
 
@@ -312,7 +318,7 @@ class TestTCPFaultPaths:
                     time.sleep(1.0)
                 return b"echo:" + data
 
-        transport = TCPServerTransport(SlowFirst())
+        transport = make_server_transport(backend, SlowFirst())
         # the timeout must outlast the remainder of the first dispatch:
         # the server serializes one client's requests (reply-cache session
         # lock), so request "b" queues behind the sleeping dispatch of "a"
@@ -327,17 +333,21 @@ class TestTCPFaultPaths:
             channel.close()
             transport.close()
 
-    def test_close_reaps_threads_and_closes_connections(self):
+    @pytest.mark.parametrize("backend", SERVER_BACKENDS)
+    def test_close_reaps_threads_and_closes_connections(self, backend):
         dispatcher = EchoServer()
-        transport = TCPServerTransport(dispatcher)
+        transport = make_server_transport(backend, dispatcher)
         channels = [TCPChannel("127.0.0.1", transport.port, f"c{i}")
                     for i in range(4)]
         try:
             for i, channel in enumerate(channels):
                 channel.request(f"m{i}".encode())
             transport.close()
-            assert transport._threads == []
-            assert transport._conns == set()
+            if backend == "threads":
+                assert transport._threads == []
+                assert transport._conns == set()
+            else:
+                assert transport.connection_count() == 0
             # live clients see a typed disconnect, not a hang
             with pytest.raises(TransportError):
                 channels[0].request(b"after")
@@ -345,17 +355,41 @@ class TestTCPFaultPaths:
             for channel in channels:
                 channel.close()
 
-    def test_port_is_released_synchronously_on_close(self):
+    def test_connection_close_reaps_serve_thread(self):
+        """A burst of connections that then close must not pin thread
+        records until the next accept (reap-on-close, not on-accept)."""
+        transport = TCPServerTransport(EchoServer())
+        try:
+            channels = [TCPChannel("127.0.0.1", transport.port, f"c{i}")
+                        for i in range(8)]
+            for i, channel in enumerate(channels):
+                channel.request(f"m{i}".encode())
+            for channel in channels:
+                channel.close()
+            deadline = time.time() + 5.0
+            while transport._threads:
+                assert time.time() < deadline, (
+                    f"{len(transport._threads)} serve-thread records "
+                    "still pinned after every connection closed")
+                time.sleep(0.01)
+        finally:
+            transport.close()
+
+    @pytest.mark.parametrize("backend", SERVER_BACKENDS)
+    @pytest.mark.parametrize("restart_backend", SERVER_BACKENDS)
+    def test_port_is_released_synchronously_on_close(self, backend,
+                                                     restart_backend):
         dispatcher = EchoServer()
-        first = TCPServerTransport(dispatcher)
+        first = make_server_transport(backend, dispatcher)
         port = first.port
         channel = TCPChannel("127.0.0.1", port, "c")
         channel.request(b"x")
         first.close()
         # a restarted server must be able to rebind at once, even with
-        # the old client's half-closed socket still lingering
-        second = TCPServerTransport(dispatcher, port=port,
-                                    reply_cache=first.reply_cache)
+        # the old client's half-closed socket still lingering (and the
+        # backends must be interchangeable across the restart)
+        second = make_server_transport(restart_backend, dispatcher, port=port,
+                                       reply_cache=first.reply_cache)
         try:
             channel.break_connection()
             assert channel.request(b"y") == b"echo:y"
