@@ -1,0 +1,395 @@
+#!/usr/bin/env python3
+"""Data-size benchmark: the diff data plane at the paper's MB scale.
+
+The paper's evaluation (figures 4 and 6) translates 1 MB working sets;
+its diff-vs-RPC story is a *bandwidth* story — when a modest fraction of
+a segment changes, wire diffs ship a fraction of the bytes an RPC-style
+full transfer (XDR deep copy) must marshal, and that margin is what
+makes shared state practical over real links.  This benchmark prices
+that story at production data sizes — 1, 8, and 32 MB integer arrays
+with 10% scattered writes (every 10th word, so run splicing cannot merge
+anything) — against three yardsticks:
+
+- **XDR full transfer** (``repro.rpc.xdr``): marshal + unmarshal of the
+  whole array, the RPC baseline of figure 4, measured at every size;
+- **the pre-change data plane** (``REPRO_WIRE_LEGACY_DATAPLANE`` /
+  ``set_legacy_dataplane``): the interleaved per-run encode/decode that
+  built one ``DiffRun`` object and one payload copy per run, measured at
+  the 8 MB point (it is quadratically painful beyond that);
+- **copy amplification**: ``wire.bytes_copied`` (every payload
+  materialization on the release path) over the bytes actually shipped.
+
+The measured operation is the full write-release path: client word
+diffing + columnar collect + single-buffer encode, server decode +
+vectorized scatter-apply + subblock stamping + re-encode into the diff
+cache and WAL (the WAL tier is enabled, ``fsync`` off).
+
+Acceptance (see the tests below):
+
+- the zero-copy data plane releases >= 2x faster than the legacy
+  toggle at 8 MB / 10% scattered writes;
+- copy amplification on the release path stays <= 3x the shipped bytes;
+- the diff wins the paper's margin at every size: <= 60% of XDR's wire
+  bytes, and faster end-to-end under the modeled LAN bandwidth
+  (``REPRO_BENCH_DATASIZE_MBPS``, default 100 Mbit/s — the paper era's
+  fast Ethernet);
+- a cProfile gate: no per-word Python loop (``_collect_per_unit``,
+  ``_apply_per_unit``, ``iter_units``, or any function called once per
+  word) may appear in the hot profile of an 8 MB release.
+
+Results land in ``BENCH_datasize.json`` at the repo root plus a metrics
+sidecar in ``benchmarks/out/``.  Every phase is deadline-guarded
+(``REPRO_BENCH_DATASIZE_DEADLINE`` seconds) so a regression that turns
+the 32 MB point quadratic fails loudly instead of hanging CI.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_datasize.py
+
+or as a test::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_datasize.py -q
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import os
+import pstats
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import numpy as np
+
+from common import World, build_workload
+
+from repro import InProcHub, InterWeaveClient, InterWeaveServer, VirtualClock
+from repro.arch import X86_32, PrimKind
+from repro.obs import get_registry, write_sidecar
+from repro.rpc import XDRTranslator
+from repro.wire import set_legacy_dataplane
+
+#: working-set sizes in MiB (the paper ran at 1; 8 and 32 are the
+#: "production data sizes" this data plane is built for)
+POINTS_MB = [int(point) for point in os.environ.get(
+    "REPRO_BENCH_DATASIZE_POINTS", "1,8,32").split(",")]
+#: every RATIO-th word is changed: 10% of the data, scattered so the
+#: 2-word splice window cannot merge runs (the worst case for run count)
+RATIO = 10
+ROUNDS = int(os.environ.get("REPRO_BENCH_DATASIZE_ROUNDS", "3"))
+#: modeled link bandwidth for the end-to-end comparison, Mbit/s
+MODEL_MBPS = float(os.environ.get("REPRO_BENCH_DATASIZE_MBPS", "100"))
+#: per-phase hang guard, like REPRO_BENCH_CONNSCALE_DEADLINE
+DEADLINE_SECONDS = float(os.environ.get("REPRO_BENCH_DATASIZE_DEADLINE",
+                                        "300"))
+#: the legacy data plane is only priced at its survivable size
+LEGACY_MB = 8
+#: functions that are, by construction, per-word Python loops — none may
+#: show up in the hot profile of an MB-scale release
+BANNED_HOT_FUNCTIONS = {"_collect_per_unit", "_apply_per_unit",
+                        "iter_units"}
+PROFILE_TOP_N = 25
+
+OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_PATH = os.path.join(REPO_ROOT, "BENCH_datasize.json")
+
+
+class _Deadline:
+    """Per-phase watchdog: raises instead of letting a phase hang."""
+
+    def __init__(self, label: str, seconds: float = DEADLINE_SECONDS):
+        self.label = label
+        self.expires = time.monotonic() + seconds
+        self.seconds = seconds
+
+    def check(self, phase: str) -> None:
+        if time.monotonic() > self.expires:
+            raise RuntimeError(
+                f"{self.label}: {phase} missed the {self.seconds:.0f}s "
+                f"deadline (REPRO_BENCH_DATASIZE_DEADLINE)")
+
+
+def _make_world(wal_dir: str) -> World:
+    """A bench world with the durability tier on (WAL, fsync off) so the
+    release path includes the append the server really pays."""
+    clock = VirtualClock()
+    hub = InProcHub(clock=clock)
+    server = InterWeaveServer("bench", sink=hub, clock=clock,
+                              wal_dir=wal_dir, wal_fsync=False)
+    hub.register_server("bench", server)
+    client = InterWeaveClient("writer", X86_32, hub.connect, clock=clock)
+    return World(clock, hub, server, client)
+
+
+def _modify_scattered(workload, salt: int) -> None:
+    """Read-modify-write every RATIO-th word of the array."""
+    client = workload.world.client
+    address = workload.block.address
+    dtype = client.arch.numpy_dtype(PrimKind.INT)
+    raw = bytearray(client.memory.load(address, workload.block.size))
+    words = np.frombuffer(raw, dtype=dtype)
+    updated = words.copy()
+    updated[::RATIO] = (updated[::RATIO] + salt + 1) % 100000
+    client.memory.store(address, updated.tobytes())
+
+
+def _measure_release(data_bytes: int, legacy: bool,
+                     deadline: _Deadline, rounds: int = ROUNDS) -> dict:
+    """Best-of-N wall time of the full release path, plus the byte
+    accounting (shipped diff size, copies) of one representative round."""
+    set_legacy_dataplane(legacy)
+    registry = get_registry()
+    try:
+        with tempfile.TemporaryDirectory(prefix="bench-datasize-") as tmp:
+            world = _make_world(tmp)
+            workload = build_workload("int_array", world,
+                                      data_bytes=data_bytes)
+            client = world.client
+            times, accounting = [], None
+            for salt in range(rounds):
+                deadline.check(f"release round {salt}")
+                client.wl_acquire(workload.segment)
+                _modify_scattered(workload, salt)
+                copied0 = registry.counter("wire.bytes_copied").value
+                started = time.perf_counter()
+                client.wl_release(workload.segment)
+                times.append(time.perf_counter() - started)
+                if accounting is None:
+                    copied = (registry.counter("wire.bytes_copied").value
+                              - copied0)
+                    version = workload.segment.version
+                    encoded = world.server.diff_cache.get(
+                        workload.segment.name, version - 1, version)
+                    accounting = {
+                        "diff_wire_bytes": len(encoded) if encoded else 0,
+                        "bytes_copied": copied,
+                    }
+            wire_bytes = max(accounting["diff_wire_bytes"], 1)
+            return {
+                "release_s": min(times),
+                "release_rounds_s": times,
+                "copy_amplification":
+                    accounting["bytes_copied"] / wire_bytes,
+                **accounting,
+            }
+    finally:
+        set_legacy_dataplane(False)
+
+
+def _measure_xdr(data_bytes: int, deadline: _Deadline,
+                 rounds: int = ROUNDS) -> dict:
+    """Full-transfer baseline: XDR deep-copy marshal + unmarshal."""
+    clock = VirtualClock()
+    hub = InProcHub(clock=clock)
+    server = InterWeaveServer("bench", sink=hub, clock=clock)
+    hub.register_server("bench", server)
+    client = InterWeaveClient("writer", X86_32, hub.connect, clock=clock)
+    world = World(clock, hub, server, client)
+    workload = build_workload("int_array", world, data_bytes=data_bytes)
+    translator = XDRTranslator(workload.descriptor, world.client.arch)
+    memory, address = world.client.memory, workload.block.address
+    marshal_times, unmarshal_times = [], []
+    wire = b""
+    for _ in range(rounds):
+        deadline.check("xdr round")
+        started = time.perf_counter()
+        wire = translator.marshal(memory, address)
+        marshal_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        translator.unmarshal(memory, address, wire)
+        unmarshal_times.append(time.perf_counter() - started)
+    return {
+        "xdr_marshal_s": min(marshal_times),
+        "xdr_unmarshal_s": min(unmarshal_times),
+        "xdr_wire_bytes": len(wire),
+    }
+
+
+def _modeled_e2e(cpu_seconds: float, wire_bytes: int) -> float:
+    """End-to-end seconds under the modeled link: CPU + transfer."""
+    return cpu_seconds + wire_bytes / (MODEL_MBPS * 125_000.0)
+
+
+def _profile_release(data_bytes: int, deadline: _Deadline) -> dict:
+    """cProfile one release; return the top-N tottime functions and any
+    banned per-word loops among them."""
+    set_legacy_dataplane(False)
+    with tempfile.TemporaryDirectory(prefix="bench-datasize-") as tmp:
+        world = _make_world(tmp)
+        workload = build_workload("int_array", world, data_bytes=data_bytes)
+        client = world.client
+        client.wl_acquire(workload.segment)
+        _modify_scattered(workload, salt=99)
+        deadline.check("profiled release")
+        profiler = cProfile.Profile()
+        profiler.enable()
+        client.wl_release(workload.segment)
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    entries = sorted(stats.stats.items(),
+                     key=lambda item: item[1][2], reverse=True)
+    words = data_bytes // 4
+    top, offenders = [], []
+    for (filename, lineno, name), (cc, ncalls, tottime, _, _) in \
+            entries[:PROFILE_TOP_N]:
+        row = {"function": name, "file": os.path.basename(filename),
+               "calls": ncalls, "tottime_s": round(tottime, 6)}
+        top.append(row)
+        if name in BANNED_HOT_FUNCTIONS:
+            offenders.append(row)
+        elif ncalls >= words:  # something is looping once per word
+            offenders.append(row)
+    return {"top": top, "offenders": offenders,
+            "top_n": PROFILE_TOP_N, "words": words}
+
+
+def run_all() -> dict:
+    registry = get_registry()
+    registry.reset()
+    points = []
+    for size_mb in POINTS_MB:
+        deadline = _Deadline(f"datasize-{size_mb}MB")
+        data_bytes = size_mb << 20
+        release = _measure_release(data_bytes, legacy=False,
+                                   deadline=deadline)
+        xdr = _measure_xdr(data_bytes, deadline=deadline)
+        diff_e2e = _modeled_e2e(release["release_s"],
+                                release["diff_wire_bytes"])
+        xdr_e2e = _modeled_e2e(xdr["xdr_marshal_s"] + xdr["xdr_unmarshal_s"],
+                               xdr["xdr_wire_bytes"])
+        points.append({
+            "mb": size_mb,
+            "data_bytes": data_bytes,
+            "change_ratio": RATIO,
+            **release,
+            **xdr,
+            "wire_ratio": release["diff_wire_bytes"] / xdr["xdr_wire_bytes"],
+            "diff_e2e_modeled_s": diff_e2e,
+            "xdr_e2e_modeled_s": xdr_e2e,
+            "modeled_speedup": xdr_e2e / diff_e2e,
+        })
+
+    legacy_mb = max((mb for mb in POINTS_MB if mb <= LEGACY_MB),
+                    default=min(POINTS_MB))
+    deadline = _Deadline(f"datasize-legacy-{legacy_mb}MB")
+    legacy = _measure_release(legacy_mb << 20, legacy=True,
+                              deadline=deadline,
+                              rounds=max(2, ROUNDS - 1))
+    new_point = next(p for p in points if p["mb"] == legacy_mb)
+    legacy_baseline = {
+        "mb": legacy_mb,
+        **legacy,
+        "speedup": legacy["release_s"] / new_point["release_s"],
+    }
+
+    profile_mb = legacy_mb  # the 8 MB point unless POINTS_MB says otherwise
+    deadline = _Deadline(f"datasize-profile-{profile_mb}MB")
+    profile = _profile_release(profile_mb << 20, deadline=deadline)
+
+    results = {
+        "points": points,
+        "legacy_baseline": legacy_baseline,
+        "profile_gate": profile,
+        "config": {
+            "points_mb": POINTS_MB,
+            "change_ratio": RATIO,
+            "rounds": ROUNDS,
+            "model_mbps": MODEL_MBPS,
+            "workload": "int_array, every 10th word rewritten "
+                        "(10% scattered; no run splicing possible)",
+        },
+    }
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    write_sidecar(os.path.join(OUT_DIR, "bench_datasize.metrics.json"),
+                  registry.snapshot())
+    return results
+
+
+_cache: dict = {}
+
+
+def _results() -> dict:
+    if "results" not in _cache:
+        _cache["results"] = run_all()
+    return _cache["results"]
+
+
+def test_release_beats_legacy_dataplane_2x():
+    """At 8 MB / 10% scattered writes the zero-copy data plane must
+    release >= 2x faster than the pre-change (legacy toggle) plane."""
+    results = _results()
+    baseline = results["legacy_baseline"]
+    assert baseline["speedup"] >= 2.0, baseline
+
+
+def test_copy_amplification_bounded():
+    """Bytes materialized on the release path stay <= 3x the bytes
+    actually shipped, at every size."""
+    results = _results()
+    for point in results["points"]:
+        assert point["copy_amplification"] <= 3.0, point
+
+
+def test_diff_beats_xdr_margin():
+    """The paper's story at every size: the diff ships well under the
+    full-transfer bytes and wins end-to-end on the modeled link."""
+    results = _results()
+    for point in results["points"]:
+        assert point["wire_ratio"] <= 0.6, point
+        assert point["modeled_speedup"] >= 1.2, point
+
+
+def test_no_per_word_python_loop_in_profile():
+    """No per-word Python loop may appear in the hot profile of an
+    MB-scale release (the zero-copy plane is columnar end to end)."""
+    results = _results()
+    gate = results["profile_gate"]
+    assert not gate["offenders"], gate["offenders"]
+
+
+def test_results_file_written():
+    _results()
+    with open(RESULTS_PATH) as handle:
+        doc = json.load(handle)
+    assert doc["points"] and doc["legacy_baseline"]["speedup"] > 0
+
+
+def main() -> None:
+    results = _results()
+    config = results["config"]
+    print(f"data-size scaling (10% scattered writes, modeled link "
+          f"{config['model_mbps']:.0f} Mbit/s, best of {config['rounds']})")
+    print(f"{'size':>5s} {'release':>9s} {'diff MB':>8s} {'amp':>5s} "
+          f"{'xdr cpu':>9s} {'xdr MB':>7s} {'e2e diff':>9s} "
+          f"{'e2e xdr':>8s} {'win':>6s}")
+    for point in results["points"]:
+        xdr_cpu = point["xdr_marshal_s"] + point["xdr_unmarshal_s"]
+        print(f"{point['mb']:4d}M {point['release_s'] * 1e3:8.1f}m "
+              f"{point['diff_wire_bytes'] / 1e6:8.2f} "
+              f"{point['copy_amplification']:5.2f} "
+              f"{xdr_cpu * 1e3:8.1f}m {point['xdr_wire_bytes'] / 1e6:7.2f} "
+              f"{point['diff_e2e_modeled_s'] * 1e3:8.1f}m "
+              f"{point['xdr_e2e_modeled_s'] * 1e3:7.1f}m "
+              f"{point['modeled_speedup']:5.2f}x")
+    baseline = results["legacy_baseline"]
+    print(f"legacy data plane @ {baseline['mb']}MB: "
+          f"{baseline['release_s'] * 1e3:.1f} ms/release "
+          f"(amp {baseline['copy_amplification']:.2f}x) -> zero-copy wins "
+          f"{baseline['speedup']:.2f}x")
+    gate = results["profile_gate"]
+    print(f"profile gate: top-{gate['top_n']} clean"
+          if not gate["offenders"] else
+          f"profile gate: OFFENDERS {gate['offenders']}")
+    print(f"[results -> {os.path.relpath(RESULTS_PATH)}]")
+
+
+if __name__ == "__main__":
+    main()

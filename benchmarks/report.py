@@ -9,7 +9,7 @@ statistics; this script favours a readable, paper-shaped report.
 
 Usage::
 
-    python benchmarks/report.py [fig4] [fig5] [fig6] [fig7] [ablations]
+    python benchmarks/report.py [fig4] [fig5] [fig6] [fig7] [ablations] [datasize]
 
 With no arguments, everything runs (a few minutes).
 """
@@ -222,6 +222,13 @@ def fig7():
           "Delta-x decreases monotonically")
 
 
+def datasize():
+    from bench_datasize import main as datasize_main
+
+    print("\n== Data-size scaling: diff vs XDR full transfer at MB scale ==")
+    datasize_main()  # writes BENCH_datasize.json and its own sidecar
+
+
 def ablations():
     print("\n== Ablations (Section 3.3 optimizations; milliseconds) ==")
     # no-diff
@@ -272,11 +279,13 @@ def run_experiment(name, fn):
 
 
 def main():
-    wanted = set(sys.argv[1:]) or {"fig4", "fig5", "fig6", "fig7", "ablations"}
+    wanted = set(sys.argv[1:]) or {"fig4", "fig5", "fig6", "fig7",
+                                   "ablations", "datasize"}
     print(f"InterWeave reproduction report "
           f"(working set {DATA_BYTES // 1024} KiB, best of {REPEATS})")
     experiments = [("fig4", fig4), ("fig5", fig5), ("fig6", fig6),
-                   ("fig7", fig7), ("ablations", ablations)]
+                   ("fig7", fig7), ("ablations", ablations),
+                   ("datasize", datasize)]
     for name, fn in experiments:
         if name in wanted:
             run_experiment(name, fn)

@@ -38,8 +38,9 @@ from repro.memory.mmu import AddressSpace
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.types import flat_layout
 from repro.types.layout import merge_run_arrays
-from repro.wire import BlockDiff, DiffRun, SegmentDiff, TranslationContext, collect_range
-from repro.wire.translate import collect_runs
+from repro.wire import (BlockDiff, DiffRun, SegmentDiff, TranslationContext,
+                        block_diff_from_columns, collect_range)
+from repro.wire.translate import collect_runs, collect_runs_columns
 
 #: unchanged words between two changed runs that are spliced over
 SPLICE_MAX_GAP_WORDS = 2
@@ -250,15 +251,23 @@ def collect_write_diff(tctx: TranslationContext, heap: SegmentHeap,
                 # block-level no-diff: mostly modified, send it whole
                 prim_starts = np.array([0], np.int64)
                 prim_counts = np.array([layout.prim_count], np.int64)
-            buffers = collect_runs(tctx, layout, block.address,
-                                   prim_starts, prim_counts)
-            diff_runs = [
-                DiffRun(start, count, buffer)
-                for start, count, buffer in zip(
-                    prim_starts.tolist(), prim_counts.tolist(), buffers)
-            ]
+            columns = collect_runs_columns(tctx, layout, block.address,
+                                           prim_starts, prim_counts)
+            if columns is not None:
+                # columnar fast path: one gathered payload buffer, no
+                # per-run DiffRun objects (an MB-scale scattered write
+                # produces hundreds of thousands of runs)
+                block_diff = block_diff_from_columns(serial, columns)
+            else:
+                buffers = collect_runs(tctx, layout, block.address,
+                                       prim_starts, prim_counts)
+                block_diff = BlockDiff(serial=serial, runs=[
+                    DiffRun(start, count, buffer)
+                    for start, count, buffer in zip(
+                        prim_starts.tolist(), prim_counts.tolist(), buffers)
+                ])
             modified_units += int(prim_counts.sum())
-            diff.block_diffs.append(BlockDiff(serial=serial, runs=diff_runs))
+            diff.block_diffs.append(block_diff)
         timers.translate_seconds += time.perf_counter() - started
     else:
         # no-diff mode: transmit every pre-existing block in full

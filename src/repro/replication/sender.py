@@ -168,7 +168,12 @@ class ReplicationSender:
                     ticket: bool = False) -> Optional[ReplicationTicket]:
         """Enqueue one committed diff.  With ``ticket=True`` (quorum-ack
         mode) returns a :class:`ReplicationTicket` the caller can wait
-        on; otherwise returns None."""
+        on; otherwise returns None.
+
+        ``encoded`` is the release's shared buffer (the same bytes the
+        DiffCache retains and the WAL wrote); it is held by reference
+        here and copied exactly once, into the stream message at ship
+        time (counted in ``wire.bytes_copied``)."""
         handle = ReplicationTicket() if ticket else None
         self._enqueue(ReplicateAppendRequest(
             kind=REPL_DIFF, segment=segment, from_version=from_version,

@@ -69,7 +69,10 @@ def encode_checkpoint(segment: ServerSegment) -> bytes:
         out.u32(block.info.type_serial)
         out.u32(block.version)
         out.u32(block.created_version)
-        out.blob(block.subblock_versions.astype(">u4").tobytes())
+        # one conversion to big-endian, spliced via the array's buffer —
+        # not .astype().tobytes(), which would copy twice
+        sub_wire = np.ascontiguousarray(block.subblock_versions, dtype=">u4")
+        out.blob(sub_wire.data.cast("B"))
         out.blob(segment.read_block_wire(block.serial))
     return out.getvalue()
 
@@ -111,8 +114,11 @@ def _decode_checkpoint(data: bytes) -> ServerSegment:
         type_serial = reader.u32()
         version = reader.u32()
         created_version = reader.u32()
-        subblock_versions = np.frombuffer(reader.blob(), dtype=">u4").astype(np.uint32)
-        wire = reader.blob()
+        # a zero-copy view of the checkpoint bytes; the big-endian ->
+        # native conversion happens once, inside the
+        # ``subblock_versions[:] = ...`` assignment below
+        subblock_versions = np.frombuffer(reader.blob_view(), dtype=">u4")
+        wire = reader.blob_view()
         staged.append((serial, name, type_serial, version, created_version,
                        subblock_versions, wire))
     if not reader.at_end():

@@ -83,10 +83,14 @@ def _merge_block(accumulated: Optional[BlockDiff], incoming: BlockDiff) -> Block
         # BlockDiff; the caller falls back to rebuilding from subblocks
         raise ServerError(f"serial {incoming.serial} re-created within range")
     if accumulated is None or incoming.is_new:
-        # first sight, or re-creation after a free: take the newer record
-        return BlockDiff(serial=incoming.serial, runs=list(incoming.runs),
+        # first sight, or re-creation after a free: take the newer record,
+        # keeping its columnar/view form — run sequences are never mutated
+        # in place, so sharing is safe and the single-step composition
+        # stays vectorized end to end
+        return BlockDiff(serial=incoming.serial, runs=incoming.runs,
                          is_new=incoming.is_new, type_serial=incoming.type_serial,
-                         name=incoming.name, version=incoming.version)
+                         name=incoming.name, version=incoming.version,
+                         columns=incoming.columns)
     surviving = _surviving_runs(accumulated.runs, incoming.runs)
     return BlockDiff(
         serial=accumulated.serial,

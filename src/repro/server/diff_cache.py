@@ -14,6 +14,12 @@ per-segment dispatch locking (see ``repro.server.server``) requests on
 All operations are short (dict lookups and byte-count arithmetic; payloads
 are never copied), so one plain mutex is cheap even on the read path, and
 the ``hits``/``misses`` tallies stay exact instead of racing.
+
+Retention invariant: entries must be immutable ``bytes`` the caller
+hands over for keeps — the release path stores the *same* buffer the
+WAL writes and the replication stream ships, and decoders hand out
+``memoryview`` slices over a cached entry (``compose_from_cache``), so
+a mutable or recycled buffer here would alias live diff data.
 """
 
 from __future__ import annotations

@@ -38,9 +38,10 @@ from repro.wire import (
     SegmentDiff,
     TranslationContext,
     apply_range,
+    block_diff_from_columns,
     collect_range,
 )
-from repro.wire.translate import apply_runs, collect_runs
+from repro.wire.translate import apply_runs, collect_runs, collect_runs_columns
 
 #: The synthetic architecture server images are laid out in: big-endian and
 #: byte-packed, so fixed-size data is stored directly in wire format.
@@ -234,7 +235,8 @@ class ServerSegment:
             if created is not None:
                 created.append(serial)
         layout = flat_layout(block.info.descriptor, SERVER_ARCH)
-        if not apply_runs(self._tctx, layout, block.info.address, block_diff.runs):
+        if not apply_runs(self._tctx, layout, block.info.address,
+                          block_diff.runs, columns=block_diff.columns):
             for run in block_diff.runs:
                 end = apply_range(self._tctx, layout, block.info.address,
                                   run.prim_start, run.prim_count, run.data)
@@ -242,31 +244,46 @@ class ServerSegment:
                     raise WireFormatError(
                         f"block {serial}: run data has {len(run.data) - end} "
                         "trailing bytes")
-        self._stamp_subblocks(block, block_diff.runs, new_version)
+        self._stamp_subblocks(block, block_diff, new_version)
         block.version = new_version
         block.info.version = new_version
         self.version_list.touch(serial, block)
 
     @staticmethod
-    def _stamp_subblocks(block: ServerBlock, runs, new_version: int) -> None:
-        """Mark every subblock a set of runs touches as modified now.
+    def _stamp_subblocks(block: ServerBlock, block_diff: BlockDiff,
+                         new_version: int) -> None:
+        """Mark every subblock a diff's runs touch as modified now.
 
         Interval-stabbing with a difference array, so a diff of thousands
-        of runs costs one pass instead of a slice assignment per run.
+        of runs costs one pass instead of a slice assignment per run.  A
+        columnar diff supplies its start/count arrays directly; only the
+        per-run object path pays the ``fromiter`` walk.
         """
-        if not runs:
-            return
-        if len(runs) <= 4:
-            for run in runs:
-                first = run.prim_start // SUBBLOCK_UNITS
-                last = (run.prim_start + run.prim_count - 1) // SUBBLOCK_UNITS
+        cols = block_diff.columns
+        if cols is not None:
+            if not cols.run_count:
+                return
+            firsts = cols.starts // SUBBLOCK_UNITS
+            lasts = (cols.starts + cols.counts - 1) // SUBBLOCK_UNITS
+        else:
+            runs = block_diff.runs
+            if not runs:
+                return
+            if len(runs) <= 4:
+                for run in runs:
+                    first = run.prim_start // SUBBLOCK_UNITS
+                    last = (run.prim_start + run.prim_count - 1) // SUBBLOCK_UNITS
+                    block.subblock_versions[first:last + 1] = new_version
+                return
+            firsts = np.fromiter((r.prim_start // SUBBLOCK_UNITS for r in runs),
+                                 np.int64, len(runs))
+            lasts = np.fromiter(
+                ((r.prim_start + r.prim_count - 1) // SUBBLOCK_UNITS for r in runs),
+                np.int64, len(runs))
+        if firsts.size <= 4:
+            for first, last in zip(firsts.tolist(), lasts.tolist()):
                 block.subblock_versions[first:last + 1] = new_version
             return
-        firsts = np.fromiter((r.prim_start // SUBBLOCK_UNITS for r in runs),
-                             np.int64, len(runs))
-        lasts = np.fromiter(
-            ((r.prim_start + r.prim_count - 1) // SUBBLOCK_UNITS for r in runs),
-            np.int64, len(runs))
         delta = np.zeros(block.subblock_versions.size + 1, np.int64)
         np.add.at(delta, firsts, 1)
         np.add.at(delta, lasts + 1, -1)
@@ -326,6 +343,14 @@ class ServerSegment:
                                             (stale + 1) * SUBBLOCK_UNITS)
             ends = np.minimum(ends, block.prim_count)
         counts = ends - starts
+        columns = collect_runs_columns(self._tctx, layout, block.info.address,
+                                       starts, counts)
+        if columns is not None:
+            return block_diff_from_columns(
+                block.serial, columns, is_new=is_new,
+                type_serial=block.info.type_serial if is_new else 0,
+                name=block.info.name if is_new else None,
+                version=block.version)
         buffers = collect_runs(self._tctx, layout, block.info.address,
                                starts, counts)
         diff_runs = [
@@ -403,6 +428,26 @@ class ServerSegment:
             raise ServerError(f"segment {self.name!r}: no block {serial}")
         layout = flat_layout(block.info.descriptor, SERVER_ARCH)
         wire = self.read_block_wire(serial)
+        if not layout.has_variable and all(r.repeat == 1 for r in layout.runs):
+            # fixed-size repeat-1 layouts (flat arrays, scalar records):
+            # the wire image is the runs' units concatenated in primitive
+            # order, so each run decodes with one vectorized frombuffer
+            # instead of an int.from_bytes per word
+            values = []
+            offset = 0
+            for run in layout.runs:  # sorted by prim_start = wire order
+                width = WIRE_SIZES[run.kind]
+                nbytes = run.unit_count * width
+                chunk = wire[offset:offset + nbytes]
+                offset += nbytes
+                if run.kind is PrimKind.FLOAT:
+                    dtype = ">f4"
+                elif run.kind is PrimKind.DOUBLE:
+                    dtype = ">f8"
+                else:
+                    dtype = f">i{width}"  # signed, as int.from_bytes below
+                values.extend(np.frombuffer(chunk, dtype).tolist())
+            return values
         length_struct = _struct.Struct(">I")
         values: list = []
         offset = 0

@@ -737,7 +737,10 @@ class InterWeaveServer(Dispatcher):
             entry.coherence.on_new_version(modified_units)
             entry.coherence.on_client_updated(client_id, new_version,
                                               entry.coherence.view(client_id).policy)
-            # cache the received diff for forwarding to other clients
+            # re-encode once; the DiffCache retains this buffer, the WAL
+            # writes it as-is (split frame, no re-copy), and the
+            # replication stream ships it — one encoded buffer per
+            # release across all three tiers
             for block_diff in diff.block_diffs:
                 block_diff.version = new_version
             diff.to_version = new_version

@@ -1,12 +1,16 @@
 """Machine-independent wire format: MIPs, diffs, translation, messages."""
 
-from repro.wire.codec import Reader, Writer
+from repro.wire.codec import Reader, Writer, count_bytes_copied
 from repro.wire.diff import (
     BlockDiff,
     DiffRun,
+    RunColumns,
     SegmentDiff,
+    block_diff_from_columns,
     decode_segment_diff,
     encode_segment_diff,
+    legacy_dataplane_enabled,
+    set_legacy_dataplane,
 )
 from repro.wire.mip import MIP, format_mip, parse_mip
 from repro.wire.translate import (
@@ -24,17 +28,22 @@ __all__ = [
     "DiffRun",
     "MIP",
     "Reader",
+    "RunColumns",
     "SegmentDiff",
     "TranslationContext",
     "Writer",
     "apply_block",
     "apply_range",
+    "block_diff_from_columns",
     "collect_block",
     "collect_range",
+    "count_bytes_copied",
     "decode_segment_diff",
     "encode_segment_diff",
     "format_mip",
+    "legacy_dataplane_enabled",
     "messages",
     "parse_mip",
+    "set_legacy_dataplane",
     "wire_size_of_range",
 ]

@@ -9,12 +9,30 @@ provides the writer/reader pair the other wire modules share.
 from __future__ import annotations
 
 import struct
+from typing import Union
 
 from repro.errors import WireFormatError
+from repro.obs.metrics import get_registry
 
 _U32 = struct.Struct(">I")
 _U64 = struct.Struct(">Q")
 _F64 = struct.Struct(">d")
+
+#: Anything the codec can read from or splice into a buffer without a copy.
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+def count_bytes_copied(amount: int) -> None:
+    """Record payload bytes duplicated into a new buffer on the data plane.
+
+    ``wire.bytes_copied`` is the copy-amplification metric: every point
+    where diff payload is materialized (a decode that copies instead of
+    slicing a view, a join before a scatter, a payload spliced into an
+    outgoing message) reports the byte count here, so
+    ``bytes_copied / payload_bytes`` is measurable per release.
+    """
+    if amount:
+        get_registry().counter("wire.bytes_copied").inc(amount)
 
 
 class Writer:
@@ -62,18 +80,47 @@ class Writer:
     def text(self, value: str) -> "Writer":
         return self.blob(value.encode("utf-8"))
 
+    def tell(self) -> int:
+        """Current write position (bytes emitted so far)."""
+        return len(self._buffer)
+
+    def reserve_u32(self) -> int:
+        """Append a u32 placeholder and return its position for patch_u32.
+
+        This is how length-prefixed sections are emitted without building
+        the section in a scratch buffer and re-copying it: reserve the
+        length word, encode the section in place, then backpatch.
+        """
+        position = len(self._buffer)
+        self._buffer += b"\x00\x00\x00\x00"
+        return position
+
+    def patch_u32(self, position: int, value: int) -> None:
+        """Overwrite a previously reserved u32 in place."""
+        _U32.pack_into(self._buffer, position, value)
+
     def getvalue(self) -> bytes:
         return bytes(self._buffer)
 
 
 class Reader:
-    """Consumes canonical bytes, raising WireFormatError on truncation."""
+    """Consumes canonical bytes, raising WireFormatError on truncation.
 
-    __slots__ = ("data", "offset")
+    ``raw``/``blob`` return ``bytes`` copies; ``raw_view``/``blob_view``
+    return ``memoryview`` slices over the receive buffer instead.  A view
+    keeps the underlying buffer alive via its refcount, so handing views
+    to a decoder is safe as long as the buffer itself is immutable
+    (``bytes``); decoders that may receive a *recycled* (mutable) buffer
+    must materialize at the decode boundary — see
+    ``wire.diff.decode_segment_diff``.
+    """
 
-    def __init__(self, data: bytes, offset: int = 0):
+    __slots__ = ("data", "offset", "_view")
+
+    def __init__(self, data: Buffer, offset: int = 0):
         self.data = data
         self.offset = offset
+        self._view = None
 
     def u8(self) -> int:
         if self.offset >= len(self.data):
@@ -107,10 +154,24 @@ class Reader:
         if len(chunk) != size:
             raise WireFormatError("buffer truncated")
         self.offset += size
-        return chunk
+        return bytes(chunk)
 
     def blob(self) -> bytes:
         return self.raw(self.u32())
+
+    def raw_view(self, size: int) -> memoryview:
+        """Zero-copy variant of raw(): a memoryview slice of the buffer."""
+        if self._view is None:
+            self._view = memoryview(self.data)
+        chunk = self._view[self.offset:self.offset + size]
+        if len(chunk) != size:
+            raise WireFormatError("buffer truncated")
+        self.offset += size
+        return chunk
+
+    def blob_view(self) -> memoryview:
+        """Zero-copy variant of blob(): length-prefixed memoryview slice."""
+        return self.raw_view(self.u32())
 
     def text(self) -> str:
         try:

@@ -38,6 +38,8 @@ from repro.errors import WireFormatError
 from repro.memory.mmu import AddressSpace
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.types import FlatLayout, iter_units
+from repro.wire.codec import count_bytes_copied
+from repro.wire.diff import RunColumns
 
 #: Length-header codec for variable-size units (strings and MIPs).
 _LEN = struct.Struct(">I")
@@ -282,6 +284,11 @@ def _apply_strided(ctx, layout, base, prim_start, prim_end, data, offset) -> int
 
 
 def _apply_per_unit(ctx, layout, base, prim_start, prim_end, data, offset) -> int:
+    if not isinstance(data, (bytes, bytearray)):
+        # string/pointer handling concatenates and decodes, which needs
+        # real bytes — materialize a zero-copy view at this boundary
+        data = bytes(data)
+        count_bytes_copied(len(data))
     little = ctx.arch.endian == "little"
     memory = ctx.memory
     for _, run, i, j in iter_units(layout, prim_start, prim_end):
@@ -411,31 +418,72 @@ def collect_runs(ctx: TranslationContext, layout: FlatLayout, base: int,
         data = np.ascontiguousarray(
             data.reshape(-1, run.unit_size)[:, ::-1]).reshape(-1)
     buffer = data.tobytes()
+    count_bytes_copied(len(buffer))  # slicing apart re-copies the gather
     return [buffer[int(lo):int(hi)] for lo, hi in zip(bounds[:-1], bounds[1:])]
 
 
+def collect_runs_columns(ctx: TranslationContext, layout: FlatLayout,
+                         base: int, starts, counts) -> Optional[RunColumns]:
+    """Columnar variant of :func:`collect_runs`: one gather, one buffer.
+
+    Returns a :class:`RunColumns` whose ``data`` is the single gathered
+    wire buffer (never sliced apart), or None when the layout has no
+    batched path / the run count is too small to be worth it — callers
+    fall back to the per-run list path.
+    """
+    run = _single_dense_run(layout)
+    if run is None:
+        return None
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if starts.size <= 4:
+        return None
+    image = np.frombuffer(ctx.memory.load(base, layout.local_size), np.uint8)
+    indices, byte_lens, bounds = _gather_indices(run, starts, counts)
+    data = image[indices]
+    if ctx.arch.endian == "little" and run.unit_size > 1:
+        data = np.ascontiguousarray(
+            data.reshape(-1, run.unit_size)[:, ::-1]).reshape(-1)
+    return RunColumns(starts, counts, byte_lens, data.tobytes(), bounds)
+
+
 def apply_runs(ctx: TranslationContext, layout: FlatLayout, base: int,
-               runs) -> bool:
+               runs, columns: Optional[RunColumns] = None) -> bool:
     """Apply many (prim_start, prim_count, data) runs in one scatter.
 
     Returns False when the layout has no batched path (caller falls back
     to per-run :func:`apply_range`).  Runs must be in-bounds and their
     data exactly sized — the same validation apply_range performs.
+
+    When ``columns`` is given (a decoded diff's :class:`RunColumns`),
+    the scatter reads straight from the columnar payload buffer — which
+    may be a memoryview over the receive buffer — with no join and no
+    per-run attribute walk.
     """
     run = _single_dense_run(layout)
-    if run is None or len(runs) <= 4:
-        return False  # few runs: per-run apply_range is cheaper
-    
-    starts = np.fromiter((r.prim_start for r in runs), np.int64, len(runs))
-    counts = np.fromiter((r.prim_count for r in runs), np.int64, len(runs))
+    if run is None:
+        return False
+    if columns is not None:
+        if columns.run_count <= 4:
+            return False  # few runs: per-run apply_range is cheaper
+        starts = columns.starts
+        counts = columns.counts
+        payload = np.frombuffer(columns.data, np.uint8)
+    else:
+        if len(runs) <= 4:
+            return False
+        starts = np.fromiter((r.prim_start for r in runs), np.int64, len(runs))
+        counts = np.fromiter((r.prim_count for r in runs), np.int64, len(runs))
+        joined = b"".join(r.data for r in runs)
+        count_bytes_copied(len(joined))
+        payload = np.frombuffer(joined, np.uint8)
     if int(starts.min()) < 0 or int((starts + counts).max()) > layout.prim_count:
         raise WireFormatError("diff run exceeds block bounds")
-    payload = b"".join(r.data for r in runs)
     expected = int(counts.sum()) * run.unit_size
     if len(payload) != expected:
         raise WireFormatError(
             f"diff runs carry {len(payload)} bytes, expected {expected}")
-    data = np.frombuffer(payload, np.uint8)
+    data = payload
     if ctx.arch.endian == "little" and run.unit_size > 1:
         data = np.ascontiguousarray(
             data.reshape(-1, run.unit_size)[:, ::-1]).reshape(-1)

@@ -33,6 +33,69 @@ class TestWriter:
         reader = Reader(Writer().blob(b"").getvalue())
         assert reader.blob() == b""
 
+    def test_reserve_and_patch_u32(self):
+        out = Writer()
+        out.u8(7)
+        position = out.reserve_u32()
+        start = out.tell()
+        out.raw(b"payload")
+        out.patch_u32(position, out.tell() - start)
+        reader = Reader(out.getvalue())
+        assert reader.u8() == 7
+        assert reader.u32() == len(b"payload")
+        assert reader.raw(7) == b"payload"
+        assert reader.at_end()
+
+    def test_reserved_word_defaults_to_zero(self):
+        out = Writer()
+        out.reserve_u32()
+        assert out.getvalue() == b"\x00\x00\x00\x00"
+
+    def test_tell_tracks_length(self):
+        out = Writer()
+        assert out.tell() == 0
+        out.u32(1).text("ab")
+        assert out.tell() == len(out.getvalue())
+
+
+class TestReaderViews:
+    def test_raw_view_is_zero_copy(self):
+        source = b"\x00\x01\x02\x03\x04\x05"
+        reader = Reader(source)
+        view = reader.raw_view(4)
+        assert isinstance(view, memoryview)
+        assert view == b"\x00\x01\x02\x03"
+        assert view.obj is source  # aliases the original buffer
+        assert reader.raw(2) == b"\x04\x05"
+
+    def test_blob_view_roundtrip(self):
+        payload = bytes(range(64))
+        reader = Reader(Writer().blob(payload).getvalue())
+        view = reader.blob_view()
+        assert isinstance(view, memoryview)
+        assert bytes(view) == payload
+        assert reader.at_end()
+
+    def test_raw_view_truncation(self):
+        reader = Reader(b"\x01\x02")
+        with pytest.raises(WireFormatError):
+            reader.raw_view(3)
+
+    def test_blob_view_truncation(self):
+        data = Writer().u32(100).raw(b"short").getvalue()
+        with pytest.raises(WireFormatError):
+            Reader(data).blob_view()
+
+    def test_view_over_readonly_buffer_is_readonly(self):
+        view = Reader(b"abcd").raw_view(4)
+        assert view.readonly
+
+    def test_view_survives_reader(self):
+        # the view pins the underlying buffer; dropping the Reader (and
+        # the caller's name for the bytes) must not invalidate it
+        view = Reader(Writer().blob(b"keepme").getvalue()).blob_view()
+        assert bytes(view) == b"keepme"
+
 
 class TestReaderErrors:
     def test_truncated_u8(self):

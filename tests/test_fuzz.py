@@ -97,7 +97,9 @@ def test_bitflipped_diff_rejected_or_consistent(data):
         return
     for block_diff in decoded.block_diffs:
         for run in block_diff.runs:
-            assert isinstance(run.data, bytes)
+            # run payloads are bytes or zero-copy views over the buffer
+            assert isinstance(run.data, (bytes, memoryview))
+            assert run.prim_count >= 0
 
 
 class TestHostileProtocolSequences:
